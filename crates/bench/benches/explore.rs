@@ -1,0 +1,58 @@
+//! Criterion benches for Figure 10: real wall-clock exploration time of
+//! the three crash-state exploration strategies.
+//!
+//! The figure harness (`--bin fig10`) reports the calibrated simulated
+//! seconds; these benches measure what this reproduction actually costs,
+//! so regressions in the framework itself are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paracrash::ExploreMode;
+use pc_bench::run_with_mode;
+use workloads::{FsKind, Params, Program};
+
+fn bench_modes(c: &mut Criterion) {
+    let params = Params::quick();
+    let mut group = c.benchmark_group("fig10-explore");
+    group.sample_size(10);
+    for (program, fs) in [
+        (Program::Arvr, FsKind::BeeGfs),
+        (Program::Cr, FsKind::Gpfs),
+        (Program::H5Delete, FsKind::BeeGfs),
+    ] {
+        for mode in [
+            ExploreMode::BruteForce,
+            ExploreMode::Pruning,
+            ExploreMode::Optimized,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}-{}", program.name(), fs.name()),
+                    mode.as_str(),
+                ),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let outcome = run_with_mode(program, fs, &params, mode);
+                        assert!(outcome.stats.states_checked > 0);
+                        outcome
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let params = Params::quick();
+    let mut group = c.benchmark_group("trace-generation");
+    for fs in FsKind::all() {
+        group.bench_with_input(BenchmarkId::new("ARVR", fs.name()), &fs, |b, &fs| {
+            b.iter(|| Program::Arvr.run(fs, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for Figure 11: real exploration cost as the server
+//! count grows (stripe shrinking proportionally, as in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paracrash::ExploreMode;
+use pc_bench::run_with_mode;
+use workloads::{FsKind, Params, Program};
+
+fn bench_scaling(c: &mut Criterion) {
+    let base = Params::quick();
+    let mut group = c.benchmark_group("fig11-scalability");
+    group.sample_size(10);
+    for &servers in &[4u32, 8, 16] {
+        let stripe = (base.stripe * 4 / u64::from(servers)).max(256);
+        let params = base
+            .clone()
+            .with_servers(servers / 2, servers / 2)
+            .with_stripe(stripe);
+        group.throughput(Throughput::Elements(u64::from(servers)));
+        group.bench_with_input(
+            BenchmarkId::new("H5-create-BeeGFS", servers),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    run_with_mode(
+                        Program::H5Create,
+                        FsKind::BeeGfs,
+                        params,
+                        ExploreMode::Optimized,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benches for the substrates: local-FS replay, causality-graph
+//! construction, persistence analysis, crash-state enumeration, and
+//! HDF5 image checking. These are the inner loops of the framework —
+//! Figure 10's wall time is mostly spent here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paracrash::{crash_states, PersistAnalysis};
+use simfs::{FsOp, FsState, JournalMode};
+use tracer::CausalityGraph;
+use workloads::{FsKind, Params, Program};
+
+fn bench_fsstate_replay(c: &mut Criterion) {
+    let ops: Vec<FsOp> = (0..200)
+        .map(|i| match i % 4 {
+            0 => FsOp::Creat {
+                path: format!("/f{i}"),
+            },
+            1 => FsOp::Pwrite {
+                path: format!("/f{}", i - 1),
+                offset: 0,
+                data: vec![0u8; 256],
+            },
+            2 => FsOp::SetXattr {
+                path: format!("/f{}", i - 2),
+                key: "user.k".into(),
+                value: vec![1; 16],
+            },
+            _ => FsOp::Rename {
+                src: format!("/f{}", i - 3),
+                dst: format!("/g{i}"),
+            },
+        })
+        .collect();
+    c.bench_function("simfs/replay-200-ops", |b| {
+        b.iter(|| {
+            let mut fs = FsState::new();
+            let failed = fs.apply_lenient(ops.iter());
+            assert!(failed.is_empty());
+            fs.digest()
+        })
+    });
+}
+
+fn bench_snapshot_clone(c: &mut Criterion) {
+    let stack = Program::H5Create.run(FsKind::BeeGfs, &Params::quick());
+    c.bench_function("pfs/baseline-snapshot-clone", |b| {
+        b.iter(|| stack.pfs.baseline().clone())
+    });
+}
+
+fn bench_causality(c: &mut Criterion) {
+    let stack = Program::H5Create.run(FsKind::BeeGfs, &Params::quick());
+    c.bench_function("tracer/causality-graph-build", |b| {
+        b.iter(|| CausalityGraph::build(&stack.rec))
+    });
+    let graph = CausalityGraph::build(&stack.rec);
+    c.bench_function("tracer/consistent-cuts", |b| {
+        b.iter(|| graph.consistent_cuts(&stack.rec.lowermost_events()))
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let stack = Program::H5Create.run(FsKind::BeeGfs, &Params::quick());
+    let graph = CausalityGraph::build(&stack.rec);
+    c.bench_function("paracrash/persist-analysis", |b| {
+        b.iter(|| PersistAnalysis::build(&stack.rec, &graph, |_| Some(JournalMode::Data)))
+    });
+    let pa = PersistAnalysis::build(&stack.rec, &graph, |_| Some(JournalMode::Data));
+    c.bench_function("paracrash/crash-state-enumeration", |b| {
+        b.iter(|| crash_states(&stack.rec, &graph, &pa, 1, None).len())
+    });
+}
+
+fn bench_h5check(c: &mut Criterion) {
+    let stack = Program::H5Create.run(FsKind::BeeGfs, &Params::quick());
+    let view = stack.pfs.client_view(stack.pfs.live());
+    let bytes = view.read("/file.h5").unwrap().to_vec();
+    c.bench_function("h5sim/h5check-parse", |b| {
+        b.iter(|| h5sim::check(&bytes).unwrap())
+    });
+    c.bench_function("h5sim/h5inspect", |b| {
+        b.iter(|| h5sim::h5inspect(&bytes).unwrap().len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fsstate_replay,
+    bench_snapshot_clone,
+    bench_causality,
+    bench_persistence,
+    bench_h5check
+);
+criterion_main!(benches);

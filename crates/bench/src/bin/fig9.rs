@@ -1,0 +1,48 @@
+//! Regenerate Figure 9: the ARVR program's traces on BeeGFS, OrangeFS,
+//! GlusterFS and GPFS, and the legal storage states under causal
+//! consistency.
+//!
+//! Usage: `cargo run --release -p pc-bench --bin fig9 [--paper]`
+
+use paracrash::model::Model;
+use paracrash::stack::replay_pfs;
+use pc_bench::params_from_args;
+use tracer::CausalityGraph;
+use workloads::{FsKind, Program};
+
+fn main() {
+    let params = params_from_args();
+
+    // (a) Legal PFS states under causal consistency.
+    println!("(a) legal PFS states of ARVR under causal crash consistency\n");
+    let fs = FsKind::BeeGfs;
+    let stack = Program::Arvr.run(fs, &params);
+    let factory = fs.factory(&params);
+    let graph = CausalityGraph::build(&stack.rec);
+    let ops = stack.calls.event_ids();
+    let mut seen = std::collections::BTreeSet::new();
+    for set in Model::Causal.preserved_sets(&graph, &ops, &[]) {
+        let subset = stack.calls.subset(&set);
+        let names: Vec<String> = subset.iter().map(|(_, c)| c.name().to_string()).collect();
+        if let Some(view) = replay_pfs(&factory, &stack.pre_calls, &subset) {
+            if seen.insert(view.digest()) {
+                println!("preserved {{{}}}:", names.join(", "));
+                for line in view.to_string().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+
+    // (b)–(d) traces per PFS.
+    for fs in [
+        FsKind::BeeGfs,
+        FsKind::OrangeFs,
+        FsKind::GlusterFs,
+        FsKind::Gpfs,
+    ] {
+        println!("\n({}) ARVR trace on {}\n", fs.name().to_lowercase(), fs.name());
+        let stack = Program::Arvr.run(fs, &params);
+        print!("{}", stack.rec.render());
+    }
+}

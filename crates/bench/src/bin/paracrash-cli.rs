@@ -1,0 +1,157 @@
+//! The `paracrash` command-line front end.
+//!
+//! Mirrors the original framework's interface (§5): "ParaCrash takes a
+//! configuration file and two programs as input, and automatically
+//! generates crash-consistency reports for the tested I/O stack." The
+//! preamble program is part of each named test program here; everything
+//! else — per-layer models, exploration mode, `k`, cluster shape — comes
+//! from the configuration file.
+//!
+//! ```sh
+//! paracrash --fs BeeGFS --program ARVR [--config paracrash.conf] [--paper]
+//! paracrash --fs all --program all          # the full evaluation matrix
+//! paracrash --fs GPFS --program WAL --dump-trace wal.trace
+//! ```
+
+use paracrash::CheckConfig;
+use pc_bench::{run_program_swept, render_bug};
+use workloads::{FsKind, Params, Program};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paracrash --fs <BeeGFS|OrangeFS|GlusterFS|GPFS|Lustre|ext4|all>\n\
+         \x20                --program <ARVR|CR|RC|WAL|H5-create|...|all>\n\
+         \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\n\
+         The configuration file uses `key = value` lines:\n{}",
+        CheckConfig::paper_default().render()
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fs_arg = None;
+    let mut program_arg = None;
+    let mut config_path = None;
+    let mut dump_trace = None;
+    let mut paper = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fs" => fs_arg = it.next().cloned(),
+            "--program" => program_arg = it.next().cloned(),
+            "--config" => config_path = it.next().cloned(),
+            "--dump-trace" => dump_trace = it.next().cloned(),
+            "--paper" => paper = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let (Some(fs_arg), Some(program_arg)) = (fs_arg, program_arg) else {
+        usage();
+    };
+
+    let mut cfg = CheckConfig::paper_default();
+    if let Some(path) = config_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        cfg = CheckConfig::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad configuration: {e}");
+            std::process::exit(1);
+        });
+    }
+    let mut params = if paper { Params::paper() } else { Params::quick() };
+    params = params
+        .with_servers(cfg.servers.0, cfg.servers.1)
+        .with_clients(cfg.clients);
+    if paper {
+        params = params.with_stripe(cfg.stripe_size);
+    }
+
+    let systems: Vec<FsKind> = if fs_arg.eq_ignore_ascii_case("all") {
+        FsKind::all().to_vec()
+    } else {
+        match FsKind::parse(&fs_arg) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("unknown file system: {fs_arg}");
+                usage();
+            }
+        }
+    };
+    let programs: Vec<Program> = if program_arg.eq_ignore_ascii_case("all") {
+        Program::paper_eleven().to_vec()
+    } else {
+        match Program::paper_eleven()
+            .into_iter()
+            .chain([Program::CdfRename])
+            .find(|p| p.name().eq_ignore_ascii_case(&program_arg))
+        {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("unknown program: {program_arg}");
+                usage();
+            }
+        }
+    };
+
+    if let Some(path) = &dump_trace {
+        // Trace-only mode companion: record the first (program, fs) cell
+        // and write its per-process trace files next to `path`.
+        let stack = programs[0].run(systems[0], &params);
+        std::fs::write(path, tracer::save_trace(&stack.rec)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "trace of {} on {} written to {path} ({} events)",
+            programs[0].name(),
+            systems[0].name(),
+            stack.rec.len()
+        );
+    }
+
+    let mut total_bugs = 0usize;
+    for &program in &programs {
+        for &fs in &systems {
+            let cell = run_program_swept(program, fs, &params, &cfg);
+            println!(
+                "== {} on {} ==  ({} crash states, {} checked, {} pruned, {:.1}s simulated)",
+                program.name(),
+                fs.name(),
+                cell.outcome.stats.states_total,
+                cell.outcome.stats.states_checked,
+                cell.outcome.stats.states_pruned,
+                cell.outcome.stats.sim_seconds,
+            );
+            if cell.outcome.bugs.is_empty() {
+                println!("   no crash-consistency bugs found");
+            }
+            for bug in &cell.outcome.bugs {
+                total_bugs += 1;
+                println!("   {}", render_bug(bug));
+                for w in bug.witness.iter().take(4) {
+                    println!("      witness: {w}");
+                }
+            }
+        }
+    }
+    println!("\n{total_bugs} unique crash-consistency bug(s) reported.");
+    let exit = i32::from(
+        programs.len() == 1
+            && systems.len() == 1
+            && total_bugs > 0
+            && programs[0].name() != "CDF-rename",
+    );
+    // Exit 1 when a targeted single-cell check found bugs (CI-friendly).
+    std::process::exit(if programs.len() == 1 && systems.len() == 1 {
+        exit
+    } else {
+        0
+    });
+}

@@ -1,0 +1,229 @@
+#![warn(missing_docs)]
+
+//! Shared harness machinery for the figure/table regeneration binaries
+//! and the criterion benches.
+//!
+//! Every evaluation artifact of the paper reduces to running a set of
+//! `(program, file system, placement, parameters)` cells through
+//! `paracrash::check_stack` and aggregating the outcomes:
+//!
+//! * Table 3 — the union of unique bugs over the full matrix;
+//! * Figure 8 — inconsistent-state counts per cell;
+//! * Figure 10 — exploration time per cell under the three modes;
+//! * Figure 11 — exploration time as the server count grows.
+
+use paracrash::{check_stack, CheckConfig, CheckOutcome, ExploreMode, Inconsistency, LayerVerdict};
+use workloads::{FsKind, Params, Program};
+
+/// One evaluated cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Test program.
+    pub program: Program,
+    /// File system.
+    pub fs: FsKind,
+    /// Placement-variant label ("default", "split-dirs", …).
+    pub placement: &'static str,
+    /// Check result.
+    pub outcome: CheckOutcome,
+}
+
+impl MatrixCell {
+    /// The number of unique inconsistencies (Figure 8 bar height).
+    pub fn unique_bugs(&self) -> usize {
+        self.outcome.bugs.len()
+    }
+}
+
+/// Run one `(program, fs)` cell under one placement.
+pub fn run_cell(
+    program: Program,
+    fs: FsKind,
+    placement_name: &'static str,
+    params: &Params,
+    cfg: &CheckConfig,
+) -> MatrixCell {
+    let stack = program.run(fs, params);
+    let factory = fs.factory(params);
+    let outcome = check_stack(&stack, &factory, cfg);
+    MatrixCell {
+        program,
+        fs,
+        placement: placement_name,
+        outcome,
+    }
+}
+
+/// Run a program on a file system across its placement variants and
+/// merge the outcomes (union of bugs, summed state counts — the paper
+/// tests "different distribution patterns" and reports the union).
+pub fn run_program(program: Program, fs: FsKind, params: &Params, cfg: &CheckConfig) -> MatrixCell {
+    let mut merged: Option<MatrixCell> = None;
+    for (name, placement) in program.placements() {
+        let cell_params = params.clone().with_placement(placement);
+        let cell = run_cell(program, fs, name, &cell_params, cfg);
+        merged = Some(match merged {
+            None => cell,
+            Some(mut acc) => {
+                acc.outcome.raw_inconsistent_states += cell.outcome.raw_inconsistent_states;
+                acc.outcome.h5_bad_pfs_ok_states += cell.outcome.h5_bad_pfs_ok_states;
+                acc.outcome.stats.states_total += cell.outcome.stats.states_total;
+                acc.outcome.stats.states_checked += cell.outcome.stats.states_checked;
+                acc.outcome.stats.states_pruned += cell.outcome.stats.states_pruned;
+                acc.outcome.stats.sim_seconds += cell.outcome.stats.sim_seconds;
+                acc.outcome.stats.wall_seconds += cell.outcome.stats.wall_seconds;
+                for bug in cell.outcome.bugs {
+                    if let Some(existing) = acc
+                        .outcome
+                        .bugs
+                        .iter_mut()
+                        .find(|b| b.signature == bug.signature && b.layer == bug.layer)
+                    {
+                        existing.occurrences += bug.occurrences;
+                    } else {
+                        acc.outcome.bugs.push(bug);
+                    }
+                }
+                acc
+            }
+        });
+    }
+    merged.expect("every program has at least one placement")
+}
+
+/// Dataset-dimension variants for I/O-library programs: §6.2 "we test
+/// them with a variety of dataset dimensions (from 200×200 to
+/// 1000×1000)" — whether group structures and new-object headers land
+/// on the *same* storage server (journal-ordered, safe) or different
+/// ones (reorderable) depends on the data size between them, so a
+/// single dimension can mask cross-server hazards.
+pub fn dims_variants(program: Program, params: &Params) -> Vec<Params> {
+    if program.uses_iolib() {
+        let d = params.dims;
+        vec![
+            params.clone(),
+            params.clone().with_dims(d + d / 4),
+            params.clone().with_dims(d + d / 2),
+        ]
+    } else {
+        vec![params.clone()]
+    }
+}
+
+/// [`run_program`] unioned over the paper's dataset-dimension sweep.
+pub fn run_program_swept(
+    program: Program,
+    fs: FsKind,
+    params: &Params,
+    cfg: &CheckConfig,
+) -> MatrixCell {
+    let mut merged: Option<MatrixCell> = None;
+    for v in dims_variants(program, params) {
+        let cell = run_program(program, fs, &v, cfg);
+        merged = Some(match merged {
+            None => cell,
+            Some(mut acc) => {
+                acc.outcome.raw_inconsistent_states += cell.outcome.raw_inconsistent_states;
+                acc.outcome.h5_bad_pfs_ok_states += cell.outcome.h5_bad_pfs_ok_states;
+                for bug in cell.outcome.bugs {
+                    if let Some(existing) = acc
+                        .outcome
+                        .bugs
+                        .iter_mut()
+                        .find(|b| b.signature == bug.signature && b.layer == bug.layer)
+                    {
+                        existing.occurrences += bug.occurrences;
+                    } else {
+                        acc.outcome.bugs.push(bug);
+                    }
+                }
+                acc
+            }
+        });
+    }
+    merged.expect("at least one dims variant")
+}
+
+/// Run the full matrix.
+pub fn run_matrix(
+    programs: &[Program],
+    file_systems: &[FsKind],
+    params: &Params,
+    cfg: &CheckConfig,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for &program in programs {
+        for &fs in file_systems {
+            // POSIX programs run on every FS including the ext4 control;
+            // I/O-library programs only make sense on the PFSs + ext4.
+            cells.push(run_program(program, fs, params, cfg));
+        }
+    }
+    cells
+}
+
+/// Scale selector for the harness binaries: `--paper` runs the full
+/// Table 2 configuration, the default runs the scaled-down configuration
+/// with identical cross-server structure.
+pub fn params_from_args() -> Params {
+    if std::env::args().any(|a| a == "--paper") {
+        Params::paper()
+    } else {
+        Params::quick()
+    }
+}
+
+/// Default checker configuration for the harnesses.
+pub fn default_config() -> CheckConfig {
+    CheckConfig::paper_default()
+}
+
+/// Render one inconsistency like a Table 3 row body.
+pub fn render_bug(bug: &Inconsistency) -> String {
+    let layer = match bug.layer {
+        LayerVerdict::IoLibBug => "I/O library",
+        LayerVerdict::PfsBug => "PFS",
+    };
+    format!(
+        "{} | violates {} | {} (x{})",
+        layer,
+        bug.violated_model.as_str(),
+        bug.signature,
+        bug.occurrences
+    )
+}
+
+/// Bench-friendly single-cell runner with explicit mode.
+pub fn run_with_mode(program: Program, fs: FsKind, params: &Params, mode: ExploreMode) -> CheckOutcome {
+    let cfg = CheckConfig {
+        mode,
+        ..CheckConfig::paper_default()
+    };
+    run_program(program, fs, params, &cfg).outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_variants_sweep_only_iolib_programs() {
+        let params = Params::quick();
+        assert_eq!(dims_variants(Program::Arvr, &params).len(), 1);
+        let swept = dims_variants(Program::H5Create, &params);
+        assert_eq!(swept.len(), 3);
+        assert!(swept[1].dims > swept[0].dims && swept[2].dims > swept[1].dims);
+    }
+
+    #[test]
+    fn run_program_merges_placement_variants() {
+        // WAL has two placement variants; the merged cell must account
+        // for both explorations.
+        let params = Params::quick();
+        let cfg = default_config();
+        let merged = run_program(Program::Wal, FsKind::GlusterFs, &params, &cfg);
+        let single = run_cell(Program::Wal, FsKind::GlusterFs, "default", &params, &cfg);
+        assert!(merged.outcome.stats.states_total > single.outcome.stats.states_total);
+        assert!(merged.unique_bugs() >= single.outcome.bugs.len());
+    }
+}

@@ -1,0 +1,445 @@
+//! Bug classification (Table 1) and aggregation (§5.2).
+//!
+//! Once a crash state is found inconsistent, ParaCrash pins down *why*
+//! by re-testing hypothetical states: for a candidate pair `(A, B)` with
+//! `A` unpersisted and `B` persisted in the failing state, it constructs
+//! the four persist/not-persist combinations and checks each:
+//!
+//! * only `(¬A, B)` fails → **reordering**: `A` should persist before
+//!   `B` (Table 1a);
+//! * `(¬A, B)` and `(A, ¬B)` fail, the all/none states pass →
+//!   **atomicity**: `A` must persist together with `B` (Table 1b);
+//! * no pair explains the state → a **multi-operation atomicity**
+//!   violation over the partially-persisted operation group (§5.2:
+//!   "ParaCrash also checks atomicity issues for more than two
+//!   operations").
+//!
+//! The candidate universe is the crash state's cut *plus* the remaining
+//! lowermost operations of calls that were only partially persisted —
+//! so a crash that truncated a call mid-flush (e.g. HDF5's delete
+//! flushing the B-tree and heap but not the symbol-table node) is
+//! explained by the not-yet-issued operation, exactly as the paper's
+//! Table 3 rows phrase it.
+
+use crate::emulate::CrashState;
+use crate::persist::PersistAnalysis;
+use crate::report;
+use simfs::FsOp;
+use simnet::ClusterTopology;
+use std::collections::BTreeSet;
+use std::fmt;
+use tracer::{BitSet, EventId, Payload, Recorder};
+
+/// Reordering vs atomicity (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugKind {
+    /// `A → B`: A should be persisted before B.
+    Reordering,
+    /// `[A, B, …]`: the members must persist atomically.
+    Atomicity,
+}
+
+/// Aggregation key of one root cause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BugSignature {
+    /// Violation kind.
+    pub kind: BugKind,
+    /// Normalized operation signatures: `[first, second]` for a
+    /// reordering (first should persist first), the sorted member set
+    /// for an atomicity violation.
+    pub members: Vec<String>,
+}
+
+impl fmt::Display for BugSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            BugKind::Reordering => write!(f, "{} -> {}", self.members[0], self.members[1]),
+            BugKind::Atomicity => write!(f, "[{}]", self.members.join(", ")),
+        }
+    }
+}
+
+/// The layer-call an event belongs to, for grouping flushes of one
+/// operation: nearest I/O-library ancestor if the program has one,
+/// else the nearest PFS-client call.
+fn call_of(rec: &Recorder, e: EventId) -> Option<EventId> {
+    let mut pfs_call = None;
+    let mut cur = Some(e);
+    while let Some(id) = cur {
+        let ev = rec.event(id);
+        // Only actual calls count — RPC send/recv events are recorded at
+        // the client/server layers too but belong to their issuing call.
+        if matches!(ev.payload, Payload::Call { .. }) {
+            match ev.layer {
+                tracer::Layer::IoLib => return Some(id),
+                tracer::Layer::PfsClient if pfs_call.is_none() => pfs_call = Some(id),
+                _ => {}
+            }
+        }
+        cur = ev.parent;
+    }
+    pfs_call
+}
+
+/// Classify one inconsistent crash state.
+///
+/// `consistent` evaluates a hypothetical persisted set through the full
+/// recover-and-compare pipeline; it is the expensive oracle, so
+/// combinations are probed lazily.
+pub fn classify(
+    rec: &Recorder,
+    topo: &ClusterTopology,
+    pa: &PersistAnalysis,
+    state: &CrashState,
+    consistent: &mut dyn FnMut(&BitSet) -> bool,
+) -> BugSignature {
+    // Extended universe: cut updates + remaining updates of calls that
+    // are partially inside the cut.
+    let mut universe = BitSet::new(state.cut.capacity());
+    let in_cut_calls: BTreeSet<EventId> = pa
+        .updates()
+        .iter()
+        .copied()
+        .filter(|&u| state.cut.contains(u))
+        .filter_map(|u| call_of(rec, u))
+        .collect();
+    for &u in pa.updates() {
+        if state.cut.contains(u)
+            || call_of(rec, u).is_some_and(|c| in_cut_calls.contains(&c))
+        {
+            universe.insert(u);
+        }
+    }
+
+    let drop = |victims: &[EventId]| -> BitSet {
+        let mut p = universe.clone();
+        for &v in victims {
+            p.subtract(&pa.depends_on(v, &universe));
+        }
+        p
+    };
+    let unpersisted: Vec<EventId> = pa
+        .updates()
+        .iter()
+        .copied()
+        .filter(|&u| universe.contains(u) && !state.persisted.contains(u))
+        .collect();
+    let persisted: Vec<EventId> = pa
+        .updates()
+        .iter()
+        .copied()
+        .filter(|&u| state.persisted.contains(u))
+        .collect();
+
+    let sig = |e: EventId| report::op_sig(rec, topo, e);
+    // Attribute-update events are auxiliary; they never anchor a pair.
+    let meaningful = |e: EventId| {
+        !matches!(
+            &rec.event(e).payload,
+            Payload::Fs {
+                op: FsOp::SetXattr { .. },
+                ..
+            }
+        )
+    };
+    // The complete execution of every involved call must be consistent
+    // for the pairwise analysis to be meaningful.
+    if consistent(&universe) {
+        // Scan A from the causally-latest unpersisted op backwards (the
+        // op closest to the damage) and B from the latest persisted op
+        // backwards: the tightest pair gives the canonical signature.
+        for &a in unpersisted.iter().rev() {
+            for &b in persisted.iter().rev() {
+                if pa.persists_before(a, b) || sig(a) == sig(b) || !meaningful(b) {
+                    continue;
+                }
+                let s_a0_b1 = drop(&[a]);
+                if !s_a0_b1.contains(b) || consistent(&s_a0_b1) {
+                    continue;
+                }
+                let s_a1_b0 = drop(&[b]);
+                let s_a0_b0 = drop(&[a, b]);
+                let ok_10 = consistent(&s_a1_b0);
+                let ok_00 = consistent(&s_a0_b0);
+                if ok_10 && ok_00 {
+                    return BugSignature {
+                        kind: BugKind::Reordering,
+                        members: vec![sig(a), sig(b)],
+                    };
+                }
+                if !ok_10 && ok_00 {
+                    let mut members = vec![sig(a), sig(b)];
+                    members.sort();
+                    members.dedup();
+                    return BugSignature {
+                        kind: BugKind::Atomicity,
+                        members,
+                    };
+                }
+            }
+        }
+    }
+
+    // No clean pairwise pattern. If a victim belongs to a journal atomic
+    // group (kernel-level PFS), the violation is that group's atomicity
+    // (Table 3 bug 3).
+    for &v in &unpersisted {
+        if let Payload::Block { op, .. } = &rec.event(v).payload {
+            if let Some(g) = op.atomic_group() {
+                let mut members: Vec<String> = universe
+                    .iter()
+                    .filter(|&u| {
+                        matches!(&rec.event(u).payload,
+                            Payload::Block { op, .. } if op.atomic_group() == Some(g))
+                    })
+                    .map(sig)
+                    .collect();
+                members.sort();
+                members.dedup();
+                return BugSignature {
+                    kind: BugKind::Atomicity,
+                    members,
+                };
+            }
+        }
+    }
+
+    // Reordering fallback: the causally-latest unpersisted op against
+    // the first meaningful persisted op after it (attribute updates are
+    // auxiliary and aggregated with their triggering operation).
+    if let Some(&a) = unpersisted.last() {
+        let partner = persisted
+            .iter()
+            .copied().find(|&b| b > a && meaningful(b) && sig(b) != sig(a))
+            .or_else(|| persisted.iter().copied().find(|&b| b > a && sig(b) != sig(a)));
+        if let Some(b) = partner {
+            return BugSignature {
+                kind: BugKind::Reordering,
+                members: vec![sig(a), sig(b)],
+            };
+        }
+        // Nothing persisted after the victim: the victim's call group is
+        // partially persisted.
+        let mut members: Vec<String> = unpersisted.iter().map(|&e| sig(e)).collect();
+        members.sort();
+        members.dedup();
+        return BugSignature {
+            kind: BugKind::Atomicity,
+            members,
+        };
+    }
+
+    // Pure cut truncation with no pairwise pattern: report the
+    // partially-persisted call's structure set as an atomic group
+    // (HDF5 rename, Table 3 bug 12).
+    let partial_call = pa
+        .updates()
+        .iter()
+        .copied()
+        .filter(|&u| universe.contains(u) && !state.cut.contains(u))
+        .filter_map(|u| call_of(rec, u))
+        .next();
+    let mut members: Vec<String> = match partial_call {
+        Some(c) => pa
+            .updates()
+            .iter()
+            .copied()
+            .filter(|&u| universe.contains(u) && call_of(rec, u) == Some(c))
+            .map(sig)
+            .collect(),
+        None => persisted.iter().map(|&e| sig(e)).collect(),
+    };
+    members.sort();
+    members.dedup();
+    BugSignature {
+        kind: BugKind::Atomicity,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::JournalMode;
+    use tracer::{CausalityGraph, Layer, Process};
+
+    /// Synthetic two-op trace: storage append then metadata rename,
+    /// chained through client calls.
+    fn two_ops() -> (Recorder, EventId, EventId) {
+        let mut rec = Recorder::new();
+        let c = rec.record(
+            Layer::PfsClient,
+            Process::Client(0),
+            Payload::Call {
+                name: "op".into(),
+                args: vec![],
+            },
+            None,
+        );
+        let a = rec.record(
+            Layer::LocalFs,
+            Process::Server(2),
+            Payload::Fs {
+                server: 2,
+                op: FsOp::Append {
+                    path: "/chunks/f0.0".into(),
+                    data: vec![1],
+                },
+            },
+            Some(c),
+        );
+        let c2 = rec.record(
+            Layer::PfsClient,
+            Process::Client(0),
+            Payload::Call {
+                name: "op2".into(),
+                args: vec![],
+            },
+            None,
+        );
+        rec.add_edge(a, c2);
+        let b = rec.record(
+            Layer::LocalFs,
+            Process::Server(0),
+            Payload::Fs {
+                server: 0,
+                op: FsOp::Rename {
+                    src: "/dentries/root/tmp".into(),
+                    dst: "/dentries/root/file".into(),
+                },
+            },
+            Some(c2),
+        );
+        (rec, a, b)
+    }
+
+    fn state_for(rec: &Recorder, _pa: &PersistAnalysis, persisted: &[EventId]) -> CrashState {
+        let all: Vec<EventId> = rec.lowermost_events();
+        CrashState {
+            cut: BitSet::from_iter(rec.len(), all.clone()),
+            victims: all
+                .iter()
+                .copied()
+                .filter(|e| !persisted.contains(e))
+                .collect(),
+            persisted: BitSet::from_iter(rec.len(), persisted.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn reordering_pattern_detected() {
+        let (rec, a, b) = two_ops();
+        let topo = ClusterTopology::dedicated(2, 2, 1);
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        // Oracle: the state is broken exactly when b persisted without a
+        // (the bug-1 shape: rename without the append).
+        #[allow(clippy::nonminimal_bool)] // "not (b without a)" reads as intended
+        let mut oracle = |p: &BitSet| !(p.contains(b) && !p.contains(a));
+        let state = state_for(&rec, &pa, &[b]);
+        let sig = classify(&rec, &topo, &pa, &state, &mut oracle);
+        assert_eq!(sig.kind, BugKind::Reordering);
+        assert_eq!(sig.members[0], "append(file chunk)@storage");
+        assert_eq!(sig.members[1], "rename(d_entry)@metadata");
+        assert_eq!(
+            sig.to_string(),
+            "append(file chunk)@storage -> rename(d_entry)@metadata"
+        );
+    }
+
+    #[test]
+    fn atomicity_pattern_detected() {
+        let (rec, a, b) = two_ops();
+        let topo = ClusterTopology::dedicated(2, 2, 1);
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        // Oracle: broken whenever exactly one of {a, b} persisted.
+        let mut oracle = |p: &BitSet| p.contains(a) == p.contains(b);
+        let state = state_for(&rec, &pa, &[b]);
+        let sig = classify(&rec, &topo, &pa, &state, &mut oracle);
+        assert_eq!(sig.kind, BugKind::Atomicity);
+        assert_eq!(sig.members.len(), 2);
+        assert!(sig.to_string().starts_with('['));
+    }
+
+    #[test]
+    fn cut_truncation_uses_extended_universe() {
+        // One call with two flushes on one server; the cut stops after
+        // the first. The extended universe pulls the second flush in, so
+        // the pair (missing-second, persisted-first) can classify.
+        let mut rec = Recorder::new();
+        let call = rec.record(
+            Layer::IoLib,
+            Process::Client(0),
+            Payload::Call {
+                name: "H5Ldelete".into(),
+                args: vec![],
+            },
+            None,
+        );
+        let first = rec.record_labeled(
+            Layer::LocalFs,
+            Process::Server(0),
+            Payload::Fs {
+                server: 0,
+                op: FsOp::Pwrite {
+                    path: "/x".into(),
+                    offset: 0,
+                    data: vec![1],
+                },
+            },
+            Some(call),
+            "local heap of g1",
+        );
+        let second = rec.record_labeled(
+            Layer::LocalFs,
+            Process::Server(1),
+            Payload::Fs {
+                server: 1,
+                op: FsOp::Pwrite {
+                    path: "/y".into(),
+                    offset: 0,
+                    data: vec![2],
+                },
+            },
+            Some(call),
+            "symbol table node of g1",
+        );
+        let topo = ClusterTopology::combined(2, 1);
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        let state = CrashState {
+            cut: BitSet::from_iter(rec.len(), [first]),
+            victims: vec![],
+            persisted: BitSet::from_iter(rec.len(), [first]),
+        };
+        // Broken whenever the heap write persisted without the symbol
+        // table write.
+        #[allow(clippy::nonminimal_bool)] // "not (first without second)" reads as intended
+        let mut oracle = |p: &BitSet| !(p.contains(first) && !p.contains(second));
+        let sig = classify(&rec, &topo, &pa, &state, &mut oracle);
+        assert_eq!(sig.kind, BugKind::Reordering);
+        assert_eq!(sig.members[0], "write(symbol table node)");
+        assert_eq!(sig.members[1], "write(local heap)");
+    }
+
+    #[test]
+    fn signatures_aggregate_equal_causes() {
+        let s1 = BugSignature {
+            kind: BugKind::Reordering,
+            members: vec!["x".into(), "y".into()],
+        };
+        let s2 = BugSignature {
+            kind: BugKind::Reordering,
+            members: vec!["x".into(), "y".into()],
+        };
+        let s3 = BugSignature {
+            kind: BugKind::Atomicity,
+            members: vec!["x".into(), "y".into()],
+        };
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        let set: std::collections::BTreeSet<_> = [s1, s2, s3].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Algorithm 2 — the *persists-before* partial order.
+//!
+//! Two lowermost-level storage updates may execute in one order yet reach
+//! persistent storage in another; `persists_before(a, b)` holds exactly
+//! when the storage guarantees `a` is durable no later than `b`:
+//!
+//! * **same local file system** — decided by its journaling mode
+//!   (delegated to `simfs::journal`, the paper's `data` / `ordered` /
+//!   `writeback` branches);
+//! * **same block device** — only a cache-flush barrier between them
+//!   orders them;
+//! * **any pair (including cross-server)** — a commit operation between
+//!   them: an `fsync`/`fdatasync` of `a`'s file (or a device-wide
+//!   `syncfs` / `scsi_synchronize_cache` on `a`'s device) that happens
+//!   after `a` and before `b` makes `a` durable first (the `else`
+//!   branch of Algorithm 2).
+//!
+//! The full matrix is memoized (the paper decorates the function with
+//! `@lru_cache`); traces are small so we precompute it densely.
+
+use simfs::{journal, BlockOp, FsOp, JournalMode};
+use tracer::{BitSet, CausalityGraph, EventId, Payload, Recorder};
+
+/// Which server and operation family a lowermost event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpSite {
+    Fs(u32),
+    Block(u32),
+}
+
+/// Precomputed persists-before relation over a trace.
+pub struct PersistAnalysis {
+    /// Lowermost *update* events (the replayable ops of Algorithm 1).
+    updates: Vec<EventId>,
+    /// Lowermost sync events.
+    syncs: Vec<EventId>,
+    /// Dense relation rows: `before[i]` = set of update events that
+    /// event `updates[i]` persists before.
+    before: Vec<BitSet>,
+    n_events: usize,
+}
+
+impl PersistAnalysis {
+    /// Build the relation for a trace, given each server's journaling
+    /// mode (taken from the PFS's store configuration).
+    pub fn build(
+        rec: &Recorder,
+        graph: &CausalityGraph,
+        journal_of: impl Fn(u32) -> Option<JournalMode>,
+    ) -> Self {
+        let updates: Vec<EventId> = rec
+            .events()
+            .iter()
+            .filter(|e| e.payload.is_storage_update())
+            .map(|e| e.id)
+            .collect();
+        let syncs: Vec<EventId> = rec
+            .events()
+            .iter()
+            .filter(|e| e.payload.is_storage_sync())
+            .map(|e| e.id)
+            .collect();
+        let n = rec.len();
+        let mut before: Vec<BitSet> = updates.iter().map(|_| BitSet::new(n)).collect();
+        for (i, &a) in updates.iter().enumerate() {
+            for &b in &updates {
+                if a == b {
+                    continue;
+                }
+                if Self::pb(rec, graph, &syncs, &journal_of, a, b) {
+                    before[i].insert(b);
+                }
+            }
+        }
+        PersistAnalysis {
+            updates,
+            syncs,
+            before,
+            n_events: n,
+        }
+    }
+
+    fn site(rec: &Recorder, e: EventId) -> OpSite {
+        match &rec.event(e).payload {
+            Payload::Fs { server, .. } => OpSite::Fs(*server),
+            Payload::Block { server, .. } => OpSite::Block(*server),
+            _ => unreachable!("persistence analysis only sees storage events"),
+        }
+    }
+
+    fn fs_op(rec: &Recorder, e: EventId) -> Option<&FsOp> {
+        match &rec.event(e).payload {
+            Payload::Fs { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Does a commit event `s` commit update `a`? An `fsync`/`fdatasync`
+    /// commits prior updates touching the same file on the same server;
+    /// `syncfs` / `scsi_synchronize_cache` commit every prior update on
+    /// their server.
+    fn commits(rec: &Recorder, a: EventId, s: EventId) -> bool {
+        match (&rec.event(a).payload, &rec.event(s).payload) {
+            (Payload::Fs { server: sa, op }, Payload::Fs { server: ss, op: sync }) => {
+                sa == ss
+                    && match sync {
+                        FsOp::SyncFs => true,
+                        FsOp::Fsync { path } | FsOp::Fdatasync { path } => {
+                            op.paths().contains(&path.as_str())
+                        }
+                        _ => false,
+                    }
+            }
+            (Payload::Block { server: sa, .. }, Payload::Block { server: ss, op }) => {
+                sa == ss && matches!(op, BlockOp::SyncCache)
+            }
+            _ => false,
+        }
+    }
+
+    fn pb(
+        rec: &Recorder,
+        graph: &CausalityGraph,
+        syncs: &[EventId],
+        journal_of: &impl Fn(u32) -> Option<JournalMode>,
+        a: EventId,
+        b: EventId,
+    ) -> bool {
+        // Commit rule (works across servers): a → sync(a) → b.
+        let committed = syncs
+            .iter()
+            .any(|&s| Self::commits(rec, a, s) && graph.happens_before(a, s) && graph.happens_before(s, b));
+        if committed {
+            return true;
+        }
+        // Same-site rules.
+        match (Self::site(rec, a), Self::site(rec, b)) {
+            (OpSite::Fs(sa), OpSite::Fs(sb)) if sa == sb => {
+                let mode = journal_of(sa).unwrap_or(JournalMode::Data);
+                let (oa, ob) = (Self::fs_op(rec, a).unwrap(), Self::fs_op(rec, b).unwrap());
+                journal::same_fs_persists_before(mode, oa, ob, graph.happens_before(a, b))
+            }
+            // Block writes on one device are unordered without a barrier
+            // (the commit rule above already handled barriers).
+            _ => false,
+        }
+    }
+
+    /// The lowermost update events, in trace order.
+    pub fn updates(&self) -> &[EventId] {
+        &self.updates
+    }
+
+    /// The lowermost sync events.
+    pub fn syncs(&self) -> &[EventId] {
+        &self.syncs
+    }
+
+    /// `true` iff update `a` is guaranteed durable no later than `b`.
+    pub fn persists_before(&self, a: EventId, b: EventId) -> bool {
+        self.updates
+            .iter()
+            .position(|&u| u == a)
+            .map(|i| self.before[i].contains(b))
+            .unwrap_or(false)
+    }
+
+    /// Algorithm 1's `depends_on`: every update that cannot be persisted
+    /// if `victim` is not — the forward closure of persists-before
+    /// within `universe`. Includes the victim.
+    pub fn depends_on(&self, victim: EventId, universe: &BitSet) -> BitSet {
+        let mut deps = BitSet::new(self.n_events);
+        deps.insert(victim);
+        // Events are id-ordered and persists-before implies
+        // happens-before implies id order, so one ascending pass closes
+        // the set.
+        for &op in &self.updates {
+            if op == victim || !universe.contains(op) {
+                continue;
+            }
+            if deps.iter().any(|d| self.persists_before(d, op)) {
+                deps.insert(op);
+            }
+        }
+        deps
+    }
+
+    /// Is `v` pinned durable within `cut` — i.e. does some sync event in
+    /// the cut commit it? Pinned updates cannot be crash victims.
+    pub fn pinned(&self, rec: &Recorder, graph: &CausalityGraph, v: EventId, cut: &BitSet) -> bool {
+        self.syncs
+            .iter()
+            .any(|&s| cut.contains(s) && Self::commits(rec, v, s) && graph.happens_before(v, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{Layer, Process};
+
+    fn fs_event(rec: &mut Recorder, server: u32, op: FsOp, parent: Option<EventId>) -> EventId {
+        rec.record(
+            Layer::LocalFs,
+            Process::Server(server),
+            Payload::Fs { server, op },
+            parent,
+        )
+    }
+
+    fn chain_client(rec: &mut Recorder, n: usize) -> Vec<EventId> {
+        (0..n)
+            .map(|i| {
+                rec.record(
+                    Layer::PfsClient,
+                    Process::Client(0),
+                    Payload::Call {
+                        name: format!("op{i}"),
+                        args: vec![],
+                    },
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_fs_data_journal_orders_by_hb() {
+        let mut rec = Recorder::new();
+        let a = fs_event(&mut rec, 0, FsOp::Creat { path: "/a".into() }, None);
+        let b = fs_event(&mut rec, 0, FsOp::Creat { path: "/b".into() }, None);
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        assert!(pa.persists_before(a, b)); // program order on one server
+        assert!(!pa.persists_before(b, a));
+    }
+
+    #[test]
+    fn cross_server_is_unordered_without_commit() {
+        let mut rec = Recorder::new();
+        let calls = chain_client(&mut rec, 2);
+        let a = fs_event(&mut rec, 0, FsOp::Creat { path: "/a".into() }, Some(calls[0]));
+        let b = fs_event(&mut rec, 1, FsOp::Creat { path: "/b".into() }, Some(calls[1]));
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        assert!(g.happens_before(a, b) || g.concurrent(a, b));
+        assert!(!pa.persists_before(a, b));
+        assert!(!pa.persists_before(b, a));
+    }
+
+    #[test]
+    fn fsync_commits_across_servers() {
+        let mut rec = Recorder::new();
+        // a on server 0; fsync(a's file) on server 0; then b on server 1,
+        // causally after the fsync via the client chain.
+        let c0 = rec.record(
+            Layer::PfsClient,
+            Process::Client(0),
+            Payload::Call {
+                name: "w".into(),
+                args: vec![],
+            },
+            None,
+        );
+        let a = fs_event(
+            &mut rec,
+            0,
+            FsOp::Append {
+                path: "/f".into(),
+                data: vec![1],
+            },
+            Some(c0),
+        );
+        let s = fs_event(&mut rec, 0, FsOp::Fsync { path: "/f".into() }, Some(a));
+        let c1 = rec.record(
+            Layer::PfsClient,
+            Process::Client(0),
+            Payload::Call {
+                name: "w2".into(),
+                args: vec![],
+            },
+            None,
+        );
+        rec.add_edge(s, c1);
+        let b = fs_event(&mut rec, 1, FsOp::Creat { path: "/g".into() }, Some(c1));
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        assert!(pa.persists_before(a, b));
+        // And the fsync pins `a` in any cut containing it.
+        let mut cut = BitSet::new(rec.len());
+        for e in [a, s, b] {
+            cut.insert(e);
+        }
+        assert!(pa.pinned(&rec, &g, a, &cut));
+        cut.remove(s);
+        assert!(!pa.pinned(&rec, &g, a, &cut));
+    }
+
+    #[test]
+    fn fdatasync_only_commits_same_file() {
+        let mut rec = Recorder::new();
+        let a = fs_event(
+            &mut rec,
+            0,
+            FsOp::Append {
+                path: "/other".into(),
+                data: vec![1],
+            },
+            None,
+        );
+        let s = fs_event(&mut rec, 0, FsOp::Fdatasync { path: "/f".into() }, None);
+        let b = fs_event(&mut rec, 1, FsOp::Creat { path: "/g".into() }, None);
+        rec.add_edge(a, s);
+        rec.add_edge(s, b);
+        let g = CausalityGraph::build(&rec);
+        // Writeback mode so the same-FS rule does not mask the commit
+        // rule (data ops are unordered under writeback).
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Writeback));
+        assert!(!pa.persists_before(a, b), "fdatasync of another file commits nothing");
+    }
+
+    #[test]
+    fn block_ops_need_barriers() {
+        use simfs::StructTag;
+        let mut rec = Recorder::new();
+        let w1 = rec.record(
+            Layer::Block,
+            Process::Server(0),
+            Payload::Block {
+                server: 0,
+                op: BlockOp::write(1, StructTag::LogFile, vec![1]),
+            },
+            None,
+        );
+        let sync = rec.record(
+            Layer::Block,
+            Process::Server(0),
+            Payload::Block {
+                server: 0,
+                op: BlockOp::SyncCache,
+            },
+            None,
+        );
+        let w2 = rec.record(
+            Layer::Block,
+            Process::Server(0),
+            Payload::Block {
+                server: 0,
+                op: BlockOp::write(2, StructTag::AllocMap, vec![2]),
+            },
+            None,
+        );
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| None);
+        assert!(pa.persists_before(w1, w2)); // barrier between
+        assert!(!pa.persists_before(w2, w1));
+        let _ = sync;
+
+        // Without a barrier the same-device pair is unordered.
+        let mut rec2 = Recorder::new();
+        let a = rec2.record(
+            Layer::Block,
+            Process::Server(0),
+            Payload::Block {
+                server: 0,
+                op: BlockOp::write(1, StructTag::LogFile, vec![1]),
+            },
+            None,
+        );
+        let b = rec2.record(
+            Layer::Block,
+            Process::Server(0),
+            Payload::Block {
+                server: 0,
+                op: BlockOp::write(2, StructTag::AllocMap, vec![2]),
+            },
+            None,
+        );
+        let g2 = CausalityGraph::build(&rec2);
+        let pa2 = PersistAnalysis::build(&rec2, &g2, |_| None);
+        assert!(!pa2.persists_before(a, b));
+    }
+
+    #[test]
+    fn depends_on_closes_forward() {
+        let mut rec = Recorder::new();
+        let a = fs_event(&mut rec, 0, FsOp::Creat { path: "/a".into() }, None);
+        let b = fs_event(&mut rec, 0, FsOp::Creat { path: "/b".into() }, None);
+        let c = fs_event(&mut rec, 0, FsOp::Creat { path: "/c".into() }, None);
+        let other = fs_event(&mut rec, 1, FsOp::Creat { path: "/x".into() }, None);
+        let g = CausalityGraph::build(&rec);
+        let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
+        let universe = BitSet::from_iter(rec.len(), [a, b, c, other]);
+        let deps = pa.depends_on(a, &universe);
+        assert!(deps.contains(a) && deps.contains(b) && deps.contains(c));
+        assert!(!deps.contains(other));
+        // Dropping the middle op keeps the first.
+        let deps_b = pa.depends_on(b, &universe);
+        assert!(!deps_b.contains(a) && deps_b.contains(c));
+    }
+}

@@ -1,0 +1,141 @@
+//! A minimal JSON writer.
+//!
+//! `h5inspect` emits its object map as JSON, as the paper's tool does
+//! (§5.2: "generates a JSON file to record its object mapping
+//! information"). The values we serialize are flat (strings, integers,
+//! arrays of objects), so a ~100-line writer keeps the dependency set to
+//! the crates the project allows.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (JSON number).
+    Int(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serialize with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => Self::write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Self::write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Int(42).pretty(), "42");
+        assert_eq!(Json::Str("a\"b".into()).pretty(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("superblock".into())),
+            (
+                "range".into(),
+                Json::Arr(vec![Json::Int(0), Json::Int(96)]),
+            ),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"superblock\""));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(Json::Str("\u{1}".into()).pretty(), "\"\\u0001\"");
+        assert_eq!(Json::Str("a\tb\n".into()).pretty(), "\"a\\tb\\n\"");
+    }
+}

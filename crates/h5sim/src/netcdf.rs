@@ -1,0 +1,119 @@
+//! NetCDF-style wrapper over the HDF5-like format.
+//!
+//! NetCDF 4.x stores its variables in HDF5 files (Table 2: NetCDF 4.7.5,
+//! "HDF5 format"). The paper's `CDF-create` / `CDF-rename` test programs
+//! exercise exactly this wrapper: a *variable* create becomes a dataset
+//! create in the file's root group, and corruption of the underlying
+//! format surfaces to the application as the infamous
+//! `NetCDF: HDF5 error [Errno -101]` (Table 3 bug 15's consequence).
+
+use crate::call::H5Trace;
+use crate::file::{H5File, H5Spec};
+use crate::format::{check, H5Error, H5Logical};
+use mpiio::MpiIo;
+use std::fmt;
+
+/// A NetCDF error as the application sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NcError {
+    /// The underlying HDF5 failure.
+    pub cause: H5Error,
+}
+
+impl fmt::Display for NcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NetCDF: HDF5 error [Errno -101] ({})", self.cause)
+    }
+}
+
+impl std::error::Error for NcError {}
+
+/// An open NetCDF file (HDF5 format underneath).
+#[derive(Debug, Clone)]
+pub struct NcFile {
+    h5: H5File,
+}
+
+impl NcFile {
+    /// `nc_create`.
+    pub fn create(mpi: &mut MpiIo, h5t: &mut H5Trace, ranks: &[u32], path: &str) -> NcFile {
+        NcFile {
+            h5: H5File::create(mpi, h5t, ranks, path, H5Spec::default()),
+        }
+    }
+
+    /// Access the underlying HDF5 file.
+    pub fn h5(&mut self) -> &mut H5File {
+        &mut self.h5
+    }
+
+    /// `nc_def_var` + fill: variables are root-group datasets.
+    pub fn create_variable(
+        &mut self,
+        mpi: &mut MpiIo,
+        h5t: &mut H5Trace,
+        rank: u32,
+        name: &str,
+        rows: u64,
+        cols: u64,
+    ) {
+        self.h5.create_dataset(mpi, h5t, rank, "/", name, rows, cols);
+    }
+
+    /// `nc_rename_var`: an in-place name update — a single heap record
+    /// write, atomic on every file system (the paper found no CDF-rename
+    /// bugs).
+    pub fn rename_variable(
+        &mut self,
+        mpi: &mut MpiIo,
+        h5t: &mut H5Trace,
+        rank: u32,
+        old: &str,
+        new: &str,
+    ) {
+        self.h5.rename_dataset_in_place(mpi, h5t, rank, "/", old, new);
+    }
+
+    /// `nc_close`.
+    pub fn close(&mut self, mpi: &mut MpiIo, h5t: &mut H5Trace, ranks: &[u32]) {
+        self.h5.close(mpi, h5t, ranks);
+    }
+}
+
+/// Open a NetCDF file image, mapping HDF5 failures to the NetCDF error.
+pub fn nc_check(bytes: &[u8]) -> Result<H5Logical, NcError> {
+    check(bytes).map_err(|cause| NcError { cause })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::ext4::Ext4Direct;
+    use pfs::{ClientTrace, Pfs};
+    use tracer::Recorder;
+
+    #[test]
+    fn variables_are_root_datasets() {
+        let mut fs = Ext4Direct::paper_default();
+        let mut rec = Recorder::new();
+        let mut ct = ClientTrace::new();
+        let mut h5t = H5Trace::new();
+        let mut mpi = MpiIo::new(&mut fs, &mut rec, &mut ct);
+        let mut nc = NcFile::create(&mut mpi, &mut h5t, &[0], "/data.nc");
+        nc.create_variable(&mut mpi, &mut h5t, 0, "temperature", 20, 20);
+        nc.rename_variable(&mut mpi, &mut h5t, 0, "temperature", "temp");
+        nc.close(&mut mpi, &mut h5t, &[0]);
+        let bytes = fs.client_view(fs.live()).read("/data.nc").unwrap().to_vec();
+        let logical = nc_check(&bytes).unwrap();
+        assert!(logical.has_dataset("/", "temp"));
+        assert!(!logical.has_dataset("/", "temperature"));
+    }
+
+    #[test]
+    fn corruption_surfaces_as_netcdf_error() {
+        let err = nc_check(b"garbage").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("NetCDF: HDF5 error"));
+        assert!(msg.contains("-101"));
+    }
+}

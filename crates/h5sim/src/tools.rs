@@ -1,0 +1,548 @@
+//! The HDF5 tool suite: `h5clear`, `h5inspect`, `h5replay`.
+//!
+//! * `h5clear` — the repair tool ParaCrash runs before declaring a crash
+//!   state inconsistent (§4.4.3). Its option set is the sensitivity knob
+//!   of Table 3 bug 13: with `--increase-eof` it can repair the
+//!   superblock-vs-B-tree "addr overflow" states; without it it cannot.
+//! * `h5inspect` — maps every internal object to its byte range in the
+//!   file and renders the map as JSON (§5.2); the object map feeds the
+//!   semantic pruning of §5.3.
+//! * `h5replay` — replays a preserved set of I/O-library calls on a
+//!   fresh stack to produce a legal golden state (§5.1; the original
+//!   generates and compiles a C program, we drive the library directly).
+
+use crate::call::{H5Call, H5Trace};
+use crate::file::{H5File, H5Spec};
+use crate::format::{self, check, H5Error, H5Logical};
+use crate::json::Json;
+use mpiio::MpiIo;
+use pfs::{ClientTrace, Pfs};
+use std::collections::BTreeSet;
+use tracer::Recorder;
+
+/// `h5clear` options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClearOpts {
+    /// `--increase-eof`: set the superblock EOF to the physical file
+    /// size, repairing addr-overflow states.
+    pub increase_eof: bool,
+}
+
+/// `h5clear`: clear the superblock status flags (and optionally repair
+/// the EOF). Returns the repaired image; returns the input unchanged if
+/// the superblock is unreadable.
+pub fn h5clear(bytes: &[u8], opts: ClearOpts) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.len() < format::sizes::SUPERBLOCK as usize || &out[0..4] != b"H5SB" {
+        return out;
+    }
+    out[5] = 0; // status flags
+    if opts.increase_eof {
+        let eof = out.len() as u64;
+        out[16..24].copy_from_slice(&eof.to_le_bytes());
+    }
+    out
+}
+
+/// One entry of the `h5inspect` object map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRange {
+    /// Structure name ("superblock", "B-tree node of g1", …).
+    pub name: String,
+    /// Byte offset in the file.
+    pub addr: u64,
+    /// Structure length.
+    pub len: u64,
+    /// `true` for dataset data (the semantic-pruning predicate: data
+    /// chunk updates "will not be reordered", §5.3).
+    pub is_data: bool,
+}
+
+/// `h5inspect`: map internal objects to byte ranges.
+pub fn h5inspect(bytes: &[u8]) -> Result<Vec<ObjectRange>, H5Error> {
+    use format::sizes;
+    // Validate first — an unreadable file has no object map.
+    let _ = check(bytes)?;
+    let mut out = vec![ObjectRange {
+        name: "superblock".into(),
+        addr: 0,
+        len: sizes::SUPERBLOCK,
+        is_data: false,
+    }];
+    let root_oh = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    inspect_group(bytes, "/", root_oh, &mut out);
+    out.sort_by_key(|o| o.addr);
+    Ok(out)
+}
+
+fn rd_u64(b: &[u8], at: u64) -> u64 {
+    u64::from_le_bytes(b[at as usize..at as usize + 8].try_into().unwrap())
+}
+
+fn rd_u16(b: &[u8], at: u64) -> u16 {
+    u16::from_le_bytes(b[at as usize..at as usize + 2].try_into().unwrap())
+}
+
+fn inspect_group(b: &[u8], gname: &str, oh: u64, out: &mut Vec<ObjectRange>) {
+    use format::sizes;
+    out.push(ObjectRange {
+        name: format!("object header of {gname}"),
+        addr: oh,
+        len: sizes::OHDR,
+        is_data: false,
+    });
+    let btree = rd_u64(b, oh + 8);
+    let heap = rd_u64(b, oh + 16);
+    out.push(ObjectRange {
+        name: format!("B-tree node of {gname}"),
+        addr: btree,
+        len: sizes::TREE,
+        is_data: false,
+    });
+    out.push(ObjectRange {
+        name: format!("local heap of {gname}"),
+        addr: heap,
+        len: sizes::HEAP,
+        is_data: false,
+    });
+    let nsnod = rd_u16(b, btree + 4) as usize;
+    for s in 0..nsnod {
+        let snod = rd_u64(b, btree + 8 + (s as u64) * 8);
+        out.push(ObjectRange {
+            name: format!("symbol table node of {gname}"),
+            addr: snod,
+            len: sizes::SNOD,
+            is_data: false,
+        });
+        let n = rd_u16(b, snod + 4) as usize;
+        for i in 0..n {
+            let ea = snod + 8 + (i as u64) * 16;
+            let name_off = rd_u64(b, ea);
+            let child_oh = rd_u64(b, ea + 8);
+            let nlen = rd_u16(b, heap + name_off) as u64;
+            let name = String::from_utf8_lossy(
+                &b[(heap + name_off + 2) as usize..(heap + name_off + 2 + nlen) as usize],
+            )
+            .to_string();
+            let kind = b[(child_oh + 4) as usize];
+            if kind == format::KIND_GROUP {
+                inspect_group(b, &name, child_oh, out);
+            } else {
+                let key = format::dataset_key(gname, &name);
+                out.push(ObjectRange {
+                    name: format!("object header of dataset {key}"),
+                    addr: child_oh,
+                    len: sizes::OHDR,
+                    is_data: false,
+                });
+                let dtree = rd_u64(b, child_oh + 24);
+                inspect_dtree(b, &key, dtree, out);
+            }
+        }
+    }
+}
+
+fn inspect_dtree(b: &[u8], key: &str, addr: u64, out: &mut Vec<ObjectRange>) {
+    use format::sizes;
+    out.push(ObjectRange {
+        name: format!("B-tree node of dataset {key}"),
+        addr,
+        len: sizes::DTRE,
+        is_data: false,
+    });
+    let leaf = b[(addr + 4) as usize];
+    let n = rd_u16(b, addr + 5) as usize;
+    for i in 0..n {
+        let ea = addr + 8 + (i as u64) * 16;
+        let a = rd_u64(b, ea);
+        let l = rd_u64(b, ea + 8);
+        if leaf == 1 {
+            out.push(ObjectRange {
+                name: format!("data chunks of {key}"),
+                addr: a,
+                len: l,
+                is_data: true,
+            });
+        } else {
+            inspect_dtree(b, key, a, out);
+        }
+    }
+}
+
+/// Render an object map as the JSON document `h5inspect` writes.
+pub fn inspect_to_json(map: &[ObjectRange]) -> String {
+    Json::Arr(
+        map.iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("object".into(), Json::Str(o.name.clone())),
+                    ("addr".into(), Json::Int(o.addr)),
+                    ("len".into(), Json::Int(o.len)),
+                    ("is_data".into(), Json::Bool(o.is_data)),
+                ])
+            })
+            .collect(),
+    )
+    .pretty()
+}
+
+/// Render a preserved set of I/O-library calls as the C replay program
+/// the original `h5replay` generates and compiles (§5.1: "it creates a C
+/// program containing the HDF5 function calls and their dependent
+/// statements, and executes the generated program"). This reproduction
+/// drives the library directly, but emits the same artifact for
+/// inspection and documentation.
+pub fn render_replay_program(path: &str, calls: &[(u32, H5Call)]) -> String {
+    let mut c = String::new();
+    c.push_str("#include <hdf5.h>\n#include <mpi.h>\n\n");
+    c.push_str("int main(int argc, char **argv) {\n");
+    c.push_str("    MPI_Init(&argc, &argv);\n");
+    c.push_str("    hid_t fapl = H5Pcreate(H5P_FILE_ACCESS);\n");
+    c.push_str("    H5Pset_fapl_mpio(fapl, MPI_COMM_WORLD, MPI_INFO_NULL);\n");
+    let mut file_open = false;
+    for (i, (rank, call)) in calls.iter().enumerate() {
+        let _ = rank;
+        match call {
+            H5Call::CreateFile => {
+                c.push_str(&format!(
+                    "    hid_t file = H5Fcreate(\"{path}\", H5F_ACC_TRUNC, H5P_DEFAULT, fapl);\n"
+                ));
+                file_open = true;
+            }
+            H5Call::CreateGroup { group } => {
+                c.push_str(&format!(
+                    "    hid_t g{i} = H5Gcreate(file, \"{group}\", H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);\n"
+                ));
+            }
+            H5Call::CreateDataset { group, name, rows, cols }
+            | H5Call::CreateDatasetParallel { group, name, rows, cols, .. } => {
+                c.push_str(&format!(
+                    "    {{ hsize_t dims{i}[2] = {{{rows}, {cols}}};\n\
+                     \x20     hid_t sp{i} = H5Screate_simple(2, dims{i}, NULL);\n\
+                     \x20     hid_t d{i} = H5Dcreate(file, \"/{group}/{name}\", H5T_NATIVE_DOUBLE, sp{i}, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);\n\
+                     \x20     H5Dclose(d{i}); H5Sclose(sp{i}); }}\n"
+                ));
+            }
+            H5Call::ResizeDataset { group, name, rows, cols }
+            | H5Call::ResizeDatasetParallel { group, name, rows, cols, .. } => {
+                c.push_str(&format!(
+                    "    {{ hsize_t ext{i}[2] = {{{rows}, {cols}}};\n\
+                     \x20     hid_t d{i} = H5Dopen(file, \"/{group}/{name}\", H5P_DEFAULT);\n\
+                     \x20     H5Dset_extent(d{i}, ext{i}); H5Dclose(d{i}); }}\n"
+                ));
+            }
+            H5Call::DeleteDataset { group, name } => {
+                c.push_str(&format!(
+                    "    H5Ldelete(file, \"/{group}/{name}\", H5P_DEFAULT);\n"
+                ));
+            }
+            H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
+                c.push_str(&format!(
+                    "    H5Lmove(file, \"/{src_group}/{src_name}\", file, \"/{dst_group}/{dst_name}\", H5P_DEFAULT, H5P_DEFAULT);\n"
+                ));
+            }
+            H5Call::CloseFile => {
+                c.push_str("    H5Fclose(file);\n");
+                file_open = false;
+            }
+        }
+    }
+    if file_open {
+        c.push_str("    H5Fclose(file);\n");
+    }
+    c.push_str("    H5Pclose(fapl);\n    MPI_Finalize();\n    return 0;\n}\n");
+    c
+}
+
+/// Why a replay could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The call sequence is not executable (missing prerequisite).
+    Invalid(String),
+    /// The produced image failed `h5check`.
+    Check(H5Error),
+    /// The stack produced no readable file.
+    NoFile,
+}
+
+/// `h5replay`: execute a sequence of I/O-library calls on a *fresh* PFS
+/// and return the resulting logical state. Used to materialize legal
+/// golden states from preserved sets; sequences that are not executable
+/// (e.g. a resize whose create was dropped) are rejected — they denote
+/// no legal state.
+pub fn h5replay(
+    pfs: &mut dyn Pfs,
+    path: &str,
+    ranks: &[u32],
+    calls: &[(u32, H5Call)],
+) -> Result<H5Logical, ReplayError> {
+    h5replay_with(pfs, path, ranks, calls, H5Spec::default())
+}
+
+/// [`h5replay`] with an explicit library configuration — the replay must
+/// use the same allocation geometry as the traced run.
+pub fn h5replay_with(
+    pfs: &mut dyn Pfs,
+    path: &str,
+    ranks: &[u32],
+    calls: &[(u32, H5Call)],
+    spec: H5Spec,
+) -> Result<H5Logical, ReplayError> {
+    let mut rec = Recorder::new();
+    let mut ct = ClientTrace::new();
+    let mut h5t = H5Trace::new();
+    let mut file: Option<H5File> = None;
+    let mut groups: BTreeSet<String> = BTreeSet::new();
+    let mut datasets: BTreeSet<String> = BTreeSet::new();
+    for (rank, call) in calls {
+        let mut mpi = MpiIo::new(pfs, &mut rec, &mut ct);
+        match call {
+            H5Call::CreateFile => {
+                if file.is_some() {
+                    return Err(ReplayError::Invalid("file created twice".into()));
+                }
+                let f = H5File::create(&mut mpi, &mut h5t, ranks, path, spec);
+                groups.insert("/".into());
+                file = Some(f);
+            }
+            other => {
+                let f = file
+                    .as_mut()
+                    .ok_or_else(|| ReplayError::Invalid("no file".into()))?;
+                match other {
+                    H5Call::CreateGroup { group } => {
+                        if !groups.insert(group.clone()) {
+                            return Err(ReplayError::Invalid(format!("group {group} exists")));
+                        }
+                        f.create_group(&mut mpi, &mut h5t, *rank, group);
+                    }
+                    H5Call::CreateDataset { group, name, rows, cols } => {
+                        let key = format::dataset_key(group, name);
+                        if !groups.contains(group) || !datasets.insert(key) {
+                            return Err(ReplayError::Invalid(format!(
+                                "cannot create {group}/{name}"
+                            )));
+                        }
+                        f.create_dataset(&mut mpi, &mut h5t, *rank, group, name, *rows, *cols);
+                    }
+                    H5Call::CreateDatasetParallel { group, name, rows, cols, nranks } => {
+                        let key = format::dataset_key(group, name);
+                        if !groups.contains(group) || !datasets.insert(key) {
+                            return Err(ReplayError::Invalid(format!(
+                                "cannot create {group}/{name}"
+                            )));
+                        }
+                        let use_ranks: Vec<u32> = ranks.iter().copied().take(*nranks as usize).collect();
+                        f.create_dataset_parallel(
+                            &mut mpi, &mut h5t, &use_ranks, group, name, *rows, *cols,
+                        );
+                    }
+                    H5Call::ResizeDataset { group, name, rows, cols } => {
+                        if !datasets.contains(&format::dataset_key(group, name)) {
+                            return Err(ReplayError::Invalid(format!(
+                                "resize of missing {group}/{name}"
+                            )));
+                        }
+                        f.resize_dataset(&mut mpi, &mut h5t, *rank, group, name, *rows, *cols);
+                    }
+                    H5Call::ResizeDatasetParallel { group, name, rows, cols, nranks } => {
+                        if !datasets.contains(&format::dataset_key(group, name)) {
+                            return Err(ReplayError::Invalid(format!(
+                                "resize of missing {group}/{name}"
+                            )));
+                        }
+                        let use_ranks: Vec<u32> = ranks.iter().copied().take(*nranks as usize).collect();
+                        f.resize_dataset_parallel(
+                            &mut mpi, &mut h5t, &use_ranks, group, name, *rows, *cols,
+                        );
+                    }
+                    H5Call::DeleteDataset { group, name } => {
+                        if !datasets.remove(&format::dataset_key(group, name)) {
+                            return Err(ReplayError::Invalid(format!(
+                                "delete of missing {group}/{name}"
+                            )));
+                        }
+                        f.delete_dataset(&mut mpi, &mut h5t, *rank, group, name);
+                    }
+                    H5Call::RenameDataset {
+                        src_group,
+                        src_name,
+                        dst_group,
+                        dst_name,
+                    } => {
+                        let src = format::dataset_key(src_group, src_name);
+                        let dst = format::dataset_key(dst_group, dst_name);
+                        if !datasets.remove(&src) || !groups.contains(dst_group) || !datasets.insert(dst)
+                        {
+                            return Err(ReplayError::Invalid(format!(
+                                "rename of missing {src_group}/{src_name}"
+                            )));
+                        }
+                        f.rename_dataset(
+                            &mut mpi, &mut h5t, *rank, src_group, src_name, dst_group, dst_name,
+                        );
+                    }
+                    H5Call::CloseFile => {
+                        f.close(&mut mpi, &mut h5t, ranks);
+                    }
+                    H5Call::CreateFile => unreachable!(),
+                }
+            }
+        }
+    }
+    let view = pfs.client_view(pfs.live());
+    let bytes = view.read(path).ok_or(ReplayError::NoFile)?;
+    check(bytes).map_err(ReplayError::Check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::ext4::Ext4Direct;
+
+    fn preamble() -> Vec<(u32, H5Call)> {
+        vec![
+            (0, H5Call::CreateFile),
+            (0, H5Call::CreateGroup { group: "g1".into() }),
+            (0, H5Call::CreateGroup { group: "g2".into() }),
+            (
+                0,
+                H5Call::CreateDataset {
+                    group: "g1".into(),
+                    name: "d1".into(),
+                    rows: 20,
+                    cols: 20,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn replay_produces_logical_state() {
+        let mut pfs = Ext4Direct::paper_default();
+        let logical = h5replay(&mut pfs, "/f.h5", &[0, 1], &preamble()).unwrap();
+        assert!(logical.has_dataset("g1", "d1"));
+        assert!(logical.groups.contains_key("g2"));
+    }
+
+    #[test]
+    fn replay_rejects_invalid_subsets() {
+        let mut pfs = Ext4Direct::paper_default();
+        let calls = vec![(
+            0,
+            H5Call::ResizeDataset {
+                group: "g1".into(),
+                name: "d1".into(),
+                rows: 40,
+                cols: 40,
+            },
+        )];
+        assert!(matches!(
+            h5replay(&mut pfs, "/f.h5", &[0], &calls),
+            Err(ReplayError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn replays_deterministic_digest() {
+        let mut a = Ext4Direct::paper_default();
+        let mut b = Ext4Direct::paper_default();
+        let la = h5replay(&mut a, "/f.h5", &[0], &preamble()).unwrap();
+        let lb = h5replay(&mut b, "/f.h5", &[0], &preamble()).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(la.digest(), lb.digest());
+    }
+
+    #[test]
+    fn replay_program_renders_every_call() {
+        let calls = vec![
+            (0, H5Call::CreateFile),
+            (0, H5Call::CreateGroup { group: "g1".into() }),
+            (
+                0,
+                H5Call::CreateDataset {
+                    group: "g1".into(),
+                    name: "d1".into(),
+                    rows: 200,
+                    cols: 200,
+                },
+            ),
+            (
+                0,
+                H5Call::ResizeDataset {
+                    group: "g1".into(),
+                    name: "d1".into(),
+                    rows: 400,
+                    cols: 400,
+                },
+            ),
+            (
+                0,
+                H5Call::RenameDataset {
+                    src_group: "g1".into(),
+                    src_name: "d1".into(),
+                    dst_group: "g1".into(),
+                    dst_name: "dx".into(),
+                },
+            ),
+            (
+                0,
+                H5Call::DeleteDataset {
+                    group: "g1".into(),
+                    name: "dx".into(),
+                },
+            ),
+        ];
+        let c = render_replay_program("/file.h5", &calls);
+        for needle in [
+            "H5Fcreate(\"/file.h5\"",
+            "H5Gcreate(file, \"g1\"",
+            "H5Dcreate(file, \"/g1/d1\"",
+            "H5Dset_extent",
+            "H5Lmove(file, \"/g1/d1\", file, \"/g1/dx\"",
+            "H5Ldelete(file, \"/g1/dx\"",
+            "MPI_Init",
+            "H5Fclose(file);",
+        ] {
+            assert!(c.contains(needle), "missing {needle} in:\n{c}");
+        }
+    }
+
+    #[test]
+    fn h5clear_repairs_eof() {
+        let mut pfs = Ext4Direct::paper_default();
+        let _ = h5replay(&mut pfs, "/f.h5", &[0], &preamble()).unwrap();
+        let bytes = pfs
+            .client_view(pfs.live())
+            .read("/f.h5")
+            .unwrap()
+            .to_vec();
+        // Break the EOF (superblock behind the B-tree — bug 13's shape).
+        let mut broken = bytes.clone();
+        broken[16..24].copy_from_slice(&200u64.to_le_bytes());
+        assert!(check(&broken).is_err());
+        let unfixed = h5clear(&broken, ClearOpts::default());
+        assert!(check(&unfixed).is_err());
+        let fixed = h5clear(&broken, ClearOpts { increase_eof: true });
+        assert!(check(&fixed).is_ok());
+    }
+
+    #[test]
+    fn h5inspect_maps_every_structure() {
+        let mut pfs = Ext4Direct::paper_default();
+        let _ = h5replay(&mut pfs, "/f.h5", &[0], &preamble()).unwrap();
+        let bytes = pfs.client_view(pfs.live()).read("/f.h5").unwrap().to_vec();
+        let map = h5inspect(&bytes).unwrap();
+        assert!(map.iter().any(|o| o.name == "superblock"));
+        assert!(map.iter().any(|o| o.name.contains("local heap of g1")));
+        assert!(map.iter().any(|o| o.is_data));
+        let json = inspect_to_json(&map);
+        assert!(json.contains("\"object\": \"superblock\""));
+        // Ranges must not overlap.
+        let mut prev_end = 0;
+        for o in &map {
+            assert!(o.addr >= prev_end, "overlap at {}", o.name);
+            prev_end = o.addr + o.len;
+        }
+    }
+}

@@ -1,0 +1,836 @@
+//! GlusterFS model (striped volume).
+//!
+//! GlusterFS (Table 2: v5.13, striped volume) has **no dedicated metadata
+//! servers**: "the metadata and data chunks of a single file or directory
+//! are stored on the same servers" (§6.3.1). The paper's Figure 9(c)
+//! trace shows the consequence: for the ARVR program every operation —
+//! `creat(tmp)`, `lsetxattr(tmp)`, `link(tmp, new chunk)`, `append`,
+//! `rename(tmp, foo)`, `unlink(old chunk of foo)` — executes on one local
+//! file system, whose journal orders their persistence. That is why ARVR
+//! exposes nothing on GlusterFS, while multi-file (WAL) and multi-stripe
+//! (large HDF5 files) workloads still do (Table 3 bugs 6 and 8).
+//!
+//! Layout per brick:
+//!
+//! ```text
+//! /data/<path>          the file entry on its primary brick; hard link
+//!                       to its first chunk; xattrs user.meta, user.size
+//! /chunks/<gfid>.<s>    stripe s ≥ 1 chunks on brick (primary + s) % n
+//! directories           replicated on every brick
+//! ```
+//!
+//! Files are placed by their *parent directory* (colocating the files a
+//! single-directory program touches, per the paper's observation); the
+//! file-distribution sensitivity of Table 3 is expressed through
+//! [`Placement`] pins.
+
+use crate::call::PfsCall;
+use crate::placement::Placement;
+use crate::store::ServerStates;
+use crate::view::{PfsView, RecoveryReport};
+use crate::Pfs;
+use simfs::{FsOp, JournalMode};
+use simnet::{ClusterTopology, RpcNet};
+use std::collections::BTreeMap;
+use tracer::{EventId, Layer, Payload, Process, Recorder};
+
+#[derive(Debug, Clone)]
+struct FileInfo {
+    gfid: String,
+    /// Primary brick index (holds the entry + stripe 0).
+    primary: usize,
+    /// Monotonic generation used by heal to resolve duplicate entries
+    /// (persisted in the `user.meta` xattr; kept here for debugging).
+    #[allow(dead_code)]
+    gen: u64,
+    size: u64,
+    /// stripe → current length.
+    chunks: BTreeMap<u64, u64>,
+}
+
+/// The GlusterFS striped-volume model.
+pub struct GlusterFs {
+    topo: ClusterTopology,
+    placement: Placement,
+    stripe: u64,
+    live: ServerStates,
+    baseline: ServerStates,
+    files: BTreeMap<String, FileInfo>,
+    dirs: Vec<String>,
+    next_id: u64,
+}
+
+impl GlusterFs {
+    /// A formatted striped volume over `topo.server_count()` bricks.
+    pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        for (id, _) in live.clone().iter() {
+            let fs = live.server_mut(id).as_fs_mut();
+            fs.mkdir_all("/data").unwrap();
+            fs.mkdir_all("/chunks").unwrap();
+        }
+        GlusterFs {
+            topo,
+            placement,
+            stripe,
+            baseline: live.clone(),
+            live,
+            files: BTreeMap::new(),
+            dirs: vec!["/".to_string()],
+            next_id: 0,
+        }
+    }
+
+    /// Paper default: 2 combined servers, 128 KiB stripes.
+    pub fn paper_default() -> Self {
+        GlusterFs::new(
+            ClusterTopology::paper_combined_default(),
+            Placement::new(),
+            128 * 1024,
+        )
+    }
+
+    fn n_bricks(&self) -> usize {
+        self.topo.server_count() as usize
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+            None => "/".to_string(),
+        }
+    }
+
+    /// Primary brick of a file: explicit pin, else parent-directory hash.
+    fn primary_of(&self, path: &str) -> usize {
+        // `pin_file` takes precedence; the default hashes the parent so
+        // files created together live together (ARVR safety).
+        match self.placement.file_pin(path) {
+            Some(idx) => idx % self.n_bricks(),
+            None => self
+                .placement
+                .dir_index(&Self::parent_of(path), self.n_bricks()),
+        }
+    }
+
+    fn emit(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        op: FsOp,
+        parent: Option<EventId>,
+    ) -> EventId {
+        self.live.server_mut(server).apply_fs(&op);
+        rec.record(
+            Layer::LocalFs,
+            Process::Server(server),
+            Payload::Fs { server, op },
+            parent,
+        )
+    }
+
+    fn data_path(path: &str) -> String {
+        format!("/data{path}")
+    }
+
+    fn chunk_path(gfid: &str, stripe: u64) -> String {
+        format!("/chunks/{gfid}.{stripe}")
+    }
+
+    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let primary = self.primary_of(path);
+        let gfid = format!("g{}", self.next_id);
+        let gen = self.next_id;
+        self.next_id += 1;
+        let brick = primary as u32;
+        let overwritten = self.files.get(path).cloned();
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(brick), &format!("CREATE {path}"), Some(cev));
+        // Figure 9(c): creat(tmp); lsetxattr(tmp); link(tmp, new chunk).
+        let dp = Self::data_path(path);
+        let e = self.emit(rec, brick, FsOp::Creat { path: dp.clone() }, Some(recv));
+        self.emit(
+            rec,
+            brick,
+            FsOp::SetXattr {
+                path: dp.clone(),
+                key: "user.meta".into(),
+                value: format!("gfid={gfid};first={primary};gen={gen}").into_bytes(),
+            },
+            Some(e),
+        );
+        self.emit(
+            rec,
+            brick,
+            FsOp::Link {
+                src: dp,
+                dst: Self::chunk_path(&gfid, 0),
+            },
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        if let Some(old) = overwritten {
+            self.cleanup_chunks(rec, &old, recv);
+        }
+        self.files.insert(
+            path.to_string(),
+            FileInfo {
+                gfid,
+                primary,
+                gen,
+                size: 0,
+                chunks: BTreeMap::from([(0, 0)]),
+            },
+        );
+    }
+
+    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        // Directories are replicated on every brick.
+        for brick in 0..self.n_bricks() as u32 {
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(brick),
+                &format!("MKDIR {path}"),
+                Some(cev),
+            );
+            self.emit(
+                rec,
+                brick,
+                FsOp::Mkdir {
+                    path: Self::data_path(path),
+                },
+                Some(recv),
+            );
+            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        }
+        self.dirs.push(path.to_string());
+    }
+
+    fn do_pwrite(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+        cev: EventId,
+    ) {
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("GlusterFS: pwrite to unknown file {path}"))
+            .clone();
+        let n = self.n_bricks();
+        let mut off = offset;
+        let end = offset + data.len() as u64;
+        while off < end {
+            let stripe = off / self.stripe;
+            let stripe_end = (stripe + 1) * self.stripe;
+            let len = stripe_end.min(end) - off;
+            let brick = ((info.primary + stripe as usize) % n) as u32;
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(brick),
+                &format!("WRITE {path} stripe {stripe}"),
+                Some(cev),
+            );
+            // Stripe 0 lives in the entry itself; others in chunk files.
+            let target = if stripe == 0 {
+                Self::data_path(path)
+            } else {
+                Self::chunk_path(&info.gfid, stripe)
+            };
+            let cur = self.files.get(path).and_then(|f| f.chunks.get(&stripe)).copied();
+            if cur.is_none() {
+                self.emit(rec, brick, FsOp::Creat { path: target.clone() }, Some(recv));
+                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+            }
+            let cur = self.files.get(path).unwrap().chunks[&stripe];
+            let local_off = off - stripe * self.stripe;
+            let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
+            let op = if local_off == cur {
+                FsOp::Append {
+                    path: target.clone(),
+                    data: buf,
+                }
+            } else {
+                FsOp::Pwrite {
+                    path: target,
+                    offset: local_off,
+                    data: buf,
+                }
+            };
+            self.emit(rec, brick, op, Some(recv));
+            let f = self.files.get_mut(path).unwrap();
+            f.chunks.insert(stripe, (local_off + len).max(cur));
+            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+            off += len;
+        }
+        // Size update on the primary brick.
+        let f = self.files.get_mut(path).unwrap();
+        f.size = f.size.max(end);
+        let size = f.size;
+        let primary = f.primary as u32;
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(primary),
+            &format!("SETSIZE {path}"),
+            Some(cev),
+        );
+        self.emit(
+            rec,
+            primary,
+            FsOp::SetXattr {
+                path: Self::data_path(path),
+                key: "user.size".into(),
+                value: size.to_string().into_bytes(),
+            },
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(primary), client, "OK");
+    }
+
+    /// Remove the chunk files of a dead file (stripe 0 chunk link and any
+    /// higher stripes) — Figure 9(c)'s `unlink(old chunk of foo)`.
+    fn cleanup_chunks(&mut self, rec: &mut Recorder, info: &FileInfo, parent: EventId) {
+        let n = self.n_bricks();
+        for &stripe in info.chunks.keys() {
+            let brick = ((info.primary + stripe as usize) % n) as u32;
+            self.emit(
+                rec,
+                brick,
+                FsOp::Unlink {
+                    path: Self::chunk_path(&info.gfid, stripe),
+                },
+                Some(parent),
+            );
+        }
+    }
+
+    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+        if self.dirs.contains(&src.to_string()) {
+            // Directory rename: replicated like mkdir, one local rename
+            // per brick.
+            for brick in 0..self.n_bricks() as u32 {
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(brick),
+                    &format!("RENAME-DIR {src} {dst}"),
+                    Some(cev),
+                );
+                self.emit(
+                    rec,
+                    brick,
+                    FsOp::Rename {
+                        src: Self::data_path(src),
+                        dst: Self::data_path(dst),
+                    },
+                    Some(recv),
+                );
+                RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+            }
+            let moved: Vec<(String, String)> = self
+                .dirs
+                .iter()
+                .chain(self.files.keys())
+                .filter(|k| *k == src || k.starts_with(&format!("{src}/")))
+                .map(|k| (k.clone(), format!("{dst}{}", &k[src.len()..])))
+                .collect();
+            for (old, new) in moved {
+                if let Some(pos) = self.dirs.iter().position(|d| *d == old) {
+                    self.dirs[pos] = new.clone();
+                }
+                if let Some(v) = self.files.remove(&old) {
+                    self.files.insert(new, v);
+                }
+            }
+            return;
+        }
+        let info = self
+            .files
+            .get(src)
+            .unwrap_or_else(|| panic!("GlusterFS: rename of unknown file {src}"))
+            .clone();
+        let overwritten = self.files.get(dst).cloned();
+        let brick = info.primary as u32;
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(brick),
+            &format!("RENAME {src} {dst}"),
+            Some(cev),
+        );
+        self.emit(
+            rec,
+            brick,
+            FsOp::Rename {
+                src: Self::data_path(src),
+                dst: Self::data_path(dst),
+            },
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        if let Some(old) = overwritten {
+            if old.primary != info.primary {
+                // The overwritten file lived on another brick: its entry
+                // must be unlinked there (cross-brick, unordered —
+                // the distribution-sensitive hazard).
+                let ob = old.primary as u32;
+                let (_, recv2) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(ob),
+                    &format!("UNLINK-OLD {dst}"),
+                    Some(cev),
+                );
+                self.emit(
+                    rec,
+                    ob,
+                    FsOp::Unlink {
+                        path: Self::data_path(dst),
+                    },
+                    Some(recv2),
+                );
+                self.cleanup_chunks(rec, &old, recv2);
+                RpcNet::new(rec).reply(Process::Server(ob), client, "OK");
+            } else {
+                // Same brick: the rename already replaced the entry;
+                // clean up the old chunk hard links.
+                self.cleanup_chunks(rec, &old, recv);
+            }
+        }
+        self.files.remove(src);
+        self.files.insert(dst.to_string(), info);
+    }
+
+    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("GlusterFS: unlink of unknown file {path}"))
+            .clone();
+        let brick = info.primary as u32;
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(brick),
+            &format!("UNLINK {path}"),
+            Some(cev),
+        );
+        self.emit(
+            rec,
+            brick,
+            FsOp::Unlink {
+                path: Self::data_path(path),
+            },
+            Some(recv),
+        );
+        self.cleanup_chunks(rec, &info, recv);
+        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        self.files.remove(path);
+    }
+
+    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let Some(info) = self.files.get(path).cloned() else {
+            return;
+        };
+        let n = self.n_bricks();
+        for &stripe in info.chunks.keys() {
+            let brick = ((info.primary + stripe as usize) % n) as u32;
+            let target = if stripe == 0 {
+                Self::data_path(path)
+            } else {
+                Self::chunk_path(&info.gfid, stripe)
+            };
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(brick),
+                &format!("FSYNC {path} stripe {stripe}"),
+                Some(cev),
+            );
+            self.emit(rec, brick, FsOp::Fsync { path: target }, Some(recv));
+            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        }
+    }
+
+    /// Parse a `user.meta` xattr.
+    fn parse_meta(raw: &[u8]) -> (String, usize, u64) {
+        let s = String::from_utf8_lossy(raw);
+        let (mut gfid, mut first, mut gen) = (String::new(), 0usize, 0u64);
+        for part in s.split(';') {
+            if let Some(v) = part.strip_prefix("gfid=") {
+                gfid = v.to_string();
+            } else if let Some(v) = part.strip_prefix("first=") {
+                first = v.parse().unwrap_or(0);
+            } else if let Some(v) = part.strip_prefix("gen=") {
+                gen = v.parse().unwrap_or(0);
+            }
+        }
+        (gfid, first, gen)
+    }
+}
+
+impl Pfs for GlusterFs {
+    fn name(&self) -> &'static str {
+        "GlusterFS"
+    }
+
+    fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    fn dispatch(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        call: &PfsCall,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let cev = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: call.name().into(),
+                args: call.args(),
+            },
+            parent,
+        );
+        match call {
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Pwrite { path, offset, data } => {
+                self.do_pwrite(rec, client, path, *offset, data, cev)
+            }
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rmdir { path } => {
+                for brick in 0..self.n_bricks() as u32 {
+                    let (_, recv) = RpcNet::new(rec).request(
+                        client,
+                        Process::Server(brick),
+                        &format!("RMDIR {path}"),
+                        Some(cev),
+                    );
+                    self.emit(
+                        rec,
+                        brick,
+                        FsOp::Rmdir {
+                            path: Self::data_path(path),
+                        },
+                        Some(recv),
+                    );
+                    RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+                }
+                self.dirs.retain(|d| d != path);
+            }
+            PfsCall::Close { .. } => {}
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+        }
+        cev
+    }
+
+    fn seal_baseline(&mut self) {
+        self.baseline = self.live.clone();
+    }
+
+    fn baseline(&self) -> &ServerStates {
+        &self.baseline
+    }
+
+    fn live(&self) -> &ServerStates {
+        &self.live
+    }
+
+    fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        let mut report = RecoveryReport::clean("glusterfs-heal");
+        // Duplicate entries for one path across bricks → keep the highest
+        // generation (self-heal), drop the rest.
+        let mut by_path: BTreeMap<String, Vec<(u32, u64)>> = BTreeMap::new();
+        for (id, store) in states.iter() {
+            let fs = store.as_fs();
+            for p in fs.walk() {
+                if let Some(vpath) = p.strip_prefix("/data") {
+                    if !fs.is_dir(&p) {
+                        if let Ok(meta) = fs.getxattr(&p, "user.meta") {
+                            let (_, _, gen) = Self::parse_meta(meta);
+                            by_path.entry(vpath.to_string()).or_default().push((id, gen));
+                        }
+                    }
+                }
+            }
+        }
+        for (vpath, mut holders) in by_path {
+            if holders.len() > 1 {
+                holders.sort_by_key(|&(_, gen)| std::cmp::Reverse(gen));
+                report.finding(format!(
+                    "split-brain entry {vpath} on {} bricks",
+                    holders.len()
+                ));
+                for &(brick, _) in &holders[1..] {
+                    let _ = states
+                        .server_mut(brick)
+                        .as_fs_mut()
+                        .unlink(&Self::data_path(&vpath));
+                    report.repair(format!("dropped stale {vpath} replica on brick#{brick}"));
+                }
+            }
+        }
+        report
+    }
+
+    fn client_view(&self, states: &ServerStates) -> PfsView {
+        let mut view = PfsView::new();
+        // Directories: the first brick is authoritative for the
+        // namespace (DHT lookups consult the hashed subvolume first), so
+        // a directory rename that persisted on only some bricks resolves
+        // deterministically instead of showing both names.
+        {
+            let fs = states.server(0).as_fs();
+            for p in fs.walk() {
+                if let Some(vpath) = p.strip_prefix("/data") {
+                    if !vpath.is_empty() && fs.is_dir(&p) {
+                        view.add_dir(vpath.to_string());
+                    }
+                }
+            }
+        }
+        // Files: entry with the highest generation wins (lookup + heal).
+        let mut best: BTreeMap<String, (u64, u32, String, usize)> = BTreeMap::new();
+        for (id, store) in states.iter() {
+            let fs = store.as_fs();
+            for p in fs.walk() {
+                if let Some(vpath) = p.strip_prefix("/data") {
+                    if !fs.is_dir(&p) {
+                        if let Ok(meta) = fs.getxattr(&p, "user.meta") {
+                            let (gfid, first, gen) = Self::parse_meta(meta);
+                            let e = best.entry(vpath.to_string()).or_insert((
+                                gen,
+                                id,
+                                gfid.clone(),
+                                first,
+                            ));
+                            if gen > e.0 {
+                                *e = (gen, id, gfid, first);
+                            }
+                        }
+                        // Entries without the user.meta xattr are
+                        // in-flight creates: lookups fail, the file is
+                        // not visible yet.
+                    }
+                }
+            }
+        }
+        for (vpath, (_, _, gfid, first)) in best {
+            // Content is whatever the stripes hold, in order, until the
+            // first gap (stripe 0 lives in the entry itself).
+            let mut content = Vec::new();
+            for stripe in 0.. {
+                let b = ((first + stripe as usize) % self.n_bricks()) as u32;
+                let target = if stripe == 0 {
+                    Self::data_path(&vpath)
+                } else {
+                    Self::chunk_path(&gfid, stripe)
+                };
+                match states.server(b).as_fs().read(&target) {
+                    Ok(data) => content.extend_from_slice(data),
+                    Err(_) => break,
+                }
+            }
+            view.add_file(vpath, content);
+        }
+        view
+    }
+
+    fn restart_cost_secs(&self) -> f64 {
+        2.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_arvr(fs: &mut GlusterFs) -> Recorder {
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/file".into(),
+                offset: 0,
+                data: b"old".to_vec(),
+            },
+            None,
+        );
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/tmp".into(),
+                offset: 0,
+                data: b"new".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/tmp".into(),
+                dst: "/file".into(),
+            },
+            None,
+        );
+        rec
+    }
+
+    #[test]
+    fn arvr_lands_on_one_brick() {
+        let mut fs = GlusterFs::paper_default();
+        let rec = run_arvr(&mut fs);
+        // Files of one directory colocate: every lowermost op targets the
+        // same brick (the paper's ARVR-safety argument).
+        let servers: std::collections::BTreeSet<u32> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter_map(|id| match &rec.event(id).payload {
+                Payload::Fs { server, .. } => Some(*server),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(servers.len(), 1);
+        let view = fs.client_view(fs.live());
+        assert_eq!(view.read("/file"), Some(&b"new"[..]));
+        assert!(!view.exists("/tmp"));
+    }
+
+    #[test]
+    fn arvr_every_prefix_is_legal() {
+        let mut fs = GlusterFs::paper_default();
+        let rec = run_arvr(&mut fs);
+        let low = rec.lowermost_events();
+        for k in 0..=low.len() {
+            let mut states = fs.baseline().clone();
+            states.apply_events(&rec, low[..k].iter().copied());
+            let mut s2 = states.clone();
+            let _ = fs.recover(&mut s2);
+            let view = fs.client_view(&s2);
+            let file = view.read("/file");
+            assert!(
+                file == Some(&b"old"[..]) || file == Some(&b"new"[..]),
+                "prefix {k}: {view}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_files_split_across_bricks() {
+        let placement = Placement::new().pin_file("/log", 0).pin_file("/foo", 1);
+        let mut fs = GlusterFs::new(ClusterTopology::paper_combined_default(), placement, 128 * 1024);
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/log".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/foo".into() }, None);
+        assert_eq!(fs.files["/log"].primary, 0);
+        assert_eq!(fs.files["/foo"].primary, 1);
+    }
+
+    #[test]
+    fn large_file_stripes_across_bricks() {
+        let mut fs = GlusterFs::new(
+            ClusterTopology::paper_combined_default(),
+            Placement::new(),
+            4,
+        );
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/big".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/big".into(),
+                offset: 0,
+                data: b"abcdefghij".to_vec(),
+            },
+            None,
+        );
+        let view = fs.client_view(fs.live());
+        assert_eq!(view.read("/big"), Some(&b"abcdefghij"[..]));
+        let touched: std::collections::BTreeSet<u32> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter_map(|id| match &rec.event(id).payload {
+                Payload::Fs { server, .. } => Some(*server),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(touched.len(), 2);
+    }
+
+    #[test]
+    fn heal_resolves_split_brain_by_generation() {
+        // A renamed file colliding with a stale old entry on another
+        // brick must resolve to the newer generation.
+        let placement = Placement::new().pin_file("/a", 0).pin_file("/b", 1);
+        let mut fs = GlusterFs::new(ClusterTopology::paper_combined_default(), placement, 128 * 1024);
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/b".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/b".into(),
+                offset: 0,
+                data: b"OLD".to_vec(),
+            },
+            None,
+        );
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/a".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/a".into(),
+                offset: 0,
+                data: b"NEW".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/a".into(),
+                dst: "/b".into(),
+            },
+            None,
+        );
+        // Crash state: everything except the cross-brick unlink of the
+        // old /b entry.
+        let keep: Vec<EventId> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter(|&id| !matches!(&rec.event(id).payload,
+                Payload::Fs { op: FsOp::Unlink { path }, .. } if path == "/data/b"))
+            .collect();
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, keep);
+        let report = fs.recover(&mut states);
+        assert!(report.findings.iter().any(|f| f.contains("split-brain")));
+        let view = fs.client_view(&states);
+        assert_eq!(view.read("/b"), Some(&b"NEW"[..]));
+        assert!(!view.exists("/a"));
+    }
+}

@@ -1,0 +1,933 @@
+//! GPFS (IBM Spectrum Scale) model.
+//!
+//! GPFS (Table 2: v5.0.4) is a *kernel-level*, shared-disk file system:
+//! it bypasses any local file system and writes disk blocks directly, so
+//! the paper traces it at the SCSI level through iSCSI (Figure 7) and
+//! reasons about **tagged block writes** — `scsi_write(LBA: …, log
+//! file)`, `…, inode of file`, `…, parent dir` (Figure 9(d)).
+//!
+//! The journal groups the block writes of one namespace operation into an
+//! **atomic group**; with disk write-back caching and no barriers between
+//! the group members, a crash can persist the group partially — exactly
+//! Table 3 bug 3 (`[write(log)@server#2, write(parent_dir)@server#2,
+//! write(file inode)@server#1, write(parent_dir inode)@server#2]`), whose
+//! damage survives even when "accepting all mmfsck fixes".
+//!
+//! Block-resident structures (each lives at a deterministic LBA derived
+//! from its name; recovery and mount scan by tag):
+//!
+//! * `DirEntry(<dir>)` — the directory's entry map, serialized whole;
+//! * `Inode(<id>)` / `Inode(dir:<dir>)` — file / directory inodes;
+//! * `FileContent(<id>.<stripe>)` — data chunks;
+//! * `LogFile`, `AllocMap` — journal and allocation map blocks.
+
+use crate::call::PfsCall;
+use crate::placement::Placement;
+use crate::store::ServerStates;
+use crate::view::{PfsView, RecoveryReport};
+use crate::Pfs;
+use simfs::{BlockOp, StructTag};
+use simnet::{ClusterTopology, RpcNet};
+use std::collections::BTreeMap;
+use tracer::{EventId, Layer, Payload, Process, Recorder};
+
+/// Parsed block structures: (directory entries by dirid, inode payloads
+/// by id, content bytes by "id.stripe").
+type CollectedBlocks = (
+    BTreeMap<String, BTreeMap<String, String>>,
+    BTreeMap<String, String>,
+    BTreeMap<String, Vec<u8>>,
+);
+
+#[derive(Debug, Clone)]
+struct FileInfo {
+    id: String,
+    first: usize,
+    size: u64,
+    /// stripe → chunk content (needed to compose whole-block payloads).
+    chunks: BTreeMap<u64, Vec<u8>>,
+}
+
+/// The GPFS model over raw block devices.
+pub struct Gpfs {
+    topo: ClusterTopology,
+    placement: Placement,
+    stripe: u64,
+    live: ServerStates,
+    baseline: ServerStates,
+    files: BTreeMap<String, FileInfo>,
+    /// directory identity → name → entry record (`F:<id>` / `D:<dirid>`).
+    /// Directories are identity-keyed (like inode numbers): a rename
+    /// changes the parent's entry, never the directory's own block.
+    dirents: BTreeMap<String, BTreeMap<String, String>>,
+    /// path → directory identity (runtime bookkeeping only).
+    dirpaths: BTreeMap<String, String>,
+    /// Servers with unflushed data blocks, per client (GPFS's token
+    /// protocol forces data to disk before metadata transitions).
+    dirty: BTreeMap<Process, std::collections::BTreeSet<u32>>,
+    next_id: u64,
+    next_group: u32,
+}
+
+impl Gpfs {
+    /// A formatted GPFS instance over `topo.server_count()` NSD servers.
+    pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
+        let mut live = ServerStates::all_block(topo.server_count());
+        let mut dirents = BTreeMap::new();
+        dirents.insert("root".to_string(), BTreeMap::new());
+        let mut dirpaths = BTreeMap::new();
+        dirpaths.insert("/".to_string(), "root".to_string());
+        // mkfs: superblock + empty root directory block.
+        let root_server = placement.dir_index("root", topo.server_count() as usize) as u32;
+        live.server_mut(root_server).as_block_mut().apply(&BlockOp::write(
+            Self::lba("super"),
+            StructTag::Superblock,
+            b"gpfs".to_vec(),
+        ));
+        live.server_mut(root_server).as_block_mut().apply(&BlockOp::write(
+            Self::lba("dir:root"),
+            StructTag::DirEntry("root".into()),
+            Vec::new(),
+        ));
+        Gpfs {
+            topo,
+            placement,
+            stripe,
+            baseline: live.clone(),
+            live,
+            files: BTreeMap::new(),
+            dirents,
+            dirpaths,
+            dirty: BTreeMap::new(),
+            next_id: 0,
+            next_group: 0,
+        }
+    }
+
+    /// Flush the client's dirty data with cache barriers before a
+    /// namespace transition (like Lustre, GPFS "aggregates intermediate
+    /// changes" — this is why the paper's Table 3 lists no GPFS rows
+    /// pairing file *content* against metadata).
+    fn flush_dirty(&mut self, rec: &mut Recorder, client: Process, cev: EventId) {
+        let Some(servers) = self.dirty.remove(&client) else {
+            return;
+        };
+        for server in servers {
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(server),
+                "FLUSH-DATA",
+                Some(cev),
+            );
+            self.emit(rec, server, BlockOp::SyncCache, Some(recv));
+            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+        }
+    }
+
+    /// Paper default: 2 combined NSD servers, 128 KiB stripes.
+    pub fn paper_default() -> Self {
+        Gpfs::new(
+            ClusterTopology::paper_combined_default(),
+            Placement::new(),
+            128 * 1024,
+        )
+    }
+
+    fn n(&self) -> usize {
+        self.topo.server_count() as usize
+    }
+
+    /// Deterministic LBA for a structure name.
+    fn lba(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h % 4_000_000 // keep figures readable, as in the paper's traces
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+            None => "/".to_string(),
+        }
+    }
+
+    fn name_of(path: &str) -> &str {
+        path.rsplit('/').next().unwrap_or(path)
+    }
+
+    /// Server owning a directory's entry block (by directory identity,
+    /// stable across renames).
+    fn dir_server(&self, dirid: &str) -> u32 {
+        self.placement.dir_index(dirid, self.n()) as u32
+    }
+
+    /// Directory identity for a path (runtime lookup).
+    fn dir_id(&self, path: &str) -> String {
+        self.dirpaths
+            .get(path)
+            .unwrap_or_else(|| panic!("GPFS: unknown directory {path}"))
+            .clone()
+    }
+
+    fn id_server(&self, id: &str) -> u32 {
+        (Self::lba(id) % self.n() as u64) as u32
+    }
+
+    fn emit(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        op: BlockOp,
+        parent: Option<EventId>,
+    ) -> EventId {
+        self.live.server_mut(server).apply_block(&op);
+        rec.record(
+            Layer::Block,
+            Process::Server(server),
+            Payload::Block { server, op },
+            parent,
+        )
+    }
+
+    fn serialize_dir(entries: &BTreeMap<String, String>) -> Vec<u8> {
+        let mut s = String::new();
+        for (name, rec) in entries {
+            s.push_str(name);
+            s.push('=');
+            s.push_str(rec);
+            s.push('\n');
+        }
+        s.into_bytes()
+    }
+
+    fn parse_dir(raw: &[u8]) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for line in String::from_utf8_lossy(raw).lines() {
+            if let Some((name, rec)) = line.split_once('=') {
+                out.insert(name.to_string(), rec.to_string());
+            }
+        }
+        out
+    }
+
+    /// Write the (whole) current entry block of the directory `dirid`.
+    fn write_dirent_block(
+        &mut self,
+        rec: &mut Recorder,
+        dirid: &str,
+        group: u32,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let server = self.dir_server(dirid);
+        let payload = Self::serialize_dir(&self.dirents[dirid]);
+        self.emit(
+            rec,
+            server,
+            BlockOp::write_in_group(
+                Self::lba(&format!("dir:{dirid}")),
+                StructTag::DirEntry(dirid.to_string()),
+                payload,
+                group,
+            ),
+            parent,
+        )
+    }
+
+    fn write_log(&mut self, rec: &mut Recorder, server: u32, what: &str, group: u32, parent: Option<EventId>) -> EventId {
+        self.emit(
+            rec,
+            server,
+            BlockOp::write_in_group(
+                Self::lba(&format!("log@{server}")),
+                StructTag::LogFile,
+                format!("log: {what}").into_bytes(),
+                group,
+            ),
+            parent,
+        )
+    }
+
+    fn write_inode(
+        &mut self,
+        rec: &mut Recorder,
+        id: &str,
+        payload: String,
+        group: Option<u32>,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let server = self.id_server(id);
+        let op = match group {
+            Some(g) => BlockOp::write_in_group(
+                Self::lba(&format!("inode:{id}")),
+                StructTag::Inode(id.to_string()),
+                payload.into_bytes(),
+                g,
+            ),
+            None => BlockOp::write(
+                Self::lba(&format!("inode:{id}")),
+                StructTag::Inode(id.to_string()),
+                payload.into_bytes(),
+            ),
+        };
+        self.emit(rec, server, op, parent)
+    }
+
+    fn write_allocmap(&mut self, rec: &mut Recorder, server: u32, group: u32, parent: Option<EventId>) -> EventId {
+        self.emit(
+            rec,
+            server,
+            BlockOp::write_in_group(
+                Self::lba(&format!("alloc@{server}")),
+                StructTag::AllocMap,
+                b"bitmap".to_vec(),
+                group,
+            ),
+            parent,
+        )
+    }
+
+    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let pid = self.dir_id(&Self::parent_of(path));
+        let id = format!("i{}", self.next_id);
+        self.next_id += 1;
+        let group = self.next_group;
+        self.next_group += 1;
+        let first = self.placement.file_index(path, self.n());
+        let dsrv = self.dir_server(&pid);
+
+        self.dirents
+            .get_mut(&pid)
+            .expect("parent directory exists")
+            .insert(Self::name_of(path).to_string(), format!("F:{id}"));
+
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("CREATE {path}"), Some(cev));
+        self.write_log(rec, dsrv, &format!("create {path}"), group, Some(recv));
+        self.write_dirent_block(rec, &pid, group, Some(recv));
+        self.write_inode(rec, &id, format!("size=0;first={first}"), Some(group), Some(recv));
+        let isrv = self.id_server(&id);
+        self.write_allocmap(rec, isrv, group, Some(recv));
+        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+
+        self.files.insert(
+            path.to_string(),
+            FileInfo {
+                id,
+                first,
+                size: 0,
+                chunks: BTreeMap::new(),
+            },
+        );
+    }
+
+    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let pid = self.dir_id(&Self::parent_of(path));
+        let did = format!("d{}", self.next_id);
+        self.next_id += 1;
+        let group = self.next_group;
+        self.next_group += 1;
+        let dsrv = self.dir_server(&pid);
+        self.dirents
+            .get_mut(&pid)
+            .expect("parent directory exists")
+            .insert(Self::name_of(path).to_string(), format!("D:{did}"));
+        self.dirents.insert(did.clone(), BTreeMap::new());
+        self.dirpaths.insert(path.to_string(), did.clone());
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("MKDIR {path}"), Some(cev));
+        self.write_log(rec, dsrv, &format!("mkdir {path}"), group, Some(recv));
+        self.write_dirent_block(rec, &pid, group, Some(recv));
+        self.write_dirent_block(rec, &did, group, Some(recv));
+        self.write_inode(rec, &format!("dir:{did}"), "dir".into(), Some(group), Some(recv));
+        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+    }
+
+    fn do_pwrite(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+        cev: EventId,
+    ) {
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("GPFS: pwrite to unknown file {path}"))
+            .clone();
+        let n = self.n();
+        let mut off = offset;
+        let end = offset + data.len() as u64;
+        while off < end {
+            let stripe = off / self.stripe;
+            let stripe_end = (stripe + 1) * self.stripe;
+            let len = stripe_end.min(end) - off;
+            let server = ((info.first + stripe as usize) % n) as u32;
+            // Compose the whole chunk payload (block writes replace the
+            // entire block).
+            let f = self.files.get_mut(path).unwrap();
+            let chunk = f.chunks.entry(stripe).or_default();
+            let local = (off - stripe * self.stripe) as usize;
+            if chunk.len() < local + len as usize {
+                chunk.resize(local + len as usize, 0);
+            }
+            chunk[local..local + len as usize]
+                .copy_from_slice(&data[(off - offset) as usize..(off - offset + len) as usize]);
+            let payload = chunk.clone();
+            let id = f.id.clone();
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(server),
+                &format!("WRITE {path} stripe {stripe}"),
+                Some(cev),
+            );
+            self.emit(
+                rec,
+                server,
+                BlockOp::write(
+                    Self::lba(&format!("content:{id}.{stripe}")),
+                    StructTag::FileContent(format!("{id}.{stripe}")),
+                    payload,
+                ),
+                Some(recv),
+            );
+            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+            self.dirty.entry(client).or_default().insert(server);
+            off += len;
+        }
+        let f = self.files.get_mut(path).unwrap();
+        f.size = f.size.max(end);
+        let (id, first, size) = (f.id.clone(), f.first, f.size);
+        let isrv = self.id_server(&id);
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(isrv),
+            &format!("SETATTR {path}"),
+            Some(cev),
+        );
+        self.write_inode(rec, &id, format!("size={size};first={first}"), None, Some(recv));
+        RpcNet::new(rec).reply(Process::Server(isrv), client, "OK");
+    }
+
+    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+        let spid = self.dir_id(&Self::parent_of(src));
+        let dpid = self.dir_id(&Self::parent_of(dst));
+        let group = self.next_group;
+        self.next_group += 1;
+
+        if self.dirpaths.contains_key(src) {
+            // Directory rename: only the parent's entry block changes —
+            // the directory's own (identity-keyed) block does not.
+            let rec_entry = self
+                .dirents
+                .get_mut(&spid)
+                .unwrap()
+                .remove(Self::name_of(src));
+            self.dirents
+                .get_mut(&dpid)
+                .unwrap()
+                .insert(Self::name_of(dst).to_string(), rec_entry.expect("dir entry"));
+            let moved: Vec<(String, String)> = self
+                .dirpaths
+                .keys()
+                .chain(self.files.keys())
+                .filter(|k| *k == src || k.starts_with(&format!("{src}/")))
+                .map(|k| (k.clone(), format!("{dst}{}", &k[src.len()..])))
+                .collect();
+            for (old, new) in moved {
+                if let Some(v) = self.dirpaths.remove(&old) {
+                    self.dirpaths.insert(new.clone(), v);
+                }
+                if let Some(v) = self.files.remove(&old) {
+                    self.files.insert(new, v);
+                }
+            }
+            let dsrv = self.dir_server(&spid);
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(dsrv),
+                &format!("RENAME {src} {dst}"),
+                Some(cev),
+            );
+            self.write_log(rec, dsrv, &format!("rename {src} {dst}"), group, Some(recv));
+            self.write_dirent_block(rec, &spid, group, Some(recv));
+            self.write_inode(rec, &format!("dir:{spid}"), "dir".into(), Some(group), Some(recv));
+            RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+            return;
+        }
+
+        let info = self
+            .files
+            .get(src)
+            .unwrap_or_else(|| panic!("GPFS: rename of unknown file {src}"))
+            .clone();
+        let overwritten = self.files.get(dst).cloned();
+        let entry = self.dirents.get_mut(&spid).unwrap().remove(Self::name_of(src));
+        self.dirents
+            .get_mut(&dpid)
+            .unwrap()
+            .insert(Self::name_of(dst).to_string(), entry.unwrap_or(format!("F:{}", info.id)));
+
+        // Figure 9(d) / bug 3: the atomic group of the ARVR rename —
+        // log + parent dir block (+ source dir block if different) on the
+        // coordinating server, inode of the overwritten file elsewhere,
+        // parent dir inode.
+        let dsrv = self.dir_server(&dpid);
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(dsrv),
+            &format!("RENAME {src} {dst}"),
+            Some(cev),
+        );
+        self.write_log(rec, dsrv, &format!("rename {src} {dst}"), group, Some(recv));
+        self.write_dirent_block(rec, &dpid, group, Some(recv));
+        if spid != dpid {
+            self.write_dirent_block(rec, &spid, group, Some(recv));
+            self.write_inode(rec, &format!("dir:{spid}"), "dir".into(), Some(group), Some(recv));
+        }
+        if let Some(old) = &overwritten {
+            self.write_inode(rec, &old.id.clone(), "deleted".into(), Some(group), Some(recv));
+        }
+        self.write_inode(rec, &format!("dir:{dpid}"), "dir".into(), Some(group), Some(recv));
+        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+
+        self.files.remove(src);
+        self.files.insert(dst.to_string(), info);
+    }
+
+    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let pid = self.dir_id(&Self::parent_of(path));
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("GPFS: unlink of unknown file {path}"))
+            .clone();
+        let group = self.next_group;
+        self.next_group += 1;
+        self.dirents
+            .get_mut(&pid)
+            .unwrap()
+            .remove(Self::name_of(path));
+        let dsrv = self.dir_server(&pid);
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("UNLINK {path}"), Some(cev));
+        self.write_log(rec, dsrv, &format!("unlink {path}"), group, Some(recv));
+        self.write_dirent_block(rec, &pid, group, Some(recv));
+        self.write_inode(rec, &info.id.clone(), "deleted".into(), Some(group), Some(recv));
+        let isrv = self.id_server(&info.id);
+        self.write_allocmap(rec, isrv, group, Some(recv));
+        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+        self.files.remove(path);
+    }
+
+    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let Some(info) = self.files.get(path).cloned() else {
+            return;
+        };
+        // Barrier on every device holding a piece of the file.
+        let n = self.n();
+        let mut servers: Vec<u32> = info
+            .chunks
+            .keys()
+            .map(|&s| ((info.first + s as usize) % n) as u32)
+            .collect();
+        servers.push(self.id_server(&info.id));
+        servers.sort_unstable();
+        servers.dedup();
+        for server in servers {
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(server),
+                &format!("SYNC {path}"),
+                Some(cev),
+            );
+            self.emit(rec, server, BlockOp::SyncCache, Some(recv));
+            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+        }
+    }
+
+    /// Collect all blocks by tag across servers.
+    fn collect(&self, states: &ServerStates) -> CollectedBlocks {
+        let mut dirs = BTreeMap::new();
+        let mut inodes = BTreeMap::new();
+        let mut contents = BTreeMap::new();
+        for (_, store) in states.iter() {
+            for (_, tag, data) in store.as_block().iter() {
+                match tag {
+                    StructTag::DirEntry(d) => {
+                        dirs.insert(d.clone(), Self::parse_dir(data));
+                    }
+                    StructTag::Inode(i) => {
+                        inodes.insert(i.clone(), String::from_utf8_lossy(data).to_string());
+                    }
+                    StructTag::FileContent(c) => {
+                        contents.insert(c.clone(), data.to_vec());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        (dirs, inodes, contents)
+    }
+
+    fn walk(
+        &self,
+        dirid: &str,
+        vpath: &str,
+        dirs: &BTreeMap<String, BTreeMap<String, String>>,
+        inodes: &BTreeMap<String, String>,
+        contents: &BTreeMap<String, Vec<u8>>,
+        view: &mut PfsView,
+    ) {
+        let Some(entries) = dirs.get(dirid) else {
+            return;
+        };
+        for (name, record) in entries {
+            let child = if vpath == "/" {
+                format!("/{name}")
+            } else {
+                format!("{vpath}/{name}")
+            };
+            if let Some(did) = record.strip_prefix("D:") {
+                view.add_dir(child.clone());
+                self.walk(did, &child, dirs, inodes, contents, view);
+            } else if let Some(id) = record.strip_prefix("F:") {
+                let Some(ipayload) = inodes.get(id) else {
+                    view.add_damaged_file(child);
+                    continue;
+                };
+                if ipayload == "deleted" {
+                    view.add_damaged_file(child);
+                    continue;
+                }
+                // Content = the content blocks, in stripe order, until
+                // the first gap.
+                let mut buf = Vec::new();
+                for stripe in 0.. {
+                    match contents.get(&format!("{id}.{stripe}")) {
+                        Some(d) => buf.extend_from_slice(d),
+                        None => break,
+                    }
+                }
+                view.add_file(child, buf);
+            }
+        }
+    }
+}
+
+impl Pfs for Gpfs {
+    fn name(&self) -> &'static str {
+        "GPFS"
+    }
+
+    fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    fn dispatch(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        call: &PfsCall,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let cev = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: call.name().into(),
+                args: call.args(),
+            },
+            parent,
+        );
+        if call.is_namespace_op() {
+            self.flush_dirty(rec, client, cev);
+        }
+        match call {
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Pwrite { path, offset, data } => {
+                self.do_pwrite(rec, client, path, *offset, data, cev)
+            }
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rmdir { path } => {
+                let pid = self.dir_id(&Self::parent_of(path));
+                let group = self.next_group;
+                self.next_group += 1;
+                self.dirents
+                    .get_mut(&pid)
+                    .unwrap()
+                    .remove(Self::name_of(path));
+                if let Some(did) = self.dirpaths.remove(path) {
+                    self.dirents.remove(&did);
+                }
+                let dsrv = self.dir_server(&pid);
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(dsrv),
+                    &format!("RMDIR {path}"),
+                    Some(cev),
+                );
+                self.write_log(rec, dsrv, &format!("rmdir {path}"), group, Some(recv));
+                self.write_dirent_block(rec, &pid, group, Some(recv));
+                RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+            }
+            PfsCall::Close { .. } => {}
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+        }
+        cev
+    }
+
+    fn seal_baseline(&mut self) {
+        self.baseline = self.live.clone();
+    }
+
+    fn baseline(&self) -> &ServerStates {
+        &self.baseline
+    }
+
+    fn live(&self) -> &ServerStates {
+        &self.live
+    }
+
+    fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        // mmfsck in "accept all fixes" mode: dangling directory entries
+        // (missing or deleted inode) are removed; orphan inodes are
+        // freed. Data lost by those fixes stays lost (Table 3 bug 3's
+        // consequence).
+        let mut report = RecoveryReport::clean("mmfsck");
+        let (dirs, inodes, _contents) = self.collect(states);
+        let mut fixed_dirs: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+        for (dir, entries) in &dirs {
+            let mut fixed = entries.clone();
+            for (name, record) in entries {
+                if let Some(id) = record.strip_prefix("F:") {
+                    match inodes.get(id) {
+                        None => {
+                            report.finding(format!(
+                                "entry {dir}/{name}: inode {id} block missing"
+                            ));
+                            fixed.remove(name);
+                            report.repair(format!("removed entry {dir}/{name}"));
+                            report.unrecovered_damage = true;
+                        }
+                        Some(p) if p == "deleted" => {
+                            report.finding(format!(
+                                "entry {dir}/{name}: inode {id} marked deleted"
+                            ));
+                            fixed.remove(name);
+                            report.repair(format!("removed entry {dir}/{name}"));
+                            report.unrecovered_damage = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if &fixed != entries {
+                fixed_dirs.insert(dir.clone(), fixed);
+            }
+        }
+        // Write repaired directory blocks back.
+        for (dir, entries) in fixed_dirs {
+            let server = self.dir_server(&dir);
+            states.server_mut(server).as_block_mut().apply(&BlockOp::write(
+                Self::lba(&format!("dir:{dir}")),
+                StructTag::DirEntry(dir.clone()),
+                Self::serialize_dir(&entries),
+            ));
+        }
+        report
+    }
+
+    fn client_view(&self, states: &ServerStates) -> PfsView {
+        let (dirs, inodes, contents) = self.collect(states);
+        let mut view = PfsView::new();
+        self.walk("root", "/", &dirs, &inodes, &contents, &mut view);
+        view
+    }
+
+    fn restart_cost_secs(&self) -> f64 {
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover_and_mount;
+
+    fn run_arvr(fs: &mut Gpfs) -> Recorder {
+        let c = Process::Client(0);
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/file".into(),
+                offset: 0,
+                data: b"old".to_vec(),
+            },
+            None,
+        );
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/tmp".into(),
+                offset: 0,
+                data: b"new".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/tmp".into(),
+                dst: "/file".into(),
+            },
+            None,
+        );
+        rec
+    }
+
+    #[test]
+    fn rename_emits_an_atomic_group() {
+        let mut fs = Gpfs::paper_default();
+        let rec = run_arvr(&mut fs);
+        // The rename's block writes share one atomic group with ≥ 3
+        // members including the log (Figure 9(d)).
+        let mut groups: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut group_has_log: BTreeMap<u32, bool> = BTreeMap::new();
+        for id in rec.lowermost_events() {
+            if let Payload::Block { op, .. } = &rec.event(id).payload {
+                if let Some(g) = op.atomic_group() {
+                    *groups.entry(g).or_default() += 1;
+                    if matches!(op.tag(), Some(StructTag::LogFile)) {
+                        group_has_log.insert(g, true);
+                    }
+                }
+            }
+        }
+        assert!(groups.values().any(|&n| n >= 3));
+        assert!(group_has_log.values().any(|&b| b));
+    }
+
+    #[test]
+    fn live_view_after_arvr() {
+        let mut fs = Gpfs::paper_default();
+        let _ = run_arvr(&mut fs);
+        let view = fs.client_view(fs.live());
+        assert_eq!(view.read("/file"), Some(&b"new"[..]));
+        assert!(!view.exists("/tmp"));
+    }
+
+    #[test]
+    fn partial_group_dirent_without_inode_delete_is_metadata_leak() {
+        // Persist the rename's dirent update but not the "deleted" mark
+        // on the old inode: foo points at tmp's inode; the old inode
+        // leaks (Table 3 bug 3, "metadata loss if inode entry not
+        // deleted").
+        let mut fs = Gpfs::paper_default();
+        let rec = run_arvr(&mut fs);
+        let keep: Vec<EventId> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter(|&id| {
+                !matches!(&rec.event(id).payload,
+                    Payload::Block { op, .. }
+                        if matches!(op, BlockOp::Write { payload, .. } if payload == b"deleted"))
+            })
+            .collect();
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, keep);
+        let (_, view) = recover_and_mount(&fs, &mut states);
+        assert_eq!(view.read("/file"), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn partial_group_inode_delete_without_dirent_is_data_loss() {
+        // Persist the "deleted" inode mark but not the dirent update:
+        // foo's entry still names the old inode, which is deleted —
+        // mmfsck removes the entry, the file is gone (bug 3, "data loss
+        // accept all mmfsck fixes").
+        let mut fs = Gpfs::paper_default();
+        let rec = run_arvr(&mut fs);
+        let keep: Vec<EventId> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter(|&id| {
+                !matches!(&rec.event(id).payload,
+                    Payload::Block { op, .. }
+                        if matches!(op.tag(), Some(StructTag::DirEntry(_)))
+                            && op.atomic_group().is_some()
+                            // only drop the rename-group dirent write
+                            && op.atomic_group() >= Some(2))
+            })
+            .collect();
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, keep);
+        let (report, view) = recover_and_mount(&fs, &mut states);
+        assert!(report.unrecovered_damage);
+        assert!(!view.exists("/file"), "{view}");
+    }
+
+    #[test]
+    fn fsync_issues_synchronize_cache() {
+        let mut fs = Gpfs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/f".into(),
+                offset: 0,
+                data: b"d".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(&e.payload, Payload::Block { op: BlockOp::SyncCache, .. })));
+    }
+
+    #[test]
+    fn directories_nest() {
+        let mut fs = Gpfs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/x".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/A/x".into(),
+                offset: 0,
+                data: b"1".to_vec(),
+            },
+            None,
+        );
+        let view = fs.client_view(fs.live());
+        assert!(view.dirs.contains("/A"));
+        assert_eq!(view.read("/A/x"), Some(&b"1"[..]));
+    }
+}

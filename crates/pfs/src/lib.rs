@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+
+//! # pfs — parallel file system models
+//!
+//! ParaCrash tested five production parallel file systems: BeeGFS,
+//! OrangeFS, GlusterFS, GPFS and Lustre (Table 2). This crate implements
+//! a *model* of each: given a client-level PFS call (`creat`, `pwrite`,
+//! `rename`, …), the model issues the same per-server lowermost-level
+//! operation sequences the paper traced (Figures 2 and 9), records them
+//! into the shared trace `Recorder` with caller–callee and RPC causality
+//! edges, and knows how to *recover* (its `fsck` tool) and *mount* (derive
+//! the client-visible file tree) from any combination of per-server
+//! persistent states.
+//!
+//! Each model captures the persistence-relevant behaviour that determines
+//! which Table 3 bugs it exposes:
+//!
+//! | model | metadata scheme | what makes it (un)safe |
+//! |---|---|---|
+//! | [`beegfs::BeeGfs`] | idfiles + dentry hard links + dir xattrs on dedicated metadata servers | no metadata syncs → cross-server reorder bugs 1,2,4,5,6,7,8 |
+//! | [`orangefs::OrangeFs`] | Berkeley-DB-style record log, `fdatasync` after every update | meta-server commits suppress bug 2; mis-ordered DB updates keep bugs 1,4,6 |
+//! | [`glusterfs::GlusterFs`] | metadata colocated with file data on each brick | same-FS ordering shields ARVR; multi-file / multi-stripe bugs 6,8 remain |
+//! | [`gpfs::Gpfs`] | shared-disk block FS, logged block writes in atomic groups | partially-persisted log groups → bugs 3,4,5 |
+//! | [`lustre::Lustre`] | aggregated updates + accurate barriers on namespace ops | no POSIX-level bugs; open-file data writes still reorder (HDF5 bugs) |
+//! | [`ext4::Ext4Direct`] | single local FS in data-journaling mode | the paper's clean baseline (Figure 8: zero bugs) |
+
+pub mod beegfs;
+pub mod call;
+pub mod ext4;
+pub mod glusterfs;
+pub mod gpfs;
+pub mod lustre;
+pub mod orangefs;
+pub mod placement;
+pub mod store;
+pub mod view;
+
+pub use call::{ClientTrace, PfsCall};
+pub use placement::Placement;
+pub use store::{ServerStates, Store};
+pub use view::{PfsView, RecoveryReport};
+
+use simnet::ClusterTopology;
+use tracer::{EventId, Process, Recorder};
+
+/// A parallel file system model.
+///
+/// Implementations keep a *live* (in-memory, pre-crash) copy of every
+/// server's persistent store, updated as calls are dispatched — that is
+/// the state the running system sees. Crash emulation never touches the
+/// live state: it replays subsets of the recorded lowermost operations
+/// onto the sealed *baseline* snapshot.
+///
+/// Models are `Send + Sync`: crash-state checking reads them from many
+/// threads (the live/baseline stores are only mutated during dispatch).
+pub trait Pfs: Send + Sync {
+    /// Short name as used in the paper's tables ("BeeGFS", …).
+    fn name(&self) -> &'static str;
+
+    /// The cluster shape this instance runs on.
+    fn topology(&self) -> &ClusterTopology;
+
+    /// Stripe size in bytes (Table 2 default: 128 KiB).
+    fn stripe_size(&self) -> u64;
+
+    /// Execute one client call: update live server state, record the
+    /// client-level trace event plus every RPC and lowermost-level server
+    /// event (with causal links). Returns the id of the client-call event.
+    fn dispatch(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        call: &PfsCall,
+        parent: Option<EventId>,
+    ) -> EventId;
+
+    /// Snapshot the current live state as the pre-test baseline. Crash
+    /// states are materialized on clones of this snapshot (the paper's
+    /// "snapshot of the initial local file system or the image of the
+    /// block device", §4.3).
+    fn seal_baseline(&mut self);
+
+    /// The sealed baseline snapshot.
+    fn baseline(&self) -> &ServerStates;
+
+    /// The live (fully-executed) server states.
+    fn live(&self) -> &ServerStates;
+
+    /// Run the PFS's recovery tool (`beegfs-fsck`, `pvfs2-fsck`, `mmfsck`,
+    /// …) over crashed server states, mutating them in place, then
+    /// remount. Returns what the tool did.
+    fn recover(&self, states: &mut ServerStates) -> RecoveryReport;
+
+    /// Mount: derive the client-visible file tree purely from persistent
+    /// server states (never from live bookkeeping — a crash destroys
+    /// that).
+    fn client_view(&self, states: &ServerStates) -> PfsView;
+
+    /// Simulated PFS restart cost in seconds — drives the Figure 10/11
+    /// cost model (the paper: BeeGFS restart takes up to 7.8 s).
+    fn restart_cost_secs(&self) -> f64;
+}
+
+/// Convenience: run the recovery tool and return the recovered view in
+/// one step, as the checking workflow of Figure 6 does.
+pub fn recover_and_mount(pfs: &dyn Pfs, states: &mut ServerStates) -> (RecoveryReport, PfsView) {
+    let report = pfs.recover(states);
+    let view = pfs.client_view(states);
+    (report, view)
+}
+
+/// Factory that builds a fresh, empty instance of a PFS configuration.
+/// The consistency checker uses it to replay legal preserved sets on a
+/// pristine stack (golden-master generation, §4.4.3).
+pub type PfsFactory = Box<dyn Fn() -> Box<dyn Pfs>>;

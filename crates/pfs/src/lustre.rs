@@ -1,0 +1,735 @@
+//! Lustre model.
+//!
+//! Lustre (Table 2: v2.12.6) is the only PFS in the paper's study with
+//! **no POSIX-level crash-consistency bugs**: "Lustre properly aggregates
+//! intermediate changes to the files and invokes accurate disk barriers
+//! to flush data to the disk" (§6.3.1). We model that as: before any
+//! namespace-visible operation (`creat`, `rename`, `unlink`, `close`)
+//! commits on the MDT, the client's *dirty data* is flushed to the OSTs
+//! with explicit commits, and the MDT change itself is journal-committed
+//! (a device barrier). Consequently every reachable crash state
+//! corresponds to a causal prefix of the client's operations.
+//!
+//! The vulnerability that remains — and that the HDF5 test programs hit
+//! (Table 3 bugs 10, 13, 15 list Lustre) — is *data written into a file
+//! that stays open*: HDF5's metadata cache writes B-trees, heaps and
+//! superblock updates as ordinary file data with no fsync, and those
+//! writes reorder freely across (and within) OSTs.
+//!
+//! Layout:
+//!
+//! ```text
+//! MDT (metadata server 0..m): /mdt/<path>  entry files
+//!                             ("obj=<id>;size=<n>;first=<k>"), real dirs
+//! OST (storage servers):      /objects/<id>.<stripe>
+//! ```
+
+use crate::call::PfsCall;
+use crate::placement::Placement;
+use crate::store::ServerStates;
+use crate::view::{PfsView, RecoveryReport};
+use crate::Pfs;
+use simfs::{FsOp, JournalMode};
+use simnet::{ClusterTopology, RpcNet};
+use std::collections::{BTreeMap, BTreeSet};
+use tracer::{EventId, Layer, Payload, Process, Recorder};
+
+#[derive(Debug, Clone)]
+struct FileInfo {
+    obj: String,
+    first: usize,
+    size: u64,
+    chunks: BTreeMap<u64, u64>,
+}
+
+/// The Lustre model.
+pub struct Lustre {
+    topo: ClusterTopology,
+    placement: Placement,
+    stripe: u64,
+    live: ServerStates,
+    baseline: ServerStates,
+    files: BTreeMap<String, FileInfo>,
+    /// Files with unflushed OST data, per client.
+    dirty: BTreeMap<Process, BTreeSet<String>>,
+    next_id: u64,
+}
+
+impl Lustre {
+    /// A formatted Lustre instance.
+    pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        for &m in &topo.metadata_servers() {
+            live.server_mut(m).as_fs_mut().mkdir_all("/mdt").unwrap();
+        }
+        for &s in &topo.storage_servers() {
+            live.server_mut(s).as_fs_mut().mkdir_all("/objects").unwrap();
+        }
+        Lustre {
+            topo,
+            placement,
+            stripe,
+            baseline: live.clone(),
+            live,
+            files: BTreeMap::new(),
+            dirty: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Paper default: 2 metadata + 2 storage servers, 128 KiB stripes.
+    pub fn paper_default() -> Self {
+        Lustre::new(
+            ClusterTopology::paper_dedicated_default(),
+            Placement::new(),
+            128 * 1024,
+        )
+    }
+
+    fn mdt(&self) -> u32 {
+        self.topo.metadata_servers()[0]
+    }
+
+    fn ost(&self, idx: usize) -> u32 {
+        self.topo.storage_servers()[idx]
+    }
+
+    fn n_ost(&self) -> usize {
+        self.topo.storage_servers().len()
+    }
+
+    fn emit(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        op: FsOp,
+        parent: Option<EventId>,
+    ) -> EventId {
+        self.live.server_mut(server).apply_fs(&op);
+        rec.record(
+            Layer::LocalFs,
+            Process::Server(server),
+            Payload::Fs { server, op },
+            parent,
+        )
+    }
+
+    fn mdt_path(path: &str) -> String {
+        format!("/mdt{path}")
+    }
+
+    fn obj_path(obj: &str, stripe: u64) -> String {
+        format!("/objects/{obj}.{stripe}")
+    }
+
+    /// Flush every dirty object of `client` with explicit OST commits —
+    /// the "aggregates intermediate changes … accurate disk barriers"
+    /// behaviour that precedes any namespace update.
+    fn flush_dirty(&mut self, rec: &mut Recorder, client: Process, cev: EventId) {
+        let dirty: Vec<String> = self
+            .dirty
+            .get(&client)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for path in dirty {
+            let Some(info) = self.files.get(&path).cloned() else {
+                continue;
+            };
+            let n = self.n_ost();
+            for &stripe in info.chunks.keys() {
+                let ost = self.ost((info.first + stripe as usize) % n);
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(ost),
+                    &format!("OST-COMMIT {path} stripe {stripe}"),
+                    Some(cev),
+                );
+                self.emit(
+                    rec,
+                    ost,
+                    FsOp::Fsync {
+                        path: Self::obj_path(&info.obj, stripe),
+                    },
+                    Some(recv),
+                );
+                RpcNet::new(rec).reply(Process::Server(ost), client, "COMMITTED");
+            }
+        }
+        self.dirty.remove(&client);
+    }
+
+    /// Commit the MDT journal (device-wide barrier) after a namespace
+    /// update.
+    fn mdt_commit(&mut self, rec: &mut Recorder, parent: EventId) {
+        let mdt = self.mdt();
+        self.emit(rec, mdt, FsOp::SyncFs, Some(parent));
+    }
+
+    fn update_entry(
+        &mut self,
+        rec: &mut Recorder,
+        path: &str,
+        info: &FileInfo,
+        parent: EventId,
+    ) -> EventId {
+        let mdt = self.mdt();
+        self.emit(
+            rec,
+            mdt,
+            FsOp::Pwrite {
+                path: Self::mdt_path(path),
+                offset: 0,
+                data: format!("obj={};size={};first={}", info.obj, info.size, info.first)
+                    .into_bytes(),
+            },
+            Some(parent),
+        )
+    }
+}
+
+impl Pfs for Lustre {
+    fn name(&self) -> &'static str {
+        "Lustre"
+    }
+
+    fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    fn dispatch(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        call: &PfsCall,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let cev = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: call.name().into(),
+                args: call.args(),
+            },
+            parent,
+        );
+        // Any namespace-visible operation first drains the client's dirty
+        // data with OST commits.
+        if call.is_namespace_op() {
+            self.flush_dirty(rec, client, cev);
+        }
+        match call {
+            PfsCall::Creat { path } => {
+                let obj = format!("o{}", self.next_id);
+                self.next_id += 1;
+                let first = self.placement.file_index(path, self.n_ost());
+                let info = FileInfo {
+                    obj,
+                    first,
+                    size: 0,
+                    chunks: BTreeMap::new(),
+                };
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-CREATE {path}"),
+                    Some(cev),
+                );
+                let e = self.emit(
+                    rec,
+                    mdt,
+                    FsOp::Creat {
+                        path: Self::mdt_path(path),
+                    },
+                    Some(recv),
+                );
+                let e2 = self.update_entry(rec, path, &info, e);
+                self.mdt_commit(rec, e2);
+                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                self.files.insert(path.to_string(), info);
+            }
+            PfsCall::Mkdir { path } => {
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-MKDIR {path}"),
+                    Some(cev),
+                );
+                let e = self.emit(
+                    rec,
+                    mdt,
+                    FsOp::Mkdir {
+                        path: Self::mdt_path(path),
+                    },
+                    Some(recv),
+                );
+                self.mdt_commit(rec, e);
+                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+            }
+            PfsCall::Pwrite { path, offset, data } => {
+                let info = self
+                    .files
+                    .get(path)
+                    .unwrap_or_else(|| panic!("Lustre: pwrite to unknown file {path}"))
+                    .clone();
+                let n = self.n_ost();
+                let mut off = *offset;
+                let end = offset + data.len() as u64;
+                while off < end {
+                    let stripe = off / self.stripe;
+                    let stripe_end = (stripe + 1) * self.stripe;
+                    let len = stripe_end.min(end) - off;
+                    let ost = self.ost((info.first + stripe as usize) % n);
+                    let (_, recv) = RpcNet::new(rec).request(
+                        client,
+                        Process::Server(ost),
+                        &format!("OST-WRITE {path} stripe {stripe}"),
+                        Some(cev),
+                    );
+                    let target = Self::obj_path(&info.obj, stripe);
+                    let cur = self
+                        .files
+                        .get(path)
+                        .and_then(|f| f.chunks.get(&stripe))
+                        .copied();
+                    if cur.is_none() {
+                        self.emit(rec, ost, FsOp::Creat { path: target.clone() }, Some(recv));
+                        self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+                    }
+                    let cur = self.files.get(path).unwrap().chunks[&stripe];
+                    let local = off - stripe * self.stripe;
+                    let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
+                    let op = if local == cur {
+                        FsOp::Append { path: target, data: buf }
+                    } else {
+                        FsOp::Pwrite {
+                            path: target,
+                            offset: local,
+                            data: buf,
+                        }
+                    };
+                    self.emit(rec, ost, op, Some(recv));
+                    self.files
+                        .get_mut(path)
+                        .unwrap()
+                        .chunks
+                        .insert(stripe, (local + len).max(cur));
+                    RpcNet::new(rec).reply(Process::Server(ost), client, "OK");
+                    off += len;
+                }
+                // Size update on the MDT (journal-committed lazily with
+                // the next namespace op; size here is piggybacked).
+                let f = self.files.get_mut(path).unwrap();
+                f.size = f.size.max(end);
+                let info = f.clone();
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-SETATTR {path}"),
+                    Some(cev),
+                );
+                self.update_entry(rec, path, &info, recv);
+                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                self.dirty.entry(client).or_default().insert(path.clone());
+            }
+            PfsCall::Rename { src, dst } => {
+                let overwritten = self.files.get(dst).cloned();
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-RENAME {src} {dst}"),
+                    Some(cev),
+                );
+                let e = self.emit(
+                    rec,
+                    mdt,
+                    FsOp::Rename {
+                        src: Self::mdt_path(src),
+                        dst: Self::mdt_path(dst),
+                    },
+                    Some(recv),
+                );
+                self.mdt_commit(rec, e);
+                let reply = RpcNet::new(rec).reply(Process::Server(mdt), client, "OK").0;
+                // Destroy the overwritten file's objects (after the
+                // committed rename, so never "before" it on disk).
+                if let Some(old) = overwritten {
+                    let n = self.n_ost();
+                    for &stripe in old.chunks.keys() {
+                        let ost = self.ost((old.first + stripe as usize) % n);
+                        let (_, r2) = RpcNet::new(rec).message(
+                            Process::Server(mdt),
+                            Process::Server(ost),
+                            &format!("OST-DESTROY {}.{stripe}", old.obj),
+                            Some(reply),
+                        );
+                        self.emit(
+                            rec,
+                            ost,
+                            FsOp::Unlink {
+                                path: Self::obj_path(&old.obj, stripe),
+                            },
+                            Some(r2),
+                        );
+                    }
+                }
+                if let Some(info) = self.files.remove(src) {
+                    self.files.insert(dst.clone(), info);
+                }
+                let dirty_keys: Vec<Process> = self.dirty.keys().copied().collect();
+                for k in dirty_keys {
+                    let set = self.dirty.get_mut(&k).unwrap();
+                    if set.remove(src) {
+                        set.insert(dst.clone());
+                    }
+                }
+            }
+            PfsCall::Unlink { path } => {
+                let info = self
+                    .files
+                    .get(path)
+                    .unwrap_or_else(|| panic!("Lustre: unlink of unknown file {path}"))
+                    .clone();
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-UNLINK {path}"),
+                    Some(cev),
+                );
+                let e = self.emit(
+                    rec,
+                    mdt,
+                    FsOp::Unlink {
+                        path: Self::mdt_path(path),
+                    },
+                    Some(recv),
+                );
+                self.mdt_commit(rec, e);
+                let reply = RpcNet::new(rec).reply(Process::Server(mdt), client, "OK").0;
+                let n = self.n_ost();
+                for &stripe in info.chunks.keys() {
+                    let ost = self.ost((info.first + stripe as usize) % n);
+                    let (_, r2) = RpcNet::new(rec).message(
+                        Process::Server(mdt),
+                        Process::Server(ost),
+                        &format!("OST-DESTROY {}.{stripe}", info.obj),
+                        Some(reply),
+                    );
+                    self.emit(
+                        rec,
+                        ost,
+                        FsOp::Unlink {
+                            path: Self::obj_path(&info.obj, stripe),
+                        },
+                        Some(r2),
+                    );
+                }
+                self.files.remove(path);
+            }
+            PfsCall::Rmdir { path } => {
+                let mdt = self.mdt();
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(mdt),
+                    &format!("MDS-RMDIR {path}"),
+                    Some(cev),
+                );
+                let e = self.emit(
+                    rec,
+                    mdt,
+                    FsOp::Rmdir {
+                        path: Self::mdt_path(path),
+                    },
+                    Some(recv),
+                );
+                self.mdt_commit(rec, e);
+                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+            }
+            PfsCall::Close { .. } => {
+                // flush_dirty already ran (close is a namespace op here).
+            }
+            PfsCall::Fsync { path } => {
+                let p = path.clone();
+                self.dirty.entry(client).or_default().insert(p);
+                self.flush_dirty(rec, client, cev);
+            }
+        }
+        cev
+    }
+
+    fn seal_baseline(&mut self) {
+        self.baseline = self.live.clone();
+    }
+
+    fn baseline(&self) -> &ServerStates {
+        &self.baseline
+    }
+
+    fn live(&self) -> &ServerStates {
+        &self.live
+    }
+
+    fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        // lfsck: garbage-collect orphan objects; report missing objects.
+        let mut report = RecoveryReport::clean("lfsck");
+        let mdt_fs = states.server(self.mdt()).as_fs();
+        let mut live_objs: Vec<String> = Vec::new();
+        for p in mdt_fs.walk() {
+            if !mdt_fs.is_dir(&p) {
+                if let Ok(raw) = mdt_fs.read(&p) {
+                    for part in String::from_utf8_lossy(raw).split(';') {
+                        if let Some(o) = part.strip_prefix("obj=") {
+                            live_objs.push(o.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        for &s in &self.topo.storage_servers() {
+            let fs = states.server(s).as_fs().clone();
+            let Ok(objs) = fs.readdir("/objects") else {
+                continue;
+            };
+            for name in objs {
+                let obj = name.split('.').next().unwrap_or("").to_string();
+                if !live_objs.contains(&obj) {
+                    report.finding(format!("orphan object {name} on OST#{s}"));
+                    let _ = states
+                        .server_mut(s)
+                        .as_fs_mut()
+                        .unlink(&format!("/objects/{name}"));
+                    report.repair(format!("destroyed orphan object {name}"));
+                }
+            }
+        }
+        report
+    }
+
+    fn client_view(&self, states: &ServerStates) -> PfsView {
+        let mut view = PfsView::new();
+        let mdt_fs = states.server(self.mdt()).as_fs();
+        for p in mdt_fs.walk() {
+            let Some(vpath) = p.strip_prefix("/mdt") else {
+                continue;
+            };
+            if vpath.is_empty() {
+                continue;
+            }
+            if mdt_fs.is_dir(&p) {
+                view.add_dir(vpath.to_string());
+                continue;
+            }
+            let Ok(raw) = mdt_fs.read(&p) else {
+                view.add_damaged_file(vpath.to_string());
+                continue;
+            };
+            let s = String::from_utf8_lossy(raw);
+            let (mut obj, mut first) = (String::new(), 0usize);
+            for part in s.split(';') {
+                if let Some(v) = part.strip_prefix("obj=") {
+                    obj = v.to_string();
+                } else if let Some(v) = part.strip_prefix("first=") {
+                    first = v.parse().unwrap_or(0);
+                }
+            }
+            if obj.is_empty() {
+                // Entry created but never assigned an object: an
+                // in-flight create — not visible to lookups.
+                continue;
+            }
+            // Content = the OST objects, concatenated until the first gap.
+            let mut content = Vec::new();
+            for stripe in 0.. {
+                let ost = self.ost((first + stripe as usize) % self.n_ost());
+                match states
+                    .server(ost)
+                    .as_fs()
+                    .read(&Self::obj_path(&obj, stripe))
+                {
+                    Ok(d) => content.extend_from_slice(d),
+                    Err(_) => break,
+                }
+            }
+            view.add_file(vpath.to_string(), content);
+        }
+        view
+    }
+
+    fn restart_cost_secs(&self) -> f64 {
+        3.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_arvr(fs: &mut Lustre) -> Recorder {
+        let c = Process::Client(0);
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/file".into(),
+                offset: 0,
+                data: b"old".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/file".into() }, None);
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/tmp".into(),
+                offset: 0,
+                data: b"new".to_vec(),
+            },
+            None,
+        );
+        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/tmp".into(),
+                dst: "/file".into(),
+            },
+            None,
+        );
+        rec
+    }
+
+    #[test]
+    fn namespace_ops_flush_dirty_data_first() {
+        let mut fs = Lustre::paper_default();
+        let rec = run_arvr(&mut fs);
+        // Find the OST append of "new" and the MDT rename; there must be
+        // an OST fsync between them in trace order.
+        let events = rec.events();
+        let append_pos = events
+            .iter()
+            .position(|e| matches!(&e.payload, Payload::Fs { op: FsOp::Append { data, .. }, .. } if data == b"new"))
+            .expect("append traced");
+        let rename_pos = events
+            .iter()
+            .position(|e| matches!(&e.payload, Payload::Fs { op: FsOp::Rename { .. }, .. }))
+            .expect("rename traced");
+        let fsync_between = events[append_pos..rename_pos]
+            .iter()
+            .any(|e| matches!(&e.payload, Payload::Fs { op: FsOp::Fsync { .. }, .. }));
+        assert!(fsync_between, "close must flush OST data before the rename");
+    }
+
+    #[test]
+    fn mdt_commits_with_syncfs() {
+        let mut fs = Lustre::paper_default();
+        let mut rec = Recorder::new();
+        fs.dispatch(
+            &mut rec,
+            Process::Client(0),
+            &PfsCall::Creat { path: "/f".into() },
+            None,
+        );
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(&e.payload, Payload::Fs { op: FsOp::SyncFs, .. })));
+    }
+
+    #[test]
+    fn live_view_and_full_replay_agree() {
+        let mut fs = Lustre::paper_default();
+        let rec = run_arvr(&mut fs);
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, rec.lowermost_events());
+        assert_eq!(fs.client_view(&states), fs.client_view(fs.live()));
+        let view = fs.client_view(fs.live());
+        assert_eq!(view.read("/file"), Some(&b"new"[..]));
+        assert!(!view.exists("/tmp"));
+    }
+
+    #[test]
+    fn plain_data_writes_stay_unsynced() {
+        // An HDF5-style workload — open file, many pwrites, no close
+        // before the crash — must leave unsynced OST data.
+        let mut fs = Lustre::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/d.h5".into() }, None);
+        let start = rec.len();
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/d.h5".into(),
+                offset: 0,
+                data: vec![1; 8],
+            },
+            None,
+        );
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/d.h5".into(),
+                offset: 8,
+                data: vec![2; 8],
+            },
+            None,
+        );
+        let syncs = rec.events()[start..]
+            .iter()
+            .filter(|e| e.payload.is_storage_sync())
+            .count();
+        assert_eq!(syncs, 0);
+    }
+
+    #[test]
+    fn lfsck_destroys_orphan_objects() {
+        let mut fs = Lustre::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/f".into(),
+                offset: 0,
+                data: b"data".to_vec(),
+            },
+            None,
+        );
+        fs.seal_baseline();
+        let mut rec2 = Recorder::new();
+        fs.dispatch(&mut rec2, c, &PfsCall::Unlink { path: "/f".into() }, None);
+        // Crash: MDT unlink persisted, OST destroy not.
+        let keep: Vec<EventId> = rec2
+            .lowermost_events()
+            .into_iter()
+            .filter(|&id| {
+                !matches!(&rec2.event(id).payload,
+                    Payload::Fs { op: FsOp::Unlink { path }, .. } if path.starts_with("/objects"))
+            })
+            .collect();
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec2, keep);
+        let report = fs.recover(&mut states);
+        assert!(report.findings.iter().any(|f| f.contains("orphan object")));
+        assert!(!fs.client_view(&states).exists("/f"));
+    }
+}

@@ -1,0 +1,912 @@
+//! OrangeFS (PVFS2) model.
+//!
+//! OrangeFS (Table 2: v2.9.7) keeps its metadata in Berkeley DB on the
+//! metadata servers. The paper's Figure 9(b) trace shows the key
+//! behaviour: **every DB page update is immediately followed by
+//! `fdatasync`** (`pwrite(keyval.db); fdatasync(keyval.db);
+//! pwrite(attrs.db); fdatasync(attrs.db)`), so metadata-server updates
+//! are durable, in order, at the moment the server replies. That
+//! suppresses Table 3 bug 2 (the storage-side cleanup can never be
+//! persisted "before" rename metadata that is already on disk), but
+//! leaves bug 1 (unsynced storage-side data vs. synced metadata) and
+//! bug 4 (the CR program's *insert-new / delete-old* record pair is
+//! issued as two separately-synced updates with a vulnerable window that
+//! `pvfs2-fsck` cannot repair).
+//!
+//! Layout:
+//!
+//! ```text
+//! metadata server:  /db/keyval.db   append-only dentry records, each
+//!                                   followed by fdatasync
+//!                   /db/attrs.db    append-only attribute records, ditto
+//! storage server:   /bstreams/<handle>.<stripe>
+//! ```
+//!
+//! Record grammar (one record per line):
+//! `I <dirkey> <name> F <handle>` / `I <dirkey> <name> D <key>:<owner>` /
+//! `D <dirkey> <name>` in `keyval.db`;
+//! `A <handle> size=<n>;first=<idx>` / `R <handle>` in `attrs.db`.
+
+use crate::call::PfsCall;
+use crate::placement::Placement;
+use crate::store::ServerStates;
+use crate::view::{PfsView, RecoveryReport};
+use crate::Pfs;
+use simfs::{FsOp, FsState, JournalMode};
+use simnet::{ClusterTopology, RpcNet};
+use std::collections::BTreeMap;
+use tracer::{EventId, Layer, Payload, Process, Recorder};
+
+#[derive(Debug, Clone)]
+struct DirInfo {
+    key: String,
+    owner: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FileInfo {
+    handle: String,
+    first: usize,
+    size: u64,
+    chunks: BTreeMap<u64, u64>,
+}
+
+/// The OrangeFS model.
+pub struct OrangeFs {
+    topo: ClusterTopology,
+    placement: Placement,
+    stripe: u64,
+    live: ServerStates,
+    baseline: ServerStates,
+    dirs: BTreeMap<String, DirInfo>,
+    files: BTreeMap<String, FileInfo>,
+    next_id: u64,
+}
+
+impl OrangeFs {
+    /// A formatted OrangeFS instance.
+    pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        for &m in &topo.metadata_servers() {
+            let fs = live.server_mut(m).as_fs_mut();
+            fs.mkdir_all("/db").unwrap();
+            fs.creat("/db/keyval.db").unwrap();
+            fs.creat("/db/attrs.db").unwrap();
+        }
+        for &s in &topo.storage_servers() {
+            live.server_mut(s)
+                .as_fs_mut()
+                .mkdir_all("/bstreams")
+                .unwrap();
+        }
+        let root_owner = placement.dir_index("/", topo.metadata_servers().len());
+        let mut dirs = BTreeMap::new();
+        dirs.insert(
+            "/".to_string(),
+            DirInfo {
+                key: "root".into(),
+                owner: root_owner,
+            },
+        );
+        OrangeFs {
+            topo,
+            placement,
+            stripe,
+            baseline: live.clone(),
+            live,
+            dirs,
+            files: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Paper default: 2 metadata + 2 storage servers, 128 KiB stripes.
+    pub fn paper_default() -> Self {
+        OrangeFs::new(
+            ClusterTopology::paper_dedicated_default(),
+            Placement::new(),
+            128 * 1024,
+        )
+    }
+
+    fn meta_server(&self, idx: usize) -> u32 {
+        self.topo.metadata_servers()[idx]
+    }
+
+    fn storage_server(&self, idx: usize) -> u32 {
+        self.topo.storage_servers()[idx]
+    }
+
+    fn n_storage(&self) -> usize {
+        self.topo.storage_servers().len()
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+            None => "/".to_string(),
+        }
+    }
+
+    fn name_of(path: &str) -> &str {
+        path.rsplit('/').next().unwrap_or(path)
+    }
+
+    fn emit(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        op: FsOp,
+        parent: Option<EventId>,
+    ) -> EventId {
+        self.live.server_mut(server).apply_fs(&op);
+        rec.record(
+            Layer::LocalFs,
+            Process::Server(server),
+            Payload::Fs { server, op },
+            parent,
+        )
+    }
+
+    /// One durable DB update: append the record, then `fdatasync` —
+    /// exactly the Figure 9(b) pattern.
+    fn db_update(
+        &mut self,
+        rec: &mut Recorder,
+        meta: u32,
+        db: &str,
+        record: String,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let path = format!("/db/{db}");
+        let w = self.emit(
+            rec,
+            meta,
+            FsOp::Append {
+                path: path.clone(),
+                data: format!("{record}\n").into_bytes(),
+            },
+            parent,
+        );
+        self.emit(rec, meta, FsOp::Fdatasync { path }, Some(w));
+        w
+    }
+
+    fn bstream_path(handle: &str, stripe: u64) -> String {
+        format!("/bstreams/{handle}.{stripe}")
+    }
+
+    fn dir_info(&self, path: &str) -> &DirInfo {
+        self.dirs
+            .get(path)
+            .unwrap_or_else(|| panic!("OrangeFS: unknown directory {path}"))
+    }
+
+    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+        let meta = self.meta_server(pinfo.owner);
+        let handle = format!("h{}", self.next_id);
+        self.next_id += 1;
+        let first = self.placement.file_index(path, self.n_storage());
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(meta), &format!("CREATE {path}"), Some(cev));
+        self.db_update(
+            rec,
+            meta,
+            "keyval.db",
+            format!("I {} {} F {handle}", pinfo.key, Self::name_of(path)),
+            Some(recv),
+        );
+        self.db_update(
+            rec,
+            meta,
+            "attrs.db",
+            format!("A {handle} size=0;first={first}"),
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.files.insert(
+            path.to_string(),
+            FileInfo {
+                handle,
+                first,
+                size: 0,
+                chunks: BTreeMap::new(),
+            },
+        );
+    }
+
+    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+        let key = format!("d{}", self.next_id);
+        self.next_id += 1;
+        let owner = self.placement.dir_index(path, self.topo.metadata_servers().len());
+        let meta = self.meta_server(pinfo.owner);
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(meta), &format!("MKDIR {path}"), Some(cev));
+        self.db_update(
+            rec,
+            meta,
+            "keyval.db",
+            format!("I {} {} D {key}:{owner}", pinfo.key, Self::name_of(path)),
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.dirs.insert(path.to_string(), DirInfo { key, owner });
+    }
+
+    fn do_pwrite(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+        cev: EventId,
+    ) {
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("OrangeFS: pwrite to unknown file {path}"))
+            .clone();
+        let n = self.n_storage();
+        let mut off = offset;
+        let end = offset + data.len() as u64;
+        while off < end {
+            let stripe = off / self.stripe;
+            let stripe_end = (stripe + 1) * self.stripe;
+            let len = stripe_end.min(end) - off;
+            let storage = self.storage_server((info.first + stripe as usize) % n);
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(storage),
+                &format!("WRITE {path} stripe {stripe}"),
+                Some(cev),
+            );
+            let bs = Self::bstream_path(&info.handle, stripe);
+            let cur = self.files.get(path).and_then(|f| f.chunks.get(&stripe)).copied();
+            if cur.is_none() {
+                self.emit(rec, storage, FsOp::Creat { path: bs.clone() }, Some(recv));
+                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+            }
+            let cur = self.files.get(path).unwrap().chunks[&stripe];
+            let local = off - stripe * self.stripe;
+            let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
+            // bstream writes are NOT followed by fdatasync: only the
+            // metadata side of OrangeFS is durable-by-construction
+            // (this asymmetry is Table 3 bug 1).
+            let op = if local == cur {
+                FsOp::Append { path: bs, data: buf }
+            } else {
+                FsOp::Pwrite {
+                    path: bs,
+                    offset: local,
+                    data: buf,
+                }
+            };
+            self.emit(rec, storage, op, Some(recv));
+            self.files
+                .get_mut(path)
+                .unwrap()
+                .chunks
+                .insert(stripe, (local + len).max(cur));
+            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+            off += len;
+        }
+        // Durable size update in attrs.db on the metadata server.
+        let f = self.files.get_mut(path).unwrap();
+        f.size = f.size.max(end);
+        let (handle, first, size) = (f.handle.clone(), f.first, f.size);
+        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+        let meta = self.meta_server(pinfo.owner);
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(meta), &format!("SETATTR {path}"), Some(cev));
+        self.db_update(
+            rec,
+            meta,
+            "attrs.db",
+            format!("A {handle} size={size};first={first}"),
+            Some(recv),
+        );
+        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+    }
+
+    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+        if self.dirs.contains_key(src) {
+            // Directory rename within one parent: a single keyval record
+            // (one atomic DB page update).
+            let pinfo = self.dir_info(&Self::parent_of(src)).clone();
+            let meta = self.meta_server(pinfo.owner);
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(meta),
+                &format!("RENAME {src} {dst}"),
+                Some(cev),
+            );
+            self.db_update(
+                rec,
+                meta,
+                "keyval.db",
+                format!(
+                    "M {} {} {}",
+                    pinfo.key,
+                    Self::name_of(src),
+                    Self::name_of(dst)
+                ),
+                Some(recv),
+            );
+            RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+            let moved: Vec<(String, String)> = self
+                .dirs
+                .keys()
+                .chain(self.files.keys())
+                .filter(|k| *k == src || k.starts_with(&format!("{src}/")))
+                .map(|k| (k.clone(), format!("{dst}{}", &k[src.len()..])))
+                .collect();
+            for (old, new) in moved {
+                if let Some(v) = self.dirs.remove(&old) {
+                    self.dirs.insert(new.clone(), v);
+                }
+                if let Some(v) = self.files.remove(&old) {
+                    self.files.insert(new, v);
+                }
+            }
+            return;
+        }
+        let info = self
+            .files
+            .get(src)
+            .unwrap_or_else(|| panic!("OrangeFS: rename of unknown file {src}"))
+            .clone();
+        let overwritten = self.files.get(dst).cloned();
+        let spinfo = self.dir_info(&Self::parent_of(src)).clone();
+        let dpinfo = self.dir_info(&Self::parent_of(dst)).clone();
+        let smeta = self.meta_server(spinfo.owner);
+        let dmeta = self.meta_server(dpinfo.owner);
+
+        // Same-directory rename: a single keyval record (one DB page
+        // update — Figure 9(b) traces exactly one `pwrite(keyval.db);
+        // fdatasync` pair for the ARVR rename), so no vulnerable window.
+        // Cross-directory rename (the CR program): OrangeFS issues the
+        // *insert before the delete* — the "updates … not issued in the
+        // correct order" of §6.3.1 — leaving a durable window in which
+        // the file exists in both directories (bug 4).
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(dmeta),
+            &format!("RENAME {src} {dst}"),
+            Some(cev),
+        );
+        if spinfo.key == dpinfo.key {
+            self.db_update(
+                rec,
+                smeta,
+                "keyval.db",
+                format!(
+                    "M {} {} {}",
+                    spinfo.key,
+                    Self::name_of(src),
+                    Self::name_of(dst)
+                ),
+                Some(recv),
+            );
+        } else {
+            self.db_update(
+                rec,
+                dmeta,
+                "keyval.db",
+                format!("I {} {} F {}", dpinfo.key, Self::name_of(dst), info.handle),
+                Some(recv),
+            );
+            let (_, recv2) = RpcNet::new(rec).request(
+                client,
+                Process::Server(smeta),
+                &format!("RENAME-OUT {src}"),
+                Some(cev),
+            );
+            self.db_update(
+                rec,
+                smeta,
+                "keyval.db",
+                format!("D {} {}", spinfo.key, Self::name_of(src)),
+                Some(recv2),
+            );
+            RpcNet::new(rec).reply(Process::Server(smeta), client, "OK");
+        }
+        if let Some(old) = &overwritten {
+            self.db_update(rec, dmeta, "attrs.db", format!("R {}", old.handle), Some(recv));
+        }
+        let reply_recv = RpcNet::new(rec).reply(Process::Server(dmeta), client, "OK").1;
+        let _ = reply_recv;
+
+        // Storage-side cleanup of the overwritten file's bstreams:
+        // rename to `stranded`, then unlink (Figure 9(b)).
+        if let Some(old) = &overwritten {
+            self.strand_bstreams(rec, dmeta, old);
+        }
+        self.files.remove(src);
+        self.files.insert(dst.to_string(), info);
+    }
+
+    fn strand_bstreams(&mut self, rec: &mut Recorder, meta: u32, info: &FileInfo) {
+        let n = self.n_storage();
+        for &stripe in info.chunks.keys() {
+            let storage = self.storage_server((info.first + stripe as usize) % n);
+            let (_, recv) = RpcNet::new(rec).message(
+                Process::Server(meta),
+                Process::Server(storage),
+                &format!("REMOVE-BSTREAM {}.{stripe}", info.handle),
+                None,
+            );
+            let bs = Self::bstream_path(&info.handle, stripe);
+            let stranded = format!("/bstreams/stranded-{}.{stripe}", info.handle);
+            let r = self.emit(
+                rec,
+                storage,
+                FsOp::Rename {
+                    src: bs,
+                    dst: stranded.clone(),
+                },
+                Some(recv),
+            );
+            self.emit(rec, storage, FsOp::Unlink { path: stranded }, Some(r));
+        }
+    }
+
+    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let info = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("OrangeFS: unlink of unknown file {path}"))
+            .clone();
+        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+        let meta = self.meta_server(pinfo.owner);
+        let (_, recv) =
+            RpcNet::new(rec).request(client, Process::Server(meta), &format!("UNLINK {path}"), Some(cev));
+        self.db_update(
+            rec,
+            meta,
+            "keyval.db",
+            format!("D {} {}", pinfo.key, Self::name_of(path)),
+            Some(recv),
+        );
+        self.db_update(rec, meta, "attrs.db", format!("R {}", info.handle), Some(recv));
+        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.strand_bstreams(rec, meta, &info);
+        self.files.remove(path);
+    }
+
+    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+        let Some(info) = self.files.get(path).cloned() else {
+            return;
+        };
+        let n = self.n_storage();
+        for &stripe in info.chunks.keys() {
+            let storage = self.storage_server((info.first + stripe as usize) % n);
+            let (_, recv) = RpcNet::new(rec).request(
+                client,
+                Process::Server(storage),
+                &format!("FLUSH {path} stripe {stripe}"),
+                Some(cev),
+            );
+            self.emit(
+                rec,
+                storage,
+                FsOp::Fdatasync {
+                    path: Self::bstream_path(&info.handle, stripe),
+                },
+                Some(recv),
+            );
+            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+        }
+    }
+
+    /// Replay a keyval.db file into `dirkey → name → record` maps.
+    fn parse_keyval(fs: &FsState) -> BTreeMap<String, BTreeMap<String, String>> {
+        let mut out: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+        let Ok(raw) = fs.read("/db/keyval.db") else {
+            return out;
+        };
+        for line in String::from_utf8_lossy(raw).lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["I", dirkey, name, rest @ ..] => {
+                    out.entry(dirkey.to_string())
+                        .or_default()
+                        .insert(name.to_string(), rest.join(" "));
+                }
+                ["D", dirkey, name] => {
+                    out.entry(dirkey.to_string()).or_default().remove(*name);
+                }
+                ["M", dirkey, old, new] => {
+                    let entry = out.entry(dirkey.to_string()).or_default().remove(*old);
+                    if let Some(entry) = entry {
+                        out.entry(dirkey.to_string())
+                            .or_default()
+                            .insert(new.to_string(), entry);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Replay an attrs.db file into `handle → attrs` maps.
+    fn parse_attrs(fs: &FsState) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        let Ok(raw) = fs.read("/db/attrs.db") else {
+            return out;
+        };
+        for line in String::from_utf8_lossy(raw).lines() {
+            let parts: Vec<&str> = line.splitn(3, ' ').collect();
+            match parts.as_slice() {
+                ["A", handle, attrs] => {
+                    out.insert(handle.to_string(), attrs.to_string());
+                }
+                ["R", handle] => {
+                    out.remove(*handle);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn walk_dir(
+        &self,
+        states: &ServerStates,
+        key: &str,
+        owner: usize,
+        vpath: &str,
+        view: &mut PfsView,
+    ) {
+        let meta = self.meta_server(owner);
+        let fs = states.server(meta).as_fs();
+        let keyval = Self::parse_keyval(fs);
+        // Attributes live on the metadata server that created the handle
+        // — not necessarily the directory's owner — so resolve against
+        // the union of all attrs databases.
+        let mut attrs = BTreeMap::new();
+        for &m in &self.topo.metadata_servers() {
+            attrs.extend(Self::parse_attrs(states.server(m).as_fs()));
+        }
+        let Some(entries) = keyval.get(key) else {
+            return;
+        };
+        for (name, record) in entries {
+            let child = if vpath == "/" {
+                format!("/{name}")
+            } else {
+                format!("{vpath}/{name}")
+            };
+            let parts: Vec<&str> = record.split_whitespace().collect();
+            match parts.as_slice() {
+                ["D", spec] => {
+                    let (ckey, cowner) = spec.split_once(':').unwrap_or(("?", "0"));
+                    view.add_dir(child.clone());
+                    self.walk_dir(states, ckey, cowner.parse().unwrap_or(0), &child, view);
+                }
+                ["F", handle] => {
+                    let Some(a) = attrs.get(*handle) else {
+                        // A dentry whose handle has no attributes yet is
+                        // an in-flight create: lookups fail, the file is
+                        // simply not visible.
+                        continue;
+                    };
+                    let mut first = 0usize;
+                    for p in a.split(';') {
+                        if let Some(v) = p.strip_prefix("first=") {
+                            first = v.parse().unwrap_or(0);
+                        }
+                    }
+                    // Content = the bstreams, concatenated until the
+                    // first gap.
+                    let mut content = Vec::new();
+                    for stripe in 0.. {
+                        let storage =
+                            self.storage_server((first + stripe as usize) % self.n_storage());
+                        match states
+                            .server(storage)
+                            .as_fs()
+                            .read(&Self::bstream_path(handle, stripe))
+                        {
+                            Ok(d) => content.extend_from_slice(d),
+                            Err(_) => break,
+                        }
+                    }
+                    view.add_file(child, content);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Pfs for OrangeFs {
+    fn name(&self) -> &'static str {
+        "OrangeFS"
+    }
+
+    fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    fn dispatch(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        call: &PfsCall,
+        parent: Option<EventId>,
+    ) -> EventId {
+        let cev = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: call.name().into(),
+                args: call.args(),
+            },
+            parent,
+        );
+        match call {
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Pwrite { path, offset, data } => {
+                self.do_pwrite(rec, client, path, *offset, data, cev)
+            }
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rmdir { path } => {
+                let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+                let meta = self.meta_server(pinfo.owner);
+                let (_, recv) = RpcNet::new(rec).request(
+                    client,
+                    Process::Server(meta),
+                    &format!("RMDIR {path}"),
+                    Some(cev),
+                );
+                self.db_update(
+                    rec,
+                    meta,
+                    "keyval.db",
+                    format!("D {} {}", pinfo.key, Self::name_of(path)),
+                    Some(recv),
+                );
+                RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+                self.dirs.remove(path);
+            }
+            PfsCall::Close { .. } => {}
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+        }
+        cev
+    }
+
+    fn seal_baseline(&mut self) {
+        self.baseline = self.live.clone();
+    }
+
+    fn baseline(&self) -> &ServerStates {
+        &self.baseline
+    }
+
+    fn live(&self) -> &ServerStates {
+        &self.live
+    }
+
+    fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        // pvfs2-fsck: collects stranded bstreams and reports dangling
+        // dentries; it cannot repair mis-ordered DB records (§6.3.1).
+        let mut report = RecoveryReport::clean("pvfs2-fsck");
+        let mut live_handles: Vec<String> = Vec::new();
+        for &m in &self.topo.metadata_servers() {
+            let fs = states.server(m).as_fs();
+            live_handles.extend(Self::parse_attrs(fs).keys().cloned());
+            for (dirkey, entries) in Self::parse_keyval(fs) {
+                for (name, record) in entries {
+                    if let Some(handle) = record.strip_prefix("F ") {
+                        if !Self::parse_attrs(fs).contains_key(handle) {
+                            report.finding(format!(
+                                "dangling dentry {dirkey}/{name} -> handle {handle} without attributes"
+                            ));
+                            report.unrecovered_damage = true;
+                        }
+                    }
+                }
+            }
+        }
+        for &s in &self.topo.storage_servers() {
+            let fs = states.server(s).as_fs().clone();
+            let Ok(names) = fs.readdir("/bstreams") else {
+                continue;
+            };
+            for name in names {
+                let handle = name
+                    .strip_prefix("stranded-")
+                    .unwrap_or(&name)
+                    .split('.')
+                    .next()
+                    .unwrap_or("")
+                    .to_string();
+                if name.starts_with("stranded-") || !live_handles.contains(&handle) {
+                    report.finding(format!("orphan bstream {name} on storage#{s}"));
+                    let _ = states
+                        .server_mut(s)
+                        .as_fs_mut()
+                        .unlink(&format!("/bstreams/{name}"));
+                    report.repair(format!("collected {name}"));
+                }
+            }
+        }
+        report
+    }
+
+    fn client_view(&self, states: &ServerStates) -> PfsView {
+        let mut view = PfsView::new();
+        let root_owner = self.placement.dir_index("/", self.topo.metadata_servers().len());
+        self.walk_dir(states, "root", root_owner, "/", &mut view);
+        view
+    }
+
+    fn restart_cost_secs(&self) -> f64 {
+        1.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_updates_are_each_followed_by_fdatasync() {
+        let mut fs = OrangeFs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/foo".into() }, None);
+        let ops: Vec<&FsOp> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter_map(|id| match &rec.event(id).payload {
+                Payload::Fs { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        // Appends to DB files alternate with fdatasync.
+        for w in ops.windows(2) {
+            if let FsOp::Append { path, .. } = w[0] {
+                if path.starts_with("/db/") {
+                    assert!(
+                        matches!(w[1], FsOp::Fdatasync { path: p } if p == path),
+                        "DB append not followed by fdatasync"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_reconstructs_files_from_db_and_bstreams() {
+        let mut fs = OrangeFs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/A/foo".into(),
+                offset: 0,
+                data: b"orange".to_vec(),
+            },
+            None,
+        );
+        let view = fs.client_view(fs.live());
+        assert!(view.dirs.contains("/A"));
+        assert_eq!(view.read("/A/foo"), Some(&b"orange"[..]));
+    }
+
+    #[test]
+    fn same_dir_rename_is_one_atomic_record() {
+        let mut fs = OrangeFs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        let before = rec.len();
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/tmp".into(),
+                dst: "/file".into(),
+            },
+            None,
+        );
+        let records: Vec<String> = rec.events()[before..]
+            .iter()
+            .filter_map(|e| match &e.payload {
+                Payload::Fs {
+                    op: FsOp::Append { data, .. },
+                    ..
+                } => Some(String::from_utf8_lossy(data).to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert!(records[0].starts_with("M "));
+        let view = fs.client_view(fs.live());
+        assert!(view.exists("/file") && !view.exists("/tmp"));
+    }
+
+    #[test]
+    fn cross_dir_rename_is_insert_then_delete_bug4_window() {
+        let mut fs = OrangeFs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Rename {
+                src: "/A/foo".into(),
+                dst: "/B/foo".into(),
+            },
+            None,
+        );
+        // Crash after the insert but before the delete: foo in BOTH dirs.
+        let low = rec.lowermost_events();
+        // Insert record + its fdatasync are the first two lowermost ops.
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, low[..2].iter().copied());
+        let view = fs.client_view(&states);
+        assert!(view.exists("/A/foo") && view.exists("/B/foo"), "{view}");
+        // And pvfs2-fsck does not repair it.
+        let mut s2 = states.clone();
+        let _ = fs.recover(&mut s2);
+        let v2 = fs.client_view(&s2);
+        assert!(v2.exists("/A/foo") && v2.exists("/B/foo"));
+    }
+
+    #[test]
+    fn fsck_collects_stranded_bstreams() {
+        let mut fs = OrangeFs::paper_default();
+        let mut rec = Recorder::new();
+        let c = Process::Client(0);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Pwrite {
+                path: "/f".into(),
+                offset: 0,
+                data: b"x".to_vec(),
+            },
+            None,
+        );
+        fs.seal_baseline();
+        let mut rec = Recorder::new();
+        fs.dispatch(&mut rec, c, &PfsCall::Unlink { path: "/f".into() }, None);
+        // Crash state: rename-to-stranded persisted, final unlink not.
+        let keep: Vec<EventId> = rec
+            .lowermost_events()
+            .into_iter()
+            .filter(|&id| {
+                !matches!(&rec.event(id).payload,
+                    Payload::Fs { op: FsOp::Unlink { path }, .. } if path.contains("stranded"))
+            })
+            .collect();
+        let mut states = fs.baseline().clone();
+        states.apply_events(&rec, keep);
+        let report = fs.recover(&mut states);
+        assert!(report.findings.iter().any(|f| f.contains("orphan bstream")));
+        assert_eq!(fs.client_view(&states), PfsView::new());
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-server persistent stores and crash-state materialization.
+
+use simfs::{BlockDev, BlockOp, FsOp, FsState, JournalMode};
+use tracer::{EventId, Payload, Recorder};
+
+/// The persistent store of one server: a local file system (user-level
+/// PFS) or a raw block device (kernel-level PFS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Store {
+    /// Local file system with its journaling mode.
+    Fs {
+        /// The file-system state.
+        state: FsState,
+        /// Journaling mode in effect.
+        journal: JournalMode,
+    },
+    /// Raw block device.
+    Block(BlockDev),
+}
+
+impl Store {
+    /// A fresh local-FS store.
+    pub fn fs(journal: JournalMode) -> Self {
+        Store::Fs {
+            state: FsState::new(),
+            journal,
+        }
+    }
+
+    /// A fresh block store.
+    pub fn block() -> Self {
+        Store::Block(BlockDev::new())
+    }
+
+    /// The journaling mode, if this is a local FS.
+    pub fn journal(&self) -> Option<JournalMode> {
+        match self {
+            Store::Fs { journal, .. } => Some(*journal),
+            Store::Block(_) => None,
+        }
+    }
+
+    /// Borrow the FS state (panics on block stores — callers know their
+    /// PFS kind).
+    pub fn as_fs(&self) -> &FsState {
+        match self {
+            Store::Fs { state, .. } => state,
+            Store::Block(_) => panic!("expected a local-FS store"),
+        }
+    }
+
+    /// Mutable FS state.
+    pub fn as_fs_mut(&mut self) -> &mut FsState {
+        match self {
+            Store::Fs { state, .. } => state,
+            Store::Block(_) => panic!("expected a local-FS store"),
+        }
+    }
+
+    /// Borrow the block device.
+    pub fn as_block(&self) -> &BlockDev {
+        match self {
+            Store::Block(dev) => dev,
+            Store::Fs { .. } => panic!("expected a block store"),
+        }
+    }
+
+    /// Mutable block device.
+    pub fn as_block_mut(&mut self) -> &mut BlockDev {
+        match self {
+            Store::Block(dev) => dev,
+            Store::Fs { .. } => panic!("expected a block store"),
+        }
+    }
+
+    /// Apply one local-FS op (lenient: a crash state may contain an op
+    /// whose prerequisite was dropped; the replay then skips it, matching
+    /// the paper's replay of traced calls with Python's `os` module).
+    pub fn apply_fs(&mut self, op: &FsOp) {
+        let _ = self.as_fs_mut().apply(op);
+    }
+
+    /// Apply one block op.
+    pub fn apply_block(&mut self, op: &BlockOp) {
+        self.as_block_mut().apply(op);
+    }
+
+    /// Canonical digest for state dedup.
+    pub fn digest(&self) -> u64 {
+        match self {
+            Store::Fs { state, .. } => state.digest(),
+            Store::Block(dev) => dev.digest(),
+        }
+    }
+}
+
+/// The persistent state of the whole cluster: one store per server,
+/// indexed by server id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStates {
+    stores: Vec<Store>,
+}
+
+impl ServerStates {
+    /// `n` local-FS servers, all with the same journaling mode.
+    pub fn all_fs(n: u32, journal: JournalMode) -> Self {
+        ServerStates {
+            stores: (0..n).map(|_| Store::fs(journal)).collect(),
+        }
+    }
+
+    /// `n` block-device servers.
+    pub fn all_block(n: u32) -> Self {
+        ServerStates {
+            stores: (0..n).map(|_| Store::block()).collect(),
+        }
+    }
+
+    /// Store of server `id`.
+    pub fn server(&self, id: u32) -> &Store {
+        &self.stores[id as usize]
+    }
+
+    /// Mutable store of server `id`.
+    pub fn server_mut(&mut self, id: u32) -> &mut Store {
+        &mut self.stores[id as usize]
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// `true` if no servers.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// Iterate over `(server_id, store)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Store)> {
+        self.stores.iter().enumerate().map(|(i, s)| (i as u32, s))
+    }
+
+    /// Apply a *subset* of recorded lowermost-level events (a crash
+    /// state) in trace order. Non-storage events in `ids` are ignored.
+    pub fn apply_events(&mut self, rec: &Recorder, ids: impl IntoIterator<Item = EventId>) {
+        let mut ids: Vec<EventId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        for id in ids {
+            match &rec.event(id).payload {
+                Payload::Fs { server, op } => self.server_mut(*server).apply_fs(op),
+                Payload::Block { server, op } => self.server_mut(*server).apply_block(op),
+                _ => {}
+            }
+        }
+    }
+
+    /// Digest over all servers, for crash-state dedup and for the
+    /// "distance" metric of the TSP visiting order (§5.3: the distance
+    /// between two crash states is the number of servers whose state
+    /// differs).
+    pub fn per_server_digests(&self) -> Vec<u64> {
+        self.stores.iter().map(|s| s.digest()).collect()
+    }
+
+    /// Number of servers whose state differs from `other` — the TSP edge
+    /// weight of §5.3.
+    pub fn server_distance(&self, other: &ServerStates) -> usize {
+        self.per_server_digests()
+            .iter()
+            .zip(other.per_server_digests())
+            .filter(|(a, b)| **a != *b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{Layer, Process};
+
+    #[test]
+    fn stores_construct_and_borrow() {
+        let mut s = Store::fs(JournalMode::Data);
+        assert_eq!(s.journal(), Some(JournalMode::Data));
+        s.as_fs_mut().creat("/f").unwrap();
+        assert!(s.as_fs().exists("/f"));
+        let b = Store::block();
+        assert_eq!(b.journal(), None);
+        assert!(b.as_block().is_empty());
+    }
+
+    #[test]
+    fn apply_events_respects_subset_and_order() {
+        let mut rec = Recorder::new();
+        let creat = rec.record(
+            Layer::LocalFs,
+            Process::Server(0),
+            Payload::Fs {
+                server: 0,
+                op: FsOp::Creat { path: "/f".into() },
+            },
+            None,
+        );
+        let write = rec.record(
+            Layer::LocalFs,
+            Process::Server(0),
+            Payload::Fs {
+                server: 0,
+                op: FsOp::Append {
+                    path: "/f".into(),
+                    data: b"x".to_vec(),
+                },
+            },
+            None,
+        );
+        let mut full = ServerStates::all_fs(2, JournalMode::Data);
+        full.apply_events(&rec, [write, creat]); // out of order on purpose
+        assert_eq!(full.server(0).as_fs().read("/f").unwrap(), b"x");
+
+        let mut partial = ServerStates::all_fs(2, JournalMode::Data);
+        partial.apply_events(&rec, [write]); // creat dropped -> append skipped
+        assert!(!partial.server(0).as_fs().exists("/f"));
+    }
+
+    #[test]
+    fn server_distance_counts_differing_servers() {
+        let mut a = ServerStates::all_fs(3, JournalMode::Data);
+        let b = a.clone();
+        assert_eq!(a.server_distance(&b), 0);
+        a.server_mut(1).as_fs_mut().creat("/x").unwrap();
+        assert_eq!(a.server_distance(&b), 1);
+        a.server_mut(2).as_fs_mut().creat("/y").unwrap();
+        assert_eq!(a.server_distance(&b), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! The client-visible file tree of a (possibly recovered) PFS, and
+//! recovery reports.
+//!
+//! ParaCrash's golden-master comparison happens at this level: a recovered
+//! crash state is *consistent* iff its client-visible tree matches the
+//! tree produced by replaying some legal preserved set of PFS calls
+//! (§4.4.3). The view deliberately abstracts away server placement, chunk
+//! names and internal metadata — those are implementation details the
+//! crash-consistency contract does not cover.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A logical file tree as seen through the PFS mount point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PfsView {
+    /// Regular files: mount-relative path → content. A file that exists
+    /// but whose data is unreadable (lost chunk) maps to `None`.
+    pub files: BTreeMap<String, Option<Vec<u8>>>,
+    /// Directories (mount-relative paths, `/` excluded).
+    pub dirs: BTreeSet<String>,
+}
+
+impl PfsView {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a readable file.
+    pub fn add_file(&mut self, path: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.files.insert(path.into(), Some(data.into()));
+    }
+
+    /// Add a file whose content could not be reconstructed.
+    pub fn add_damaged_file(&mut self, path: impl Into<String>) {
+        self.files.insert(path.into(), None);
+    }
+
+    /// Add a directory.
+    pub fn add_dir(&mut self, path: impl Into<String>) {
+        self.dirs.insert(path.into());
+    }
+
+    /// Content of a file, if present and readable.
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).and_then(|d| d.as_deref())
+    }
+
+    /// `true` if a file or directory exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path) || self.dirs.contains(path)
+    }
+
+    /// Canonical digest (for dedup of recovered states).
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.files.hash(&mut h);
+        self.dirs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Human-readable diff against another view (for bug reports).
+    pub fn diff(&self, other: &PfsView) -> Vec<String> {
+        let mut out = Vec::new();
+        for (p, d) in &self.files {
+            match other.files.get(p) {
+                None => out.push(format!("file {p} missing in other")),
+                Some(od) if od != d => out.push(format!("file {p} content differs")),
+                _ => {}
+            }
+        }
+        for p in other.files.keys() {
+            if !self.files.contains_key(p) {
+                out.push(format!("file {p} only in other"));
+            }
+        }
+        for d in self.dirs.symmetric_difference(&other.dirs) {
+            out.push(format!("dir {d} present in only one view"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for PfsView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dirs {
+            writeln!(f, "{d}/")?;
+        }
+        for (p, data) in &self.files {
+            match data {
+                Some(d) => writeln!(f, "{p} ({} bytes)", d.len())?,
+                None => writeln!(f, "{p} (UNREADABLE)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the PFS's recovery tool did with a crash state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tool name (`beegfs-fsck`, `mmfsck`, …).
+    pub tool: String,
+    /// Issues found, in tool-output style.
+    pub findings: Vec<String>,
+    /// Repairs applied.
+    pub repairs: Vec<String>,
+    /// `true` if the tool declared the file system unrecoverable /
+    /// left known damage behind.
+    pub unrecovered_damage: bool,
+}
+
+impl RecoveryReport {
+    /// A clean run of `tool` (nothing to fix).
+    pub fn clean(tool: impl Into<String>) -> Self {
+        RecoveryReport {
+            tool: tool.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Record a finding.
+    pub fn finding(&mut self, msg: impl Into<String>) {
+        self.findings.push(msg.into());
+    }
+
+    /// Record a repair.
+    pub fn repair(&mut self, msg: impl Into<String>) {
+        self.repairs.push(msg.into());
+    }
+
+    /// `true` if the tool found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && !self.unrecovered_damage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_roundtrip_and_digest() {
+        let mut a = PfsView::new();
+        a.add_dir("/A");
+        a.add_file("/A/foo", b"data".to_vec());
+        assert!(a.exists("/A"));
+        assert!(a.exists("/A/foo"));
+        assert_eq!(a.read("/A/foo"), Some(&b"data"[..]));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn damaged_files_differ_from_readable() {
+        let mut a = PfsView::new();
+        a.add_file("/f", b"x".to_vec());
+        let mut b = PfsView::new();
+        b.add_damaged_file("/f");
+        assert_ne!(a, b);
+        assert_eq!(b.read("/f"), None);
+        assert!(b.exists("/f"));
+    }
+
+    #[test]
+    fn diff_lists_discrepancies() {
+        let mut a = PfsView::new();
+        a.add_file("/x", b"1".to_vec());
+        a.add_dir("/d");
+        let mut b = PfsView::new();
+        b.add_file("/x", b"2".to_vec());
+        b.add_file("/y", b"3".to_vec());
+        let d = a.diff(&b);
+        assert!(d.iter().any(|s| s.contains("/x") && s.contains("differs")));
+        assert!(d.iter().any(|s| s.contains("/y")));
+        assert!(d.iter().any(|s| s.contains("/d")));
+    }
+
+    #[test]
+    fn recovery_report_flags() {
+        let mut r = RecoveryReport::clean("beegfs-fsck");
+        assert!(r.is_clean());
+        r.finding("dangling dentry");
+        r.repair("dropped dentry");
+        assert!(!r.is_clean());
+    }
+}

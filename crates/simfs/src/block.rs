@@ -1,0 +1,274 @@
+//! Block-device substrate for kernel-level parallel file systems.
+//!
+//! GPFS and Lustre do not issue POSIX calls against a local file system;
+//! they write disk blocks directly. The paper mounts them on iSCSI disks
+//! and traces `scsi_write(LBA)` / `scsi_synchronize_cache` commands
+//! (Figure 7). Each traced block write is *tagged* with the on-disk
+//! structure it updates (Figure 9(d): "log file", "inode of file",
+//! "parent dir", "inode allocation map"), which is what ParaCrash's
+//! semantic analysis and bug reports consume.
+//!
+//! Persistence semantics: a disk may persist outstanding writes in any
+//! order; ordering is only enforced by cache-flush barriers
+//! (`scsi_synchronize_cache`). Writes may also be grouped into *atomic log
+//! groups* by the file system's journal — the group is a promise the FS
+//! makes, and ParaCrash checks whether a crash can break it (Table 3
+//! bug 3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The on-disk structure a tagged block write updates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StructTag {
+    /// File-system journal / log file block.
+    LogFile,
+    /// Inode of the named object.
+    Inode(String),
+    /// Directory-entry block of the named directory.
+    DirEntry(String),
+    /// Inode / block allocation map.
+    AllocMap,
+    /// Content block of the named file.
+    FileContent(String),
+    /// File-system superblock.
+    Superblock,
+    /// Anything else.
+    Other(String),
+}
+
+impl StructTag {
+    /// `true` for tags that represent file-system metadata.
+    pub fn is_meta(&self) -> bool {
+        !matches!(self, StructTag::FileContent(_))
+    }
+
+    /// The object name the tag refers to, if any.
+    pub fn object(&self) -> Option<&str> {
+        match self {
+            StructTag::Inode(n) | StructTag::DirEntry(n) | StructTag::FileContent(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StructTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructTag::LogFile => write!(f, "log file"),
+            StructTag::Inode(n) => write!(f, "inode of {n}"),
+            StructTag::DirEntry(n) => write!(f, "d_entry of {n}"),
+            StructTag::AllocMap => write!(f, "inode allocation map"),
+            StructTag::FileContent(n) => write!(f, "content of {n}"),
+            StructTag::Superblock => write!(f, "superblock"),
+            StructTag::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One traced block-level command.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BlockOp {
+    /// `scsi_write(LBA)` — tagged with the structure it updates and,
+    /// optionally, the atomic journal group it belongs to.
+    Write {
+        lba: u64,
+        payload: Vec<u8>,
+        tag: StructTag,
+        /// Writes sharing a group id are intended by the FS journal to be
+        /// all-or-nothing.
+        atomic_group: Option<u32>,
+    },
+    /// `scsi_synchronize_cache` — persistence barrier: every write issued
+    /// before it (on this device) is persisted before any write issued
+    /// after it.
+    SyncCache,
+}
+
+impl BlockOp {
+    /// Convenience constructor for a tagged write.
+    pub fn write(lba: u64, tag: StructTag, payload: impl Into<Vec<u8>>) -> Self {
+        BlockOp::Write {
+            lba,
+            payload: payload.into(),
+            tag,
+            atomic_group: None,
+        }
+    }
+
+    /// Convenience constructor for a tagged write inside an atomic group.
+    pub fn write_in_group(
+        lba: u64,
+        tag: StructTag,
+        payload: impl Into<Vec<u8>>,
+        group: u32,
+    ) -> Self {
+        BlockOp::Write {
+            lba,
+            payload: payload.into(),
+            tag,
+            atomic_group: Some(group),
+        }
+    }
+
+    /// `true` for the barrier command.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, BlockOp::SyncCache)
+    }
+
+    /// `true` if the command mutates the device.
+    pub fn is_update(&self) -> bool {
+        !self.is_sync()
+    }
+
+    /// The structure tag, if this is a write.
+    pub fn tag(&self) -> Option<&StructTag> {
+        match self {
+            BlockOp::Write { tag, .. } => Some(tag),
+            BlockOp::SyncCache => None,
+        }
+    }
+
+    /// The atomic group id, if any.
+    pub fn atomic_group(&self) -> Option<u32> {
+        match self {
+            BlockOp::Write { atomic_group, .. } => *atomic_group,
+            BlockOp::SyncCache => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockOp::Write { lba, tag, .. } => write!(f, "scsi_write(LBA: {lba}, {tag})"),
+            BlockOp::SyncCache => write!(f, "scsi_synchronize_cache()"),
+        }
+    }
+}
+
+/// Block-level persistence rule: with write-back caching, two writes on the
+/// same device are ordered only if a cache-flush barrier was issued between
+/// them (`op1 → sync → op2` in happens-before order). The caller scans the
+/// trace for such a barrier and passes the result.
+pub fn block_persists_before(op1: &BlockOp, op2: &BlockOp, barrier_between: bool) -> bool {
+    op1.is_update() && op2.is_update() && barrier_between
+}
+
+/// An addressable block device, snapshot-able like [`crate::FsState`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockDev {
+    blocks: BTreeMap<u64, (StructTag, Vec<u8>)>,
+}
+
+impl BlockDev {
+    /// An empty (all-zero) device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one command. `SyncCache` is a no-op at the state level.
+    pub fn apply(&mut self, op: &BlockOp) {
+        if let BlockOp::Write {
+            lba, payload, tag, ..
+        } = op
+        {
+            self.blocks.insert(*lba, (tag.clone(), payload.clone()));
+        }
+    }
+
+    /// Read the content last written to `lba`, if any.
+    pub fn read(&self, lba: u64) -> Option<&[u8]> {
+        self.blocks.get(&lba).map(|(_, d)| d.as_slice())
+    }
+
+    /// Read the tag of the block at `lba`, if written.
+    pub fn tag_at(&self, lba: u64) -> Option<&StructTag> {
+        self.blocks.get(&lba).map(|(t, _)| t)
+    }
+
+    /// All written blocks in LBA order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &StructTag, &[u8])> {
+        self.blocks.iter().map(|(l, (t, d))| (l, t, d.as_slice()))
+    }
+
+    /// Number of written blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if nothing was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Canonical digest for crash-state dedup.
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.blocks.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_land_and_overwrite() {
+        let mut dev = BlockDev::new();
+        dev.apply(&BlockOp::write(8, StructTag::LogFile, vec![1]));
+        dev.apply(&BlockOp::write(8, StructTag::LogFile, vec![2]));
+        assert_eq!(dev.read(8), Some(&[2u8][..]));
+        assert_eq!(dev.len(), 1);
+    }
+
+    #[test]
+    fn sync_cache_is_stateless() {
+        let mut dev = BlockDev::new();
+        let d0 = dev.digest();
+        dev.apply(&BlockOp::SyncCache);
+        assert_eq!(dev.digest(), d0);
+        assert!(dev.is_empty());
+    }
+
+    #[test]
+    fn barrier_rule() {
+        let w1 = BlockOp::write(0, StructTag::Superblock, vec![0]);
+        let w2 = BlockOp::write(1, StructTag::LogFile, vec![0]);
+        assert!(block_persists_before(&w1, &w2, true));
+        assert!(!block_persists_before(&w1, &w2, false));
+        assert!(!block_persists_before(&BlockOp::SyncCache, &w2, true));
+    }
+
+    #[test]
+    fn tags_classify_and_name() {
+        assert!(StructTag::Inode("f".into()).is_meta());
+        assert!(!StructTag::FileContent("f".into()).is_meta());
+        assert_eq!(StructTag::DirEntry("d".into()).object(), Some("d"));
+        assert_eq!(StructTag::AllocMap.object(), None);
+        assert_eq!(
+            BlockOp::write(2297128, StructTag::LogFile, vec![]).to_string(),
+            "scsi_write(LBA: 2297128, log file)"
+        );
+    }
+
+    #[test]
+    fn atomic_groups_recorded() {
+        let w = BlockOp::write_in_group(4, StructTag::AllocMap, vec![1], 7);
+        assert_eq!(w.atomic_group(), Some(7));
+        assert_eq!(BlockOp::SyncCache.atomic_group(), None);
+    }
+
+    #[test]
+    fn digests_differ_on_content() {
+        let mut a = BlockDev::new();
+        let mut b = BlockDev::new();
+        a.apply(&BlockOp::write(1, StructTag::LogFile, vec![1]));
+        b.apply(&BlockOp::write(1, StructTag::LogFile, vec![2]));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a, b);
+    }
+}

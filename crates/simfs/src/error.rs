@@ -1,0 +1,44 @@
+//! Error type for local file-system operations.
+
+use std::fmt;
+
+/// Result alias used throughout `simfs`.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors produced when applying an [`crate::FsOp`] to an
+/// [`crate::FsState`]. The variants mirror the POSIX errnos the real stack
+/// would return, which matters because ParaCrash's replay distinguishes
+/// "operation could not have persisted" from "file system corrupted".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// `ENOENT`: a path component does not exist.
+    NotFound(String),
+    /// `EEXIST`: target already exists (e.g. `mkdir` over a file).
+    AlreadyExists(String),
+    /// `ENOTDIR`: a non-directory appears where a directory is required.
+    NotADirectory(String),
+    /// `EISDIR`: a directory appears where a file is required.
+    IsADirectory(String),
+    /// `ENOTEMPTY`: removing / renaming over a non-empty directory.
+    NotEmpty(String),
+    /// `EINVAL`: structurally invalid request (bad path, rename into self…).
+    Invalid(String),
+    /// `ENOATTR`: extended attribute not present.
+    NoAttr(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "ENOENT: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "EEXIST: {p}"),
+            FsError::NotADirectory(p) => write!(f, "ENOTDIR: {p}"),
+            FsError::IsADirectory(p) => write!(f, "EISDIR: {p}"),
+            FsError::NotEmpty(p) => write!(f, "ENOTEMPTY: {p}"),
+            FsError::Invalid(m) => write!(f, "EINVAL: {m}"),
+            FsError::NoAttr(a) => write!(f, "ENOATTR: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

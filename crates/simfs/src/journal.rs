@@ -1,0 +1,171 @@
+//! Journaling modes and the intra-file-system persistence ordering rule.
+//!
+//! This is the local-FS half of **Algorithm 2** in the paper
+//! (`persists_before`). Operations executed on the *same* local file system
+//! are ordered on persistent storage according to the journaling mode of
+//! that file system:
+//!
+//! * **data journaling** — every update (data and metadata) is journaled, so
+//!   updates persist exactly in their execution (happens-before) order. The
+//!   paper's evaluation runs ext4 in this, its safest, mode.
+//! * **ordered** (ext4 default) — metadata updates persist in order, and the
+//!   data blocks a metadata update references are flushed before the
+//!   metadata commits; independent data writes may reorder freely.
+//! * **writeback** — only metadata updates are ordered; data writes may
+//!   persist in any order relative to everything else.
+//! * **none** — nothing is ordered except by explicit commits (`fsync`);
+//!   also used to model local file systems such as Btrfs that may reorder
+//!   directory operations (Figure 2 case ③).
+//!
+//! Cross-file-system ordering (the `else` branch of Algorithm 2: an `fsync`
+//! that happened between the two operations) is implemented in the
+//! `paracrash` crate, which owns the full causality graph.
+
+use crate::ops::{FsOp, OpClass};
+
+/// Journaling mode of one local file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JournalMode {
+    /// Everything persists in execution order (`data=journal`).
+    #[default]
+    Data,
+    /// Metadata ordered; data ordered only relative to metadata that
+    /// references the same file (`data=ordered`).
+    Ordered,
+    /// Only metadata ordered (`data=writeback`).
+    Writeback,
+    /// No ordering at all without explicit commits (models FSs that can
+    /// reorder even directory operations).
+    None,
+}
+
+impl JournalMode {
+    /// Parse the mount-option spelling used in configuration files.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "data" | "journal" | "data=journal" => Some(JournalMode::Data),
+            "ordered" | "data=ordered" => Some(JournalMode::Ordered),
+            "writeback" | "data=writeback" => Some(JournalMode::Writeback),
+            "none" => Some(JournalMode::None),
+            _ => None,
+        }
+    }
+
+    /// Mount-option spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JournalMode::Data => "data=journal",
+            JournalMode::Ordered => "data=ordered",
+            JournalMode::Writeback => "data=writeback",
+            JournalMode::None => "none",
+        }
+    }
+}
+
+/// Same-local-FS persistence rule of Algorithm 2.
+///
+/// Given two *update* operations `op1`, `op2` executed on the same local
+/// file system and the fact `hb12 = happens_before(op1, op2)`, decide
+/// whether the journal guarantees `op1` is persisted no later than `op2`.
+///
+/// Sync operations never participate (they impose ordering through the
+/// cross-FS commit rule instead).
+pub fn same_fs_persists_before(mode: JournalMode, op1: &FsOp, op2: &FsOp, hb12: bool) -> bool {
+    if !hb12 || op1.is_sync() || op2.is_sync() {
+        return false;
+    }
+    match mode {
+        JournalMode::Data => true,
+        JournalMode::Ordered => match (op1.class(), op2.class()) {
+            (OpClass::Meta, OpClass::Meta) => true,
+            // Data blocks are flushed before a later metadata commit that
+            // references the same file.
+            (OpClass::Data, OpClass::Meta) => op1.touches_same_file(op2),
+            _ => false,
+        },
+        JournalMode::Writeback => op1.is_meta() && op2.is_meta(),
+        JournalMode::None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(path: &str) -> FsOp {
+        FsOp::Append {
+            path: path.into(),
+            data: vec![0],
+        }
+    }
+
+    fn meta(path: &str) -> FsOp {
+        FsOp::Creat { path: path.into() }
+    }
+
+    #[test]
+    fn data_journal_orders_everything_in_hb() {
+        let (a, b) = (data("/x"), meta("/y"));
+        assert!(same_fs_persists_before(JournalMode::Data, &a, &b, true));
+        assert!(same_fs_persists_before(JournalMode::Data, &b, &a, true));
+        assert!(!same_fs_persists_before(JournalMode::Data, &a, &b, false));
+    }
+
+    #[test]
+    fn writeback_orders_only_metadata() {
+        let (d1, d2) = (data("/x"), data("/y"));
+        let (m1, m2) = (meta("/x"), meta("/y"));
+        assert!(same_fs_persists_before(JournalMode::Writeback, &m1, &m2, true));
+        assert!(!same_fs_persists_before(JournalMode::Writeback, &d1, &d2, true));
+        assert!(!same_fs_persists_before(JournalMode::Writeback, &d1, &m2, true));
+        assert!(!same_fs_persists_before(JournalMode::Writeback, &m1, &d2, true));
+    }
+
+    #[test]
+    fn ordered_flushes_data_before_same_file_metadata() {
+        let d = data("/f");
+        let m_same = FsOp::Truncate {
+            path: "/f".into(),
+            size: 0,
+        };
+        let m_other = meta("/g");
+        assert!(same_fs_persists_before(JournalMode::Ordered, &d, &m_same, true));
+        assert!(!same_fs_persists_before(JournalMode::Ordered, &d, &m_other, true));
+        assert!(same_fs_persists_before(JournalMode::Ordered, &m_other, &m_same, true));
+        assert!(!same_fs_persists_before(JournalMode::Ordered, &m_same, &d, true));
+        assert!(!same_fs_persists_before(
+            JournalMode::Ordered,
+            &data("/f"),
+            &data("/f"),
+            true
+        ));
+    }
+
+    #[test]
+    fn none_orders_nothing() {
+        let (m1, m2) = (meta("/x"), meta("/y"));
+        assert!(!same_fs_persists_before(JournalMode::None, &m1, &m2, true));
+    }
+
+    #[test]
+    fn sync_ops_do_not_participate() {
+        let s = FsOp::Fsync { path: "/f".into() };
+        let m = meta("/f");
+        assert!(!same_fs_persists_before(JournalMode::Data, &s, &m, true));
+        assert!(!same_fs_persists_before(JournalMode::Data, &m, &s, true));
+    }
+
+    #[test]
+    fn mode_parse_roundtrip() {
+        for mode in [
+            JournalMode::Data,
+            JournalMode::Ordered,
+            JournalMode::Writeback,
+            JournalMode::None,
+        ] {
+            assert_eq!(JournalMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(JournalMode::parse("data"), Some(JournalMode::Data));
+        assert_eq!(JournalMode::parse("bogus"), None);
+    }
+}

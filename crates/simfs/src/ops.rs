@@ -1,0 +1,268 @@
+//! The local file-system operation vocabulary.
+//!
+//! These are the *lowermost-level* I/O operations of the paper for
+//! user-level parallel file systems: the POSIX calls a PFS server process
+//! issues against its backing ext4 store, as captured by `strace` in the
+//! original system. ParaCrash's crash emulation replays subsets of these
+//! operations; its persistence analysis classifies each as a *data* or
+//! *metadata* operation (journaling modes order them differently).
+
+use std::fmt;
+
+/// Classification of an operation for journaling purposes.
+///
+/// ext4's `ordered` and `writeback` journal modes only order *metadata*
+/// updates; data block writes may be persisted out of order. `data`
+/// journaling orders everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Updates file content only (`pwrite`, `append`).
+    Data,
+    /// Updates namespace / inode metadata (`creat`, `rename`, `link`, …).
+    Meta,
+    /// A commit point (`fsync`, `fdatasync`, `syncfs`) — persists nothing
+    /// itself but constrains the persistence order of other operations.
+    Sync,
+}
+
+/// A single local file-system operation.
+///
+/// Paths are absolute within one server's local namespace
+/// (e.g. `/data/chunks/4-5F.../chunk0`). The parallel-file-system models in
+/// the `pfs` crate generate these; ParaCrash replays them. Variant fields
+/// are self-describing POSIX call arguments (`path`, `offset`, `data`,
+/// `src`, `dst`, `key`, `value`, `size`).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FsOp {
+    /// `creat(path)` — create an empty regular file (truncates if present).
+    Creat { path: String },
+    /// `mkdir(path)`.
+    Mkdir { path: String },
+    /// `pwrite(path, offset, data)` — positional write, extends the file if
+    /// needed.
+    Pwrite {
+        path: String,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    /// `append(path, data)` — write at end-of-file (the paper traces
+    /// chunk-file appends on BeeGFS storage servers).
+    Append { path: String, data: Vec<u8> },
+    /// `truncate(path, size)`.
+    Truncate { path: String, size: u64 },
+    /// `rename(src, dst)` — atomic within one local FS.
+    Rename { src: String, dst: String },
+    /// `link(src, dst)` — hard link; BeeGFS links idfiles into dentry dirs.
+    Link { src: String, dst: String },
+    /// `unlink(path)` — remove one name (file is gone when nlink hits 0).
+    Unlink { path: String },
+    /// `rmdir(path)` — remove an empty directory.
+    Rmdir { path: String },
+    /// `setxattr(path, key, value)` — BeeGFS/GlusterFS store PFS metadata in
+    /// extended attributes.
+    SetXattr {
+        path: String,
+        key: String,
+        value: Vec<u8>,
+    },
+    /// `removexattr(path, key)`.
+    RemoveXattr { path: String, key: String },
+    /// `fsync(path)` — commit data *and* metadata of one file.
+    Fsync { path: String },
+    /// `fdatasync(path)` — commit the data (and size) of one file;
+    /// OrangeFS issues this after every Berkeley-DB page write.
+    Fdatasync { path: String },
+    /// `syncfs` — commit everything on this local file system.
+    SyncFs,
+}
+
+impl FsOp {
+    /// Journal classification of this operation.
+    pub fn class(&self) -> OpClass {
+        match self {
+            FsOp::Pwrite { .. } | FsOp::Append { .. } => OpClass::Data,
+            FsOp::Fsync { .. } | FsOp::Fdatasync { .. } | FsOp::SyncFs => OpClass::Sync,
+            _ => OpClass::Meta,
+        }
+    }
+
+    /// `true` if this operation is a metadata update.
+    pub fn is_meta(&self) -> bool {
+        self.class() == OpClass::Meta
+    }
+
+    /// `true` if this operation is a data update.
+    pub fn is_data(&self) -> bool {
+        self.class() == OpClass::Data
+    }
+
+    /// `true` for commit operations (`fsync` family).
+    pub fn is_sync(&self) -> bool {
+        self.class() == OpClass::Sync
+    }
+
+    /// `true` if the operation mutates persistent state (sync ops do not).
+    pub fn is_update(&self) -> bool {
+        !self.is_sync()
+    }
+
+    /// The primary path this operation touches (the file whose persistence
+    /// an `fsync` would commit). `Rename`/`Link` return their *source*;
+    /// use [`FsOp::paths`] for every touched path.
+    pub fn primary_path(&self) -> Option<&str> {
+        match self {
+            FsOp::Creat { path }
+            | FsOp::Mkdir { path }
+            | FsOp::Pwrite { path, .. }
+            | FsOp::Append { path, .. }
+            | FsOp::Truncate { path, .. }
+            | FsOp::Unlink { path }
+            | FsOp::Rmdir { path }
+            | FsOp::SetXattr { path, .. }
+            | FsOp::RemoveXattr { path, .. }
+            | FsOp::Fsync { path }
+            | FsOp::Fdatasync { path } => Some(path),
+            FsOp::Rename { src, .. } | FsOp::Link { src, .. } => Some(src),
+            FsOp::SyncFs => None,
+        }
+    }
+
+    /// Every path this operation touches.
+    pub fn paths(&self) -> Vec<&str> {
+        match self {
+            FsOp::Rename { src, dst } | FsOp::Link { src, dst } => vec![src, dst],
+            FsOp::SyncFs => vec![],
+            _ => self.primary_path().into_iter().collect(),
+        }
+    }
+
+    /// `true` if `self` and `other` touch at least one common path.
+    pub fn touches_same_file(&self, other: &FsOp) -> bool {
+        let a = self.paths();
+        if a.is_empty() {
+            return false;
+        }
+        other.paths().iter().any(|p| a.contains(p))
+    }
+
+    /// Short syscall-style mnemonic used in traces and bug reports,
+    /// mirroring the notation of Table 3 (`append`, `rename`, `unlink`, …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            FsOp::Creat { .. } => "creat",
+            FsOp::Mkdir { .. } => "mkdir",
+            FsOp::Pwrite { .. } => "pwrite",
+            FsOp::Append { .. } => "append",
+            FsOp::Truncate { .. } => "truncate",
+            FsOp::Rename { .. } => "rename",
+            FsOp::Link { .. } => "link",
+            FsOp::Unlink { .. } => "unlink",
+            FsOp::Rmdir { .. } => "rmdir",
+            FsOp::SetXattr { .. } => "setxattr",
+            FsOp::RemoveXattr { .. } => "removexattr",
+            FsOp::Fsync { .. } => "fsync",
+            FsOp::Fdatasync { .. } => "fdatasync",
+            FsOp::SyncFs => "syncfs",
+        }
+    }
+}
+
+impl fmt::Display for FsOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsOp::Creat { path } => write!(f, "creat({path})"),
+            FsOp::Mkdir { path } => write!(f, "mkdir({path})"),
+            FsOp::Pwrite { path, offset, data } => {
+                write!(f, "pwrite({path}, off={offset}, len={})", data.len())
+            }
+            FsOp::Append { path, data } => write!(f, "append({path}, len={})", data.len()),
+            FsOp::Truncate { path, size } => write!(f, "truncate({path}, {size})"),
+            FsOp::Rename { src, dst } => write!(f, "rename({src}, {dst})"),
+            FsOp::Link { src, dst } => write!(f, "link({src}, {dst})"),
+            FsOp::Unlink { path } => write!(f, "unlink({path})"),
+            FsOp::Rmdir { path } => write!(f, "rmdir({path})"),
+            FsOp::SetXattr { path, key, .. } => write!(f, "setxattr({path}, {key})"),
+            FsOp::RemoveXattr { path, key } => write!(f, "removexattr({path}, {key})"),
+            FsOp::Fsync { path } => write!(f, "fsync({path})"),
+            FsOp::Fdatasync { path } => write!(f, "fdatasync({path})"),
+            FsOp::SyncFs => write!(f, "syncfs()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(path: &str) -> FsOp {
+        FsOp::Pwrite {
+            path: path.into(),
+            offset: 0,
+            data: vec![1],
+        }
+    }
+
+    #[test]
+    fn classification_matches_journal_semantics() {
+        assert_eq!(w("/f").class(), OpClass::Data);
+        assert_eq!(
+            FsOp::Append {
+                path: "/f".into(),
+                data: vec![]
+            }
+            .class(),
+            OpClass::Data
+        );
+        assert_eq!(FsOp::Creat { path: "/f".into() }.class(), OpClass::Meta);
+        assert_eq!(
+            FsOp::Rename {
+                src: "/a".into(),
+                dst: "/b".into()
+            }
+            .class(),
+            OpClass::Meta
+        );
+        assert_eq!(FsOp::Fsync { path: "/f".into() }.class(), OpClass::Sync);
+        assert!(FsOp::SyncFs.is_sync());
+        assert!(!FsOp::SyncFs.is_update());
+    }
+
+    #[test]
+    fn rename_touches_both_paths() {
+        let r = FsOp::Rename {
+            src: "/a".into(),
+            dst: "/b".into(),
+        };
+        assert_eq!(r.paths(), vec!["/a", "/b"]);
+        assert!(r.touches_same_file(&w("/a")));
+        assert!(r.touches_same_file(&w("/b")));
+        assert!(!r.touches_same_file(&w("/c")));
+    }
+
+    #[test]
+    fn syncfs_touches_nothing_by_path() {
+        assert!(FsOp::SyncFs.paths().is_empty());
+        assert!(!FsOp::SyncFs.touches_same_file(&w("/a")));
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(w("/f").mnemonic(), "pwrite");
+        assert_eq!(
+            FsOp::SetXattr {
+                path: "/f".into(),
+                key: "user.k".into(),
+                value: vec![]
+            }
+            .mnemonic(),
+            "setxattr"
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(w("/f").to_string(), "pwrite(/f, off=0, len=1)");
+        assert_eq!(FsOp::SyncFs.to_string(), "syncfs()");
+    }
+}

@@ -1,0 +1,752 @@
+//! In-memory POSIX-like file-system state.
+//!
+//! [`FsState`] is the storage target onto which ParaCrash replays operation
+//! subsets. It is inode-based (so hard links behave correctly — BeeGFS
+//! metadata servers `link()` idfiles into dentry directories) and fully
+//! deterministic: two states produced by replaying the same operations are
+//! structurally equal, which is what the golden-master comparison relies on.
+
+use crate::error::{FsError, FsResult};
+use crate::ops::FsOp;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Inode number.
+pub type Ino = u64;
+
+const ROOT_INO: Ino = 1;
+
+/// A file or directory inode.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inode {
+    /// Regular file: raw content plus extended attributes.
+    File {
+        /// File content.
+        data: Vec<u8>,
+        /// Extended attributes.
+        xattrs: BTreeMap<String, Vec<u8>>,
+    },
+    /// Directory: name → inode map plus extended attributes.
+    Dir {
+        /// Child entries.
+        entries: BTreeMap<String, Ino>,
+        /// Extended attributes.
+        xattrs: BTreeMap<String, Vec<u8>>,
+    },
+}
+
+impl Inode {
+    fn empty_file() -> Self {
+        Inode::File {
+            data: Vec::new(),
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    fn empty_dir() -> Self {
+        Inode::Dir {
+            entries: BTreeMap::new(),
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    /// Extended attributes of either inode kind.
+    pub fn xattrs(&self) -> &BTreeMap<String, Vec<u8>> {
+        match self {
+            Inode::File { xattrs, .. } | Inode::Dir { xattrs, .. } => xattrs,
+        }
+    }
+
+    fn xattrs_mut(&mut self) -> &mut BTreeMap<String, Vec<u8>> {
+        match self {
+            Inode::File { xattrs, .. } | Inode::Dir { xattrs, .. } => xattrs,
+        }
+    }
+
+    /// `true` for directories.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, Inode::Dir { .. })
+    }
+}
+
+/// A snapshot-able, comparable local file system.
+///
+/// Cloning an `FsState` is the simulation analogue of taking an LVM/ext4
+/// snapshot of a storage server before crash emulation (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsState {
+    inodes: BTreeMap<Ino, Inode>,
+    next_ino: Ino,
+}
+
+impl Default for FsState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FsState {
+    /// An empty file system containing only `/`.
+    pub fn new() -> Self {
+        let mut inodes = BTreeMap::new();
+        inodes.insert(ROOT_INO, Inode::empty_dir());
+        FsState {
+            inodes,
+            next_ino: ROOT_INO + 1,
+        }
+    }
+
+    /// Split an absolute path into components; rejects empty / relative
+    /// paths. `/` itself yields an empty component list.
+    fn components(path: &str) -> FsResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(FsError::Invalid(format!("path not absolute: {path}")));
+        }
+        Ok(path.split('/').filter(|c| !c.is_empty()).collect())
+    }
+
+    /// Resolve a path to an inode number.
+    pub fn resolve(&self, path: &str) -> FsResult<Ino> {
+        let mut cur = ROOT_INO;
+        for comp in Self::components(path)? {
+            match &self.inodes[&cur] {
+                Inode::Dir { entries, .. } => {
+                    cur = *entries
+                        .get(comp)
+                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                }
+                Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve the parent directory of `path`, returning `(parent_ino,
+    /// final_component)`.
+    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let comps = Self::components(path)?;
+        let (last, dirs) = comps
+            .split_last()
+            .ok_or_else(|| FsError::Invalid(format!("no final component in {path}")))?;
+        let mut cur = ROOT_INO;
+        for comp in dirs {
+            match &self.inodes[&cur] {
+                Inode::Dir { entries, .. } => {
+                    cur = *entries
+                        .get(*comp)
+                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                }
+                Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+            }
+        }
+        Ok((cur, last))
+    }
+
+    fn dir_entries_mut(&mut self, ino: Ino) -> &mut BTreeMap<String, Ino> {
+        match self.inodes.get_mut(&ino).expect("resolved ino exists") {
+            Inode::Dir { entries, .. } => entries,
+            Inode::File { .. } => unreachable!("parent resolution returns directories"),
+        }
+    }
+
+    /// `true` if `path` resolves to any inode.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// `true` if `path` resolves to a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.resolve(path)
+            .map(|i| self.inodes[&i].is_dir())
+            .unwrap_or(false)
+    }
+
+    /// Read full file contents.
+    pub fn read(&self, path: &str) -> FsResult<&[u8]> {
+        let ino = self.resolve(path)?;
+        match &self.inodes[&ino] {
+            Inode::File { data, .. } => Ok(data),
+            Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
+        }
+    }
+
+    /// Read an extended attribute.
+    pub fn getxattr(&self, path: &str, key: &str) -> FsResult<&[u8]> {
+        let ino = self.resolve(path)?;
+        self.inodes[&ino]
+            .xattrs()
+            .get(key)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| FsError::NoAttr(format!("{path}#{key}")))
+    }
+
+    /// List directory entry names (sorted).
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let ino = self.resolve(path)?;
+        match &self.inodes[&ino] {
+            Inode::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
+            Inode::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Recursively list every path in the file system (sorted, files and
+    /// directories, excluding `/`). Used for state comparison and fsck.
+    pub fn walk(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk_from(ROOT_INO, String::new(), &mut out);
+        out.sort();
+        out
+    }
+
+    fn walk_from(&self, ino: Ino, prefix: String, out: &mut Vec<String>) {
+        if let Inode::Dir { entries, .. } = &self.inodes[&ino] {
+            for (name, child) in entries {
+                let path = format!("{prefix}/{name}");
+                out.push(path.clone());
+                self.walk_from(*child, path, out);
+            }
+        }
+    }
+
+    /// Number of live inodes (including `/`).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Direct inode access (used by `fsck`).
+    pub fn inode(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Root inode number.
+    pub fn root(&self) -> Ino {
+        ROOT_INO
+    }
+
+    /// Apply one operation, mutating the state. Sync operations are no-ops
+    /// at the state level (they only matter for persistence ordering).
+    pub fn apply(&mut self, op: &FsOp) -> FsResult<()> {
+        match op {
+            FsOp::Creat { path } => self.creat(path),
+            FsOp::Mkdir { path } => self.mkdir(path),
+            FsOp::Pwrite { path, offset, data } => self.pwrite(path, *offset, data),
+            FsOp::Append { path, data } => self.append(path, data),
+            FsOp::Truncate { path, size } => self.truncate(path, *size),
+            FsOp::Rename { src, dst } => self.rename(src, dst),
+            FsOp::Link { src, dst } => self.link(src, dst),
+            FsOp::Unlink { path } => self.unlink(path),
+            FsOp::Rmdir { path } => self.rmdir(path),
+            FsOp::SetXattr { path, key, value } => self.setxattr(path, key, value),
+            FsOp::RemoveXattr { path, key } => self.removexattr(path, key),
+            FsOp::Fsync { .. } | FsOp::Fdatasync { .. } | FsOp::SyncFs => Ok(()),
+        }
+    }
+
+    /// Apply a sequence of operations, skipping ones that fail (a crash
+    /// state may contain an operation whose prerequisite was dropped).
+    /// Returns the operations that could not be applied.
+    pub fn apply_lenient<'o>(
+        &mut self,
+        ops: impl IntoIterator<Item = &'o FsOp>,
+    ) -> Vec<(&'o FsOp, FsError)> {
+        let mut failed = Vec::new();
+        for op in ops {
+            if let Err(e) = self.apply(op) {
+                failed.push((op, e));
+            }
+        }
+        failed
+    }
+
+    /// `creat`: create or truncate a regular file.
+    pub fn creat(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let name = name.to_string();
+        let fresh_ino = self.next_ino;
+        match self.dir_entries_mut(parent).entry(name) {
+            Entry::Occupied(e) => {
+                let ino = *e.get();
+                match self.inodes.get_mut(&ino).expect("entry target exists") {
+                    Inode::File { data, .. } => {
+                        data.clear();
+                        Ok(())
+                    }
+                    Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(fresh_ino);
+                self.next_ino += 1;
+                self.inodes.insert(fresh_ino, Inode::empty_file());
+                Ok(())
+            }
+        }
+    }
+
+    /// `mkdir`.
+    pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let name = name.to_string();
+        if self.dir_entries_mut(parent).contains_key(&name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.dir_entries_mut(parent).insert(name, ino);
+        self.inodes.insert(ino, Inode::empty_dir());
+        Ok(())
+    }
+
+    /// `mkdir -p` convenience for preambles.
+    pub fn mkdir_all(&mut self, path: &str) -> FsResult<()> {
+        let comps = Self::components(path)?;
+        let mut cur = String::new();
+        for c in comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.mkdir(&cur) {
+                Ok(()) | Err(FsError::AlreadyExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// `pwrite`: positional write, zero-filling any hole.
+    pub fn pwrite(&mut self, path: &str, offset: u64, buf: &[u8]) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        match self.inodes.get_mut(&ino).expect("resolved") {
+            Inode::File { data, .. } => {
+                let off = offset as usize;
+                let end = off + buf.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[off..end].copy_from_slice(buf);
+                Ok(())
+            }
+            Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
+        }
+    }
+
+    /// `append`: write at end of file.
+    pub fn append(&mut self, path: &str, buf: &[u8]) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        match self.inodes.get_mut(&ino).expect("resolved") {
+            Inode::File { data, .. } => {
+                data.extend_from_slice(buf);
+                Ok(())
+            }
+            Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
+        }
+    }
+
+    /// `truncate`.
+    pub fn truncate(&mut self, path: &str, size: u64) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        match self.inodes.get_mut(&ino).expect("resolved") {
+            Inode::File { data, .. } => {
+                data.resize(size as usize, 0);
+                Ok(())
+            }
+            Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
+        }
+    }
+
+    /// `rename`: atomically move `src` over `dst` (replacing a file or an
+    /// empty directory).
+    pub fn rename(&mut self, src: &str, dst: &str) -> FsResult<()> {
+        let src_ino = self.resolve(src)?;
+        let (src_parent, src_name) = self.resolve_parent(src)?;
+        let src_name = src_name.to_string();
+        let (dst_parent, dst_name) = self.resolve_parent(dst)?;
+        let dst_name = dst_name.to_string();
+        if let Some(&existing) = self.dir_entries_mut(dst_parent).get(&dst_name) {
+            if existing != src_ino {
+                if let Inode::Dir { entries, .. } = &self.inodes[&existing] {
+                    if !entries.is_empty() {
+                        return Err(FsError::NotEmpty(dst.to_string()));
+                    }
+                }
+            }
+        }
+        self.dir_entries_mut(src_parent).remove(&src_name);
+        let replaced = self.dir_entries_mut(dst_parent).insert(dst_name, src_ino);
+        if let Some(old) = replaced {
+            if old != src_ino {
+                self.drop_if_unreferenced(old);
+            }
+        }
+        Ok(())
+    }
+
+    /// `link`: create a hard link `dst` to the file at `src`.
+    pub fn link(&mut self, src: &str, dst: &str) -> FsResult<()> {
+        let src_ino = self.resolve(src)?;
+        if self.inodes[&src_ino].is_dir() {
+            return Err(FsError::IsADirectory(src.to_string()));
+        }
+        let (dst_parent, dst_name) = self.resolve_parent(dst)?;
+        let dst_name = dst_name.to_string();
+        if self.dir_entries_mut(dst_parent).contains_key(&dst_name) {
+            return Err(FsError::AlreadyExists(dst.to_string()));
+        }
+        self.dir_entries_mut(dst_parent).insert(dst_name, src_ino);
+        Ok(())
+    }
+
+    /// `unlink`: remove one name; the inode is freed when no directory
+    /// entry references it any more.
+    pub fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        if self.inodes[&ino].is_dir() {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        let name = name.to_string();
+        self.dir_entries_mut(parent).remove(&name);
+        self.drop_if_unreferenced(ino);
+        Ok(())
+    }
+
+    /// `rmdir`: remove an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        match &self.inodes[&ino] {
+            Inode::Dir { entries, .. } => {
+                if !entries.is_empty() {
+                    return Err(FsError::NotEmpty(path.to_string()));
+                }
+            }
+            Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        let name = name.to_string();
+        self.dir_entries_mut(parent).remove(&name);
+        self.inodes.remove(&ino);
+        Ok(())
+    }
+
+    /// `setxattr`.
+    pub fn setxattr(&mut self, path: &str, key: &str, value: &[u8]) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        self.inodes
+            .get_mut(&ino)
+            .expect("resolved")
+            .xattrs_mut()
+            .insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    /// `removexattr`.
+    pub fn removexattr(&mut self, path: &str, key: &str) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        let removed = self
+            .inodes
+            .get_mut(&ino)
+            .expect("resolved")
+            .xattrs_mut()
+            .remove(key);
+        if removed.is_none() {
+            return Err(FsError::NoAttr(format!("{path}#{key}")));
+        }
+        Ok(())
+    }
+
+    /// Reference count of `ino` across all directories.
+    fn nlink(&self, ino: Ino) -> usize {
+        self.inodes
+            .values()
+            .filter_map(|i| match i {
+                Inode::Dir { entries, .. } => {
+                    Some(entries.values().filter(|&&e| e == ino).count())
+                }
+                Inode::File { .. } => None,
+            })
+            .sum()
+    }
+
+    fn drop_if_unreferenced(&mut self, ino: Ino) {
+        if self.nlink(ino) == 0 {
+            self.inodes.remove(&ino);
+        }
+    }
+
+    /// A canonical 64-bit digest of the full state. Two states compare
+    /// equal iff their digests match (modulo hash collisions); ParaCrash
+    /// uses digests to dedup crash states cheaply before falling back to a
+    /// structural comparison.
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Hash the *logical* tree (paths + contents), not raw inode
+        // numbers: two states reached by different op interleavings must
+        // compare equal when their visible trees match.
+        for path in self.walk() {
+            path.hash(&mut h);
+            if let Ok(ino) = self.resolve(&path) {
+                match &self.inodes[&ino] {
+                    Inode::File { data, xattrs } => {
+                        0u8.hash(&mut h);
+                        data.hash(&mut h);
+                        xattrs.hash(&mut h);
+                    }
+                    Inode::Dir { xattrs, .. } => {
+                        1u8.hash(&mut h);
+                        xattrs.hash(&mut h);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Logical equality: same visible tree (paths, kinds, contents,
+    /// xattrs), ignoring inode numbering. This is the comparison the
+    /// golden-master check uses.
+    pub fn same_tree(&self, other: &FsState) -> bool {
+        let a = self.walk();
+        if a != other.walk() {
+            return false;
+        }
+        for path in &a {
+            let (ia, ib) = (self.resolve(path), other.resolve(path));
+            match (ia, ib) {
+                (Ok(ia), Ok(ib)) => {
+                    let (na, nb) = (&self.inodes[&ia], &other.inodes[&ib]);
+                    match (na, nb) {
+                        (
+                            Inode::File {
+                                data: da,
+                                xattrs: xa,
+                            },
+                            Inode::File {
+                                data: db,
+                                xattrs: xb,
+                            },
+                        ) => {
+                            if da != db || xa != xb {
+                                return false;
+                            }
+                        }
+                        (
+                            Inode::Dir { xattrs: xa, .. },
+                            Inode::Dir { xattrs: xb, .. },
+                        ) => {
+                            if xa != xb {
+                                return false;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with(paths: &[&str]) -> FsState {
+        let mut fs = FsState::new();
+        for p in paths {
+            if let Some(dir) = p.rfind('/') {
+                if dir > 0 {
+                    fs.mkdir_all(&p[..dir]).unwrap();
+                }
+            }
+            fs.creat(p).unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut fs = FsState::new();
+        fs.creat("/foo").unwrap();
+        fs.pwrite("/foo", 0, b"hello").unwrap();
+        assert_eq!(fs.read("/foo").unwrap(), b"hello");
+        fs.pwrite("/foo", 3, b"XYZ").unwrap();
+        assert_eq!(fs.read("/foo").unwrap(), b"helXYZ");
+    }
+
+    #[test]
+    fn pwrite_zero_fills_holes() {
+        let mut fs = fs_with(&["/f"]);
+        fs.pwrite("/f", 4, b"ab").unwrap();
+        assert_eq!(fs.read("/f").unwrap(), &[0, 0, 0, 0, b'a', b'b']);
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut fs = fs_with(&["/f"]);
+        fs.append("/f", b"aa").unwrap();
+        fs.append("/f", b"bb").unwrap();
+        assert_eq!(fs.read("/f").unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn creat_truncates_existing() {
+        let mut fs = fs_with(&["/f"]);
+        fs.append("/f", b"data").unwrap();
+        fs.creat("/f").unwrap();
+        assert_eq!(fs.read("/f").unwrap(), b"");
+    }
+
+    #[test]
+    fn rename_replaces_and_frees_target() {
+        let mut fs = fs_with(&["/tmp", "/file"]);
+        fs.pwrite("/tmp", 0, b"new").unwrap();
+        fs.pwrite("/file", 0, b"old").unwrap();
+        let inodes_before = fs.inode_count();
+        fs.rename("/tmp", "/file").unwrap();
+        assert!(!fs.exists("/tmp"));
+        assert_eq!(fs.read("/file").unwrap(), b"new");
+        assert_eq!(fs.inode_count(), inodes_before - 1);
+    }
+
+    #[test]
+    fn rename_into_nonempty_dir_fails() {
+        let mut fs = FsState::new();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/b").unwrap();
+        fs.creat("/b/x").unwrap();
+        assert_eq!(
+            fs.rename("/a", "/b"),
+            Err(FsError::NotEmpty("/b".to_string()))
+        );
+    }
+
+    #[test]
+    fn hard_links_share_content_until_last_unlink() {
+        let mut fs = fs_with(&["/idfile"]);
+        fs.mkdir("/dentries").unwrap();
+        fs.link("/idfile", "/dentries/foo").unwrap();
+        fs.pwrite("/idfile", 0, b"id").unwrap();
+        assert_eq!(fs.read("/dentries/foo").unwrap(), b"id");
+        fs.unlink("/idfile").unwrap();
+        // Still alive through the second link.
+        assert_eq!(fs.read("/dentries/foo").unwrap(), b"id");
+        let n = fs.inode_count();
+        fs.unlink("/dentries/foo").unwrap();
+        assert_eq!(fs.inode_count(), n - 1);
+    }
+
+    #[test]
+    fn xattrs_roundtrip() {
+        let mut fs = fs_with(&["/f"]);
+        fs.setxattr("/f", "user.stripe", b"128K").unwrap();
+        assert_eq!(fs.getxattr("/f", "user.stripe").unwrap(), b"128K");
+        fs.removexattr("/f", "user.stripe").unwrap();
+        assert!(matches!(
+            fs.getxattr("/f", "user.stripe"),
+            Err(FsError::NoAttr(_))
+        ));
+    }
+
+    #[test]
+    fn rmdir_only_empty() {
+        let mut fs = FsState::new();
+        fs.mkdir("/d").unwrap();
+        fs.creat("/d/f").unwrap();
+        assert!(matches!(fs.rmdir("/d"), Err(FsError::NotEmpty(_))));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn walk_lists_everything_sorted() {
+        let mut fs = FsState::new();
+        fs.mkdir("/b").unwrap();
+        fs.creat("/b/z").unwrap();
+        fs.creat("/a").unwrap();
+        assert_eq!(fs.walk(), vec!["/a", "/b", "/b/z"]);
+    }
+
+    #[test]
+    fn same_tree_ignores_inode_numbers() {
+        // Build the same logical tree via different op orders.
+        let mut a = FsState::new();
+        a.creat("/x").unwrap();
+        a.creat("/y").unwrap();
+        let mut b = FsState::new();
+        b.creat("/y").unwrap();
+        b.creat("/x").unwrap();
+        assert!(a.same_tree(&b));
+        assert_eq!(a.digest(), b.digest());
+        b.pwrite("/x", 0, b"!").unwrap();
+        assert!(!a.same_tree(&b));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn apply_dispatches_all_ops() {
+        let mut fs = FsState::new();
+        let script = [
+            FsOp::Mkdir { path: "/d".into() },
+            FsOp::Creat { path: "/d/f".into() },
+            FsOp::Pwrite {
+                path: "/d/f".into(),
+                offset: 0,
+                data: b"abc".to_vec(),
+            },
+            FsOp::Append {
+                path: "/d/f".into(),
+                data: b"de".to_vec(),
+            },
+            FsOp::Truncate {
+                path: "/d/f".into(),
+                size: 4,
+            },
+            FsOp::SetXattr {
+                path: "/d/f".into(),
+                key: "user.k".into(),
+                value: b"v".to_vec(),
+            },
+            FsOp::Fsync { path: "/d/f".into() },
+            FsOp::Link {
+                src: "/d/f".into(),
+                dst: "/d/g".into(),
+            },
+            FsOp::Rename {
+                src: "/d/g".into(),
+                dst: "/d/h".into(),
+            },
+            FsOp::Unlink { path: "/d/h".into() },
+            FsOp::SyncFs,
+        ];
+        for op in &script {
+            fs.apply(op).unwrap();
+        }
+        assert_eq!(fs.read("/d/f").unwrap(), b"abcd");
+        assert!(!fs.exists("/d/h"));
+    }
+
+    #[test]
+    fn apply_lenient_reports_failures() {
+        let mut fs = FsState::new();
+        let ops = [
+            FsOp::Creat { path: "/ok".into() },
+            FsOp::Unlink {
+                path: "/missing".into(),
+            },
+        ];
+        let failed = fs.apply_lenient(ops.iter());
+        assert_eq!(failed.len(), 1);
+        assert!(fs.exists("/ok"));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut fs = fs_with(&["/f"]);
+        let snap = fs.clone();
+        fs.pwrite("/f", 0, b"mutated").unwrap();
+        assert_eq!(snap.read("/f").unwrap(), b"");
+        assert!(!snap.same_tree(&fs));
+    }
+}

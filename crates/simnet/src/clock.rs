@@ -1,0 +1,126 @@
+//! Vector clocks (Lamport, as cited by the paper for its happens-before
+//! definition).
+//!
+//! The causality graph in `tracer` answers happens-before by reachability;
+//! vector clocks are the classic alternative characterization. We keep
+//! both: the graph drives the framework, and vector clocks are used in
+//! property tests to cross-check the graph (two independent
+//! implementations of the same partial order).
+
+use std::cmp::Ordering;
+
+/// A vector clock over a fixed number of processes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    ticks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { ticks: vec![0; n] }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// `true` if the clock tracks zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Advance process `p`'s component (a local event).
+    pub fn tick(&mut self, p: usize) {
+        self.ticks[p] += 1;
+    }
+
+    /// Component for process `p`.
+    pub fn get(&self, p: usize) -> u64 {
+        self.ticks[p]
+    }
+
+    /// Merge in a received clock (component-wise max), then tick `p`
+    /// (message receipt).
+    pub fn receive(&mut self, p: usize, other: &VectorClock) {
+        for (a, b) in self.ticks.iter_mut().zip(&other.ticks) {
+            *a = (*a).max(*b);
+        }
+        self.tick(p);
+    }
+
+    /// Happens-before: `self ≤ other` component-wise and `self ≠ other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_clock(other) == Some(Ordering::Less)
+    }
+
+    /// Concurrency: neither precedes the other.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_clock(other).is_none()
+    }
+
+    /// The component-wise partial order.
+    pub fn partial_cmp_clock(&self, other: &VectorClock) -> Option<Ordering> {
+        debug_assert_eq!(self.len(), other.len());
+        let mut lt = false;
+        let mut gt = false;
+        for (a, b) in self.ticks.iter().zip(&other.ticks) {
+            match a.cmp(b) {
+                Ordering::Less => lt = true,
+                Ordering::Greater => gt = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (lt, gt) {
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => Some(Ordering::Equal),
+            (true, true) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_events_order_within_process() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let snapshot = a.clone();
+        a.tick(0);
+        assert!(snapshot.happens_before(&a));
+        assert!(!a.happens_before(&snapshot));
+    }
+
+    #[test]
+    fn message_passing_creates_order() {
+        let mut p0 = VectorClock::new(2);
+        let mut p1 = VectorClock::new(2);
+        p0.tick(0); // e1 on P0
+        let msg = p0.clone();
+        p1.receive(1, &msg); // e2 on P1
+        assert!(msg.happens_before(&p1));
+    }
+
+    #[test]
+    fn independent_events_are_concurrent() {
+        let mut p0 = VectorClock::new(2);
+        let mut p1 = VectorClock::new(2);
+        p0.tick(0);
+        p1.tick(1);
+        assert!(p0.concurrent(&p1));
+        assert_eq!(p0.partial_cmp_clock(&p1), None);
+    }
+
+    #[test]
+    fn equal_clocks() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert_eq!(a.partial_cmp_clock(&b), Some(Ordering::Equal));
+        assert!(!a.happens_before(&b));
+        assert!(!a.concurrent(&b));
+    }
+}

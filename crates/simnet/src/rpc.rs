@@ -1,0 +1,165 @@
+//! RPC tracing helper.
+//!
+//! Every client↔server interaction in the PFS models goes through
+//! [`RpcNet`], which records the `sendto` / `recvfrom` event pair and the
+//! sender→receiver causality edge — exactly the information ParaCrash
+//! extracts from strace'd socket calls to "order the client events with
+//! respect to the server events" (§4.2).
+
+use tracer::{EventId, Layer, Payload, Process, Recorder};
+
+/// Synchronous RPC recorder over a shared [`Recorder`].
+///
+/// RPCs are delivered immediately (the simulation is synchronous); what
+/// matters for crash consistency is only the causal edge, not timing.
+pub struct RpcNet<'r> {
+    rec: &'r mut Recorder,
+}
+
+impl<'r> RpcNet<'r> {
+    /// Wrap a recorder.
+    pub fn new(rec: &'r mut Recorder) -> Self {
+        RpcNet { rec }
+    }
+
+    /// Access the underlying recorder.
+    pub fn recorder(&mut self) -> &mut Recorder {
+        self.rec
+    }
+
+    /// Record a one-way message `from → to`; returns `(send_id, recv_id)`.
+    ///
+    /// `parent` is the upper-layer call on the sending side that issued
+    /// the message (caller–callee edge).
+    pub fn message(
+        &mut self,
+        from: Process,
+        to: Process,
+        msg: &str,
+        parent: Option<EventId>,
+    ) -> (EventId, EventId) {
+        let layer_of = |p: Process| match p {
+            Process::Client(_) => Layer::PfsClient,
+            Process::Server(_) => Layer::PfsServer,
+        };
+        let send = self.rec.record(
+            layer_of(from),
+            from,
+            Payload::Send {
+                to,
+                msg: msg.to_string(),
+            },
+            parent,
+        );
+        // The recv's parent is the matching send: sender–receiver pairs
+        // are both causal edges and caller–callee links (the ancestor
+        // walk that associates server work with the client call that
+        // caused it goes through them).
+        let recv = self.rec.record(
+            layer_of(to),
+            to,
+            Payload::Recv {
+                from,
+                msg: msg.to_string(),
+            },
+            Some(send),
+        );
+        (send, recv)
+    }
+
+    /// Record a request/..../reply round trip skeleton: request message
+    /// now; call [`RpcNet::message`] again for the reply after recording
+    /// the server-side work so the reply's send happens after it in
+    /// program order.
+    pub fn request(
+        &mut self,
+        client: Process,
+        server: Process,
+        msg: &str,
+        parent: Option<EventId>,
+    ) -> (EventId, EventId) {
+        self.message(client, server, msg, parent)
+    }
+
+    /// Record the reply leg of a round trip.
+    pub fn reply(&mut self, server: Process, client: Process, msg: &str) -> (EventId, EventId) {
+        self.message(server, client, msg, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::CausalityGraph;
+
+    #[test]
+    fn round_trip_orders_client_and_server_work() {
+        let mut rec = Recorder::new();
+        let client = Process::Client(0);
+        let server = Process::Server(0);
+        let call = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: "creat".into(),
+                args: vec!["/mnt/foo".into()],
+            },
+            None,
+        );
+        let mut net = RpcNet::new(&mut rec);
+        let (_, recv) = net.request(client, server, "CREAT foo", Some(call));
+        // Server-side local-FS work after receiving the request.
+        let work = net.recorder().record(
+            Layer::LocalFs,
+            server,
+            Payload::Fs {
+                server: 0,
+                op: simfs::FsOp::Creat {
+                    path: "/meta/dentries/foo".into(),
+                },
+            },
+            Some(recv),
+        );
+        let mut net = RpcNet::new(&mut rec);
+        let (_, ack) = net.reply(server, client, "OK");
+        // Client continues after the ack.
+        let after = rec.record(
+            Layer::PfsClient,
+            client,
+            Payload::Call {
+                name: "close".into(),
+                args: vec![],
+            },
+            None,
+        );
+        let g = CausalityGraph::build(&rec);
+        assert!(g.happens_before(call, work));
+        assert!(g.happens_before(work, ack));
+        assert!(g.happens_before(work, after));
+    }
+
+    #[test]
+    fn two_servers_stay_concurrent_without_messages() {
+        let mut rec = Recorder::new();
+        let a = rec.record(
+            Layer::LocalFs,
+            Process::Server(0),
+            Payload::Fs {
+                server: 0,
+                op: simfs::FsOp::Creat { path: "/a".into() },
+            },
+            None,
+        );
+        let b = rec.record(
+            Layer::LocalFs,
+            Process::Server(1),
+            Payload::Fs {
+                server: 1,
+                op: simfs::FsOp::Creat { path: "/b".into() },
+            },
+            None,
+        );
+        let g = CausalityGraph::build(&rec);
+        assert!(g.concurrent(a, b));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # workloads — the paper's test programs and evaluation matrix
+//!
+//! §6.2: "We use 11 representative test programs to evaluate ParaCrash,
+//! including POSIX-IO programs, HDF5 and NetCDF programs, and parallel
+//! HDF5 programs. … The test programs use code fragments found in real
+//! HPC programs."
+//!
+//! * POSIX: **ARVR** (atomic-replace-via-rename, the checkpointing
+//!   pattern), **CR** (create-and-rename), **RC** (rename-and-create),
+//!   **WAL** (write-ahead logging);
+//! * I/O library: **H5-create / H5-delete / H5-rename / H5-resize**,
+//!   **CDF-create / CDF-rename** (NetCDF);
+//! * parallel: **H5-parallel-create / H5-parallel-resize**.
+//!
+//! [`Program::run`] executes a program on a chosen [`FsKind`] with
+//! [`Params`] covering the paper's sensitivity knobs (dataset dimensions,
+//! datasets per group, client count, file-distribution patterns), and
+//! returns the traced `paracrash::Stack` ready for `paracrash::check_stack`.
+//! [`ground_truth`] encodes Table 3 for comparison harnesses and tests.
+
+pub mod fskind;
+pub mod ground_truth;
+pub mod params;
+pub mod programs;
+
+pub use fskind::FsKind;
+pub use ground_truth::{table3, PaperBug};
+pub use params::Params;
+pub use programs::Program;

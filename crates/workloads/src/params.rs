@@ -1,0 +1,154 @@
+//! Run parameters: the paper's system configuration and sensitivity
+//! knobs (§6.1, §6.2).
+
+use pfs::Placement;
+
+/// Everything that parameterizes one test-program run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Stripe size in bytes (Table 2: 128 KiB default; Figure 11 shrinks
+    /// it as servers grow).
+    pub stripe: u64,
+    /// Dedicated metadata servers (2 by default).
+    pub meta: u32,
+    /// Dedicated storage servers (2 by default).
+    pub storage: u32,
+    /// Application clients (2 by default; bug 9's sensitivity sweeps
+    /// 1–10).
+    pub clients: u32,
+    /// Dataset dimension `dims × dims` (200 default; bug 14 appears
+    /// between 800 and 1000).
+    pub dims: u64,
+    /// Datasets per group in the preamble (2 default, swept 1–8).
+    pub datasets_per_group: u32,
+    /// WAL page count ("overwrites the file content with multiple
+    /// pages").
+    pub wal_pages: u32,
+    /// HDF5 data-segment size (the library's allocation granularity;
+    /// scaled down together with stripes in the quick profile).
+    pub h5_seg: u64,
+    /// Placement pins expressing the file-distribution sensitivity.
+    pub placement: Placement,
+}
+
+impl Params {
+    /// The paper's evaluation defaults (Table 2 / §6.2).
+    pub fn paper() -> Self {
+        Params {
+            stripe: 128 * 1024,
+            meta: 2,
+            storage: 2,
+            clients: 2,
+            dims: 200,
+            datasets_per_group: 2,
+            wal_pages: 2,
+            h5_seg: 64 * 1024,
+            placement: Placement::new(),
+        }
+    }
+
+    /// A scaled-down configuration with the same *shape* (files still
+    /// stripe across servers, B-trees still split) for fast tests: the
+    /// stripe shrinks with the data so every cross-server hazard
+    /// remains.
+    pub fn quick() -> Self {
+        Params {
+            stripe: 2048,
+            meta: 2,
+            storage: 2,
+            clients: 2,
+            dims: 24, // 24×24×8 = 4608 B > stripe ⇒ cross-server
+            datasets_per_group: 2,
+            wal_pages: 2,
+            h5_seg: 1024,
+            placement: Placement::new(),
+        }
+    }
+
+    /// The dimension at which the dataset B-tree splits during the
+    /// doubled resize but not at creation — the bug-14 sensitivity
+    /// window (the paper's 800×800 → 1000×1000).
+    pub fn split_dims(&self) -> u64 {
+        // The leaf holds 96 segments; pick dims so that
+        // dims²·8 < 96·seg ≤ (2·dims)²·8.
+        let capacity = 96 * self.h5_seg / 8;
+        let safe = (capacity as f64).sqrt() as u64;
+        (safe / 2) + 1
+    }
+
+    /// Override the placement pins.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Override the dataset dimension.
+    pub fn with_dims(mut self, dims: u64) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Override the client count.
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Override the server counts (Figure 11's scalability sweep).
+    pub fn with_servers(mut self, meta: u32, storage: u32) -> Self {
+        self.meta = meta;
+        self.storage = storage;
+        self
+    }
+
+    /// Override the stripe size.
+    pub fn with_stripe(mut self, stripe: u64) -> Self {
+        self.stripe = stripe;
+        self
+    }
+
+    /// WAL page size in bytes (fixed small pages; the count is the
+    /// knob).
+    pub fn wal_page_size(&self) -> u64 {
+        64
+    }
+
+    /// The ranks participating in collective H5 calls.
+    pub fn ranks(&self) -> Vec<u32> {
+        (0..self.clients.max(1)).collect()
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table2() {
+        let p = Params::paper();
+        assert_eq!(p.stripe, 128 * 1024);
+        assert_eq!((p.meta, p.storage, p.clients), (2, 2, 2));
+        assert_eq!(p.dims, 200);
+        assert_eq!(p.datasets_per_group, 2);
+    }
+
+    #[test]
+    fn quick_keeps_cross_server_shape() {
+        let p = Params::quick();
+        assert!(p.dims * p.dims * 8 > p.stripe, "quick datasets must stripe");
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = Params::quick().with_dims(48).with_clients(4).with_servers(4, 4);
+        assert_eq!(p.dims, 48);
+        assert_eq!(p.ranks(), vec![0, 1, 2, 3]);
+        assert_eq!((p.meta, p.storage), (4, 4));
+    }
+}

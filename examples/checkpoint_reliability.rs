@@ -1,0 +1,89 @@
+//! Domain scenario: is the classic checkpoint-replace pattern safe on
+//! your parallel file system — and does adding `fsync` fix it?
+//!
+//! Checkpointing libraries (the paper cites DMTCP and CRIU) replace the
+//! latest checkpoint with `write tmp; rename tmp -> ckpt` so the newest
+//! checkpoint always has the same name. This example runs that pattern
+//! across all five PFS models, then repeats it with an `fsync` before
+//! the rename — the mitigation §2.3 describes (at its performance cost).
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_reliability
+//! ```
+
+use paracrash::{check_stack, CheckConfig, Stack};
+use pfs::PfsCall;
+use workloads::{FsKind, Params};
+
+fn run_checkpoint(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::CheckOutcome {
+    let mut stack = Stack::new(fs.build(params));
+    // Preamble: an existing checkpoint.
+    stack.posix(0, PfsCall::Creat { path: "/ckpt".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/ckpt".into(),
+            offset: 0,
+            data: b"checkpoint-generation-1".to_vec(),
+        },
+    );
+    stack.posix(0, PfsCall::Close { path: "/ckpt".into() });
+    stack.seal_preamble();
+    // Test: write the next generation and atomically replace.
+    stack.posix(0, PfsCall::Creat { path: "/ckpt.tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/ckpt.tmp".into(),
+            offset: 0,
+            data: b"checkpoint-generation-2".to_vec(),
+        },
+    );
+    if with_fsync {
+        stack.posix(0, PfsCall::Fsync { path: "/ckpt.tmp".into() });
+    }
+    stack.posix(0, PfsCall::Close { path: "/ckpt.tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Rename {
+            src: "/ckpt.tmp".into(),
+            dst: "/ckpt".into(),
+        },
+    );
+    let factory = fs.factory(params);
+    check_stack(&stack, &factory, &CheckConfig::paper_default())
+}
+
+fn main() {
+    let params = Params::quick();
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "PFS", "bugs (no fsync)", "bugs (with fsync)"
+    );
+    for fs in FsKind::all() {
+        let plain = run_checkpoint(fs, &params, false);
+        let synced = run_checkpoint(fs, &params, true);
+        println!(
+            "{:<12} {:>18} {:>18}",
+            fs.name(),
+            plain.bugs.len(),
+            synced.bugs.len()
+        );
+        for bug in &plain.bugs {
+            let fixed = !synced
+                .bugs
+                .iter()
+                .any(|b| b.signature == bug.signature);
+            println!(
+                "             - {} {}",
+                bug.signature,
+                if fixed { "(fixed by fsync)" } else { "(NOT fixed by fsync)" }
+            );
+        }
+    }
+    println!(
+        "\nTakeaway: fsync pins the checkpoint data before the rename (bug 1), but the\n\
+         metadata-vs-cleanup reordering (bug 2) needs a transactional rename — the\n\
+         application cannot fix it alone, matching §2.3's analysis."
+    );
+}

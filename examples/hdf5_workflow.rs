@@ -1,0 +1,79 @@
+//! Domain scenario: a scientific-simulation output workflow over HDF5 —
+//! create a results dataset, grow it as the simulation advances — and
+//! what a crash can do to it at each step.
+//!
+//! Also demonstrates the `h5inspect` object map (the semantic input to
+//! ParaCrash's pruning) and the baseline-vs-causal model split of §6.3.2.
+//!
+//! ```sh
+//! cargo run --release --example hdf5_workflow
+//! ```
+
+use paracrash::{check_stack, CheckConfig, LayerVerdict, Model};
+use workloads::{FsKind, Params, Program};
+
+fn main() {
+    let params = Params::quick();
+    let fs = FsKind::Lustre; // POSIX-safe — every bug below is cross-layer
+
+    // Inspect the initial file: where does each HDF5 structure live?
+    let stack = Program::H5Create.run(fs, &params);
+    let view = stack.pfs.client_view(stack.pfs.baseline());
+    let bytes = view.read("/file.h5").expect("baseline file");
+    println!("h5inspect of the initial file (stripe = {} B):", params.stripe);
+    for obj in h5sim::h5inspect(bytes).expect("valid file") {
+        let server = obj.addr / params.stripe % u64::from(params.meta + params.storage);
+        println!(
+            "  {:<40} @{:>7} len {:>6}  -> stripe on server {}",
+            obj.name, obj.addr, obj.len, server
+        );
+    }
+
+    // Run each workflow step under both I/O-library models.
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>22}",
+        "operation", "baseline bugs", "causal bugs", "blamed layer(s)"
+    );
+    for program in [
+        Program::H5Create,
+        Program::H5Resize,
+        Program::H5Delete,
+        Program::H5Rename,
+    ] {
+        let factory = fs.factory(&params);
+        let stack = program.run(fs, &params);
+        let baseline = check_stack(
+            &stack,
+            &factory,
+            &CheckConfig {
+                h5_model: Model::Baseline,
+                ..CheckConfig::paper_default()
+            },
+        );
+        let causal = check_stack(&stack, &factory, &CheckConfig::paper_default());
+        let mut layers: Vec<&str> = causal
+            .bugs
+            .iter()
+            .map(|b| match b.layer {
+                LayerVerdict::IoLibBug => "HDF5",
+                LayerVerdict::PfsBug => "PFS",
+            })
+            .collect();
+        layers.sort_unstable();
+        layers.dedup();
+        println!(
+            "{:<22} {:>14} {:>14} {:>22}",
+            program.name(),
+            baseline.bugs.len(),
+            causal.bugs.len(),
+            layers.join("+")
+        );
+    }
+
+    println!(
+        "\nTakeaway: create/delete break even the weakest (baseline) contract —\n\
+         unmodified datasets become unreadable; resize/rename only violate causal\n\
+         consistency. The create/resize hazards are the PFS reordering persistence\n\
+         under HDF5; delete/rename are HDF5's own flush order (§6.3)."
+    );
+}

@@ -1,0 +1,89 @@
+//! Ablation: how the servers' local-FS journaling mode changes the
+//! crash-state space and the bugs found (Algorithm 2's branches).
+//!
+//! The paper evaluates with ext4 in data-journaling mode — the safest —
+//! and notes (Figure 2 case ③) that weaker local file systems let even
+//! same-server directory operations reorder. This example runs ARVR on
+//! BeeGFS with each journaling mode underneath.
+//!
+//! ```sh
+//! cargo run --release --example journaling_modes
+//! ```
+
+use paracrash::{check_stack, CheckConfig, Stack, StackFactory};
+use pfs::beegfs::BeeGfs;
+use pfs::{Pfs, PfsCall, Placement};
+use simfs::JournalMode;
+use simnet::ClusterTopology;
+
+fn run(mode: JournalMode) -> paracrash::CheckOutcome {
+    let make = move || -> Box<dyn Pfs> {
+        Box::new(BeeGfs::with_journal(
+            ClusterTopology::paper_dedicated_default(),
+            Placement::new(),
+            2048,
+            mode,
+        ))
+    };
+    let mut stack = Stack::new(make());
+    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/file".into(),
+            offset: 0,
+            data: b"old-contents".to_vec(),
+        },
+    );
+    stack.posix(0, PfsCall::Close { path: "/file".into() });
+    stack.seal_preamble();
+    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/tmp".into(),
+            offset: 0,
+            data: b"new-contents".to_vec(),
+        },
+    );
+    stack.posix(0, PfsCall::Close { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Rename {
+            src: "/tmp".into(),
+            dst: "/file".into(),
+        },
+    );
+    let factory: StackFactory = Box::new(make);
+    check_stack(&stack, &factory, &CheckConfig::paper_default())
+}
+
+fn main() {
+    println!(
+        "{:<16} {:>12} {:>14} {:>12}",
+        "journal mode", "crash states", "inconsistent", "unique bugs"
+    );
+    for mode in [
+        JournalMode::Data,
+        JournalMode::Ordered,
+        JournalMode::Writeback,
+        JournalMode::None,
+    ] {
+        let outcome = run(mode);
+        println!(
+            "{:<16} {:>12} {:>14} {:>12}",
+            mode.as_str(),
+            outcome.stats.states_total,
+            outcome.raw_inconsistent_states,
+            outcome.bugs.len()
+        );
+        for bug in &outcome.bugs {
+            println!("                 - {}", bug.signature);
+        }
+    }
+    println!(
+        "\nData journaling pins same-server order, so only cross-server reorderings\n\
+         survive (the paper's bugs 1 and 2). Weaker modes let metadata and data race\n\
+         on a single server too — Figure 2's case ③ without needing Btrfs."
+    );
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # paracrash-suite — integration surface of the ParaCrash reproduction
+//!
+//! This crate ties the workspace together for the repository-level
+//! integration tests (`tests/`) and runnable examples (`examples/`). It
+//! re-exports the member crates and provides a few one-call helpers that
+//! the examples and tests share.
+
+pub use h5sim;
+pub use mpiio;
+pub use paracrash;
+pub use pfs;
+pub use simfs;
+pub use simnet;
+pub use tracer;
+pub use workloads;
+
+use paracrash::{check_stack, CheckConfig, CheckOutcome};
+use workloads::{FsKind, Params, Program};
+
+/// Run one `(program, file system)` cell at the fast test scale with the
+/// paper's checker configuration, merging the program's placement
+/// variants (the sensitivity sweep of §6.2).
+pub fn check_quick(program: Program, fs: FsKind) -> CheckOutcome {
+    check_with(program, fs, &Params::quick(), &CheckConfig::paper_default())
+}
+
+/// Run one cell with explicit parameters and configuration.
+pub fn check_with(
+    program: Program,
+    fs: FsKind,
+    params: &Params,
+    cfg: &CheckConfig,
+) -> CheckOutcome {
+    let mut merged: Option<CheckOutcome> = None;
+    for (_, placement) in program.placements() {
+        let cell_params = params.clone().with_placement(placement);
+        let stack = program.run(fs, &cell_params);
+        let factory = fs.factory(&cell_params);
+        let outcome = check_stack(&stack, &factory, cfg);
+        merged = Some(match merged {
+            None => outcome,
+            Some(mut acc) => {
+                acc.raw_inconsistent_states += outcome.raw_inconsistent_states;
+                acc.h5_bad_pfs_ok_states += outcome.h5_bad_pfs_ok_states;
+                for bug in outcome.bugs {
+                    if let Some(existing) = acc
+                        .bugs
+                        .iter_mut()
+                        .find(|b| b.signature == bug.signature && b.layer == bug.layer)
+                    {
+                        existing.occurrences += bug.occurrences;
+                    } else {
+                        acc.bugs.push(bug);
+                    }
+                }
+                acc
+            }
+        });
+    }
+    merged.expect("programs always have a placement")
+}
+
+/// All bug signatures of an outcome, rendered.
+pub fn signatures(outcome: &CheckOutcome) -> Vec<String> {
+    outcome
+        .bugs
+        .iter()
+        .map(|b| b.signature.to_string())
+        .collect()
+}

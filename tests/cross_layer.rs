@@ -1,0 +1,87 @@
+//! Cross-layer attribution (Figure 6): the same checking machinery must
+//! blame the I/O library when the PFS behaved, and the PFS when it did
+//! not — the paper's headline capability.
+
+use paracrash::{CheckConfig, LayerVerdict, Model};
+use paracrash_suite::{check_quick, check_with};
+use workloads::{FsKind, Params, Program};
+
+#[test]
+fn h5_delete_blames_the_library_even_on_safe_lustre() {
+    // Lustre is POSIX-clean; the delete bug must therefore be pinned on
+    // HDF5 — the "deep consistency bug" a single-layer tool would
+    // misattribute.
+    let outcome = check_quick(Program::H5Delete, FsKind::Lustre);
+    assert!(outcome.bugs.iter().any(|b| b.layer == LayerVerdict::IoLibBug));
+    assert!(outcome.h5_bad_pfs_ok_states > 0);
+}
+
+#[test]
+fn h5_create_blames_the_pfs_underneath() {
+    let outcome = check_quick(Program::H5Create, FsKind::BeeGfs);
+    assert!(outcome.bugs.iter().all(|b| b.layer == LayerVerdict::PfsBug));
+}
+
+#[test]
+fn posix_bugs_are_always_pfs_bugs() {
+    for program in Program::posix() {
+        let outcome = check_quick(program, FsKind::BeeGfs);
+        assert!(outcome
+            .bugs
+            .iter()
+            .all(|b| b.layer == LayerVerdict::PfsBug));
+    }
+}
+
+#[test]
+fn violated_model_distinguishes_baseline_from_causal() {
+    // H5-delete breaks *unmodified* datasets → baseline violation.
+    let cfg = CheckConfig {
+        h5_model: Model::Baseline,
+        ..CheckConfig::paper_default()
+    };
+    let outcome = check_with(Program::H5Delete, FsKind::BeeGfs, &Params::quick(), &cfg);
+    assert!(
+        outcome.bugs.iter().any(|b| b.violated_model == Model::Baseline),
+        "delete must violate even baseline consistency"
+    );
+
+    // H5-rename corrupts only the dataset being renamed → under the
+    // baseline model (unmodified datasets intact) it is legal; only the
+    // causal check flags it. (§6.3.2's split.)
+    let outcome = check_with(Program::H5Rename, FsKind::BeeGfs, &Params::quick(), &cfg);
+    assert!(
+        outcome.bugs.is_empty(),
+        "rename only violates causal, not baseline: {:?}",
+        outcome.bugs
+    );
+    let outcome = check_quick(Program::H5Rename, FsKind::BeeGfs);
+    assert!(!outcome.bugs.is_empty(), "causal check must flag rename");
+    assert!(outcome
+        .bugs
+        .iter()
+        .all(|b| b.violated_model == Model::Causal));
+}
+
+#[test]
+fn weaker_pfs_model_reclassifies_bugs_toward_the_library() {
+    // §6.3.3: "if the PFS only commits to satisfy a weaker consistency
+    // model, then some of its crash states become legal, and bugs
+    // attributed to the PFS could be attributed to HDF5."
+    let causal = check_quick(Program::H5Create, FsKind::BeeGfs);
+    let weaker = check_with(
+        Program::H5Create,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig {
+            pfs_model: Model::Baseline,
+            ..CheckConfig::paper_default()
+        },
+    );
+    let causal_iolib = causal.bugs.iter().filter(|b| b.layer == LayerVerdict::IoLibBug).count();
+    let weaker_iolib = weaker.bugs.iter().filter(|b| b.layer == LayerVerdict::IoLibBug).count();
+    assert!(
+        weaker_iolib >= causal_iolib,
+        "a weaker PFS contract shifts blame to the library ({causal_iolib} -> {weaker_iolib})"
+    );
+}

@@ -1,0 +1,66 @@
+//! Pin Figure 8's qualitative shape at the fast profile: which cells of
+//! the program × file-system matrix are clean and which are not. This
+//! is the coarse fingerprint of the whole reproduction — any change to a
+//! PFS model, the H5 flush orders, or the checker shows up here.
+
+use paracrash_suite::check_quick;
+use workloads::{FsKind, Program};
+
+/// (program, [BeeGFS, OrangeFS, GlusterFS, GPFS, Lustre, ext4]) — `true`
+/// means the cell must expose at least one bug.
+const EXPECTED: &[(Program, [bool; 6])] = &[
+    (Program::Arvr, [true, true, false, true, false, false]),
+    (Program::Cr, [true, true, false, true, false, false]),
+    (Program::Rc, [true, false, false, true, false, false]),
+    (Program::Wal, [true, true, true, true, false, false]),
+    (Program::H5Delete, [true, true, true, true, true, true]),
+    (Program::H5Rename, [true, true, true, true, true, true]),
+    (Program::H5Resize, [true, true, true, true, true, true]),
+    (Program::H5ParallelCreate, [true, true, true, true, true, true]),
+    (Program::H5ParallelResize, [true, true, true, true, true, true]),
+];
+
+#[test]
+fn figure8_matrix_shape() {
+    let systems = FsKind::all();
+    let mut failures = Vec::new();
+    for (program, expected) in EXPECTED {
+        for (fs, &want_bugs) in systems.iter().zip(expected) {
+            let outcome = check_quick(*program, *fs);
+            let got = !outcome.bugs.is_empty();
+            if got != want_bugs {
+                failures.push(format!(
+                    "{} on {}: expected bugs={}, got {} ({:?})",
+                    program.name(),
+                    fs.name(),
+                    want_bugs,
+                    outcome.bugs.len(),
+                    outcome
+                        .bugs
+                        .iter()
+                        .map(|b| b.signature.to_string())
+                        .collect::<Vec<_>>()
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn iolib_line_series_is_zero_for_pfs_rooted_programs() {
+    // H5-create and CDF-create inconsistencies coincide with PFS
+    // violations — the Figure 8 line sits at zero for them.
+    for program in [Program::H5Create, Program::CdfCreate] {
+        for fs in FsKind::parallel() {
+            let outcome = check_quick(program, fs);
+            assert_eq!(
+                outcome.h5_bad_pfs_ok_states,
+                0,
+                "{} on {}",
+                program.name(),
+                fs.name()
+            );
+        }
+    }
+}

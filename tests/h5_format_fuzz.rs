@@ -1,0 +1,197 @@
+//! Fuzz the HDF5-like library and format: random valid call sequences
+//! must always produce files that `h5check` accepts, whose object maps
+//! tile the file without overlap, and that replay deterministically.
+
+use h5sim::{check, h5clear, h5inspect, h5replay_with, ClearOpts, H5Call, H5Spec};
+use proptest::prelude::*;
+use workloads::FsKind;
+use workloads::Params;
+
+/// Symbolic op over a bounded namespace of 2 groups × 3 dataset names.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Create(u8, u8),
+    Resize(u8, u8),
+    Delete(u8, u8),
+    Rename(u8, u8, u8, u8),
+}
+
+fn group(g: u8) -> String {
+    format!("g{}", g % 2 + 1)
+}
+
+fn dset(d: u8) -> String {
+    format!("d{}", d % 3 + 1)
+}
+
+/// Lower into a valid H5Call sequence (tracking the namespace so every
+/// call is executable).
+fn lower(ops: &[GenOp]) -> Vec<(u32, H5Call)> {
+    let mut live: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
+    let mut dims: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    let mut calls = vec![
+        (0, H5Call::CreateFile),
+        (0, H5Call::CreateGroup { group: "g1".into() }),
+        (0, H5Call::CreateGroup { group: "g2".into() }),
+    ];
+    for op in ops {
+        match op {
+            GenOp::Create(g, d) => {
+                let key = (group(*g), dset(*d));
+                if live.insert(key.clone()) {
+                    dims.insert(key.clone(), 8);
+                    calls.push((
+                        0,
+                        H5Call::CreateDataset {
+                            group: key.0,
+                            name: key.1,
+                            rows: 8,
+                            cols: 8,
+                        },
+                    ));
+                }
+            }
+            GenOp::Resize(g, d) => {
+                let key = (group(*g), dset(*d));
+                if live.contains(&key) {
+                    let cur = dims.get_mut(&key).expect("tracked");
+                    *cur += 4;
+                    calls.push((
+                        0,
+                        H5Call::ResizeDataset {
+                            group: key.0,
+                            name: key.1,
+                            rows: *cur,
+                            cols: *cur,
+                        },
+                    ));
+                }
+            }
+            GenOp::Delete(g, d) => {
+                let key = (group(*g), dset(*d));
+                if live.remove(&key) {
+                    dims.remove(&key);
+                    calls.push((
+                        0,
+                        H5Call::DeleteDataset {
+                            group: key.0,
+                            name: key.1,
+                        },
+                    ));
+                }
+            }
+            GenOp::Rename(g, d, g2, d2) => {
+                let src = (group(*g), dset(*d));
+                let dst = (group(*g2), dset(*d2));
+                if src != dst && live.contains(&src) && !live.contains(&dst) {
+                    live.remove(&src);
+                    live.insert(dst.clone());
+                    let v = dims.remove(&src).expect("tracked");
+                    dims.insert(dst.clone(), v);
+                    calls.push((
+                        0,
+                        H5Call::RenameDataset {
+                            src_group: src.0,
+                            src_name: src.1,
+                            dst_group: dst.0,
+                            dst_name: dst.1,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    calls.push((0, H5Call::CloseFile));
+    calls
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Create(g, d)),
+            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Resize(g, d)),
+            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Delete(g, d)),
+            (0u8..2, 0u8..3, 0u8..2, 0u8..3)
+                .prop_map(|(g, d, g2, d2)| GenOp::Rename(g, d, g2, d2)),
+        ],
+        0..10,
+    )
+}
+
+fn spec() -> H5Spec {
+    H5Spec { elem: 8, seg: 256 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid call sequence produces a clean, parseable file with the
+    /// expected dataset census.
+    #[test]
+    fn random_sequences_produce_valid_files(ops in arb_ops()) {
+        let params = Params::quick();
+        let calls = lower(&ops);
+        let mut pfs = FsKind::Ext4.build(&params);
+        let logical = h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec())
+            .expect("valid sequence replays");
+        // Census: count live datasets from the call sequence.
+        let mut live = std::collections::BTreeSet::new();
+        for (_, c) in &calls {
+            match c {
+                H5Call::CreateDataset { group, name, .. } => {
+                    live.insert(format!("{group}/{name}"));
+                }
+                H5Call::DeleteDataset { group, name } => {
+                    live.remove(&format!("{group}/{name}"));
+                }
+                H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
+                    live.remove(&format!("{src_group}/{src_name}"));
+                    live.insert(format!("{dst_group}/{dst_name}"));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(
+            logical.datasets.keys().cloned().collect::<Vec<_>>(),
+            live.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// The object map tiles the file without overlaps, and h5clear is
+    /// idempotent on clean files.
+    #[test]
+    fn object_maps_never_overlap(ops in arb_ops()) {
+        let params = Params::quick();
+        let calls = lower(&ops);
+        let mut pfs = FsKind::Ext4.build(&params);
+        h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("replays");
+        let view = pfs.client_view(pfs.live());
+        let bytes = view.read("/fuzz.h5").expect("file exists").to_vec();
+        let map = h5inspect(&bytes).expect("clean file inspects");
+        let mut prev_end = 0u64;
+        for obj in &map {
+            prop_assert!(obj.addr >= prev_end, "overlap at {}", obj.name);
+            prev_end = obj.addr + obj.len;
+        }
+        // h5clear on a clean file only touches the status byte.
+        let cleared = h5clear(&bytes, ClearOpts::default());
+        prop_assert_eq!(check(&bytes).expect("ok"), check(&cleared).expect("ok"));
+        let twice = h5clear(&cleared, ClearOpts { increase_eof: true });
+        prop_assert!(check(&twice).is_ok());
+    }
+
+    /// Replays are deterministic: two fresh stacks produce structurally
+    /// identical logical states.
+    #[test]
+    fn replays_are_deterministic(ops in arb_ops()) {
+        let params = Params::quick();
+        let calls = lower(&ops);
+        let mut a = FsKind::BeeGfs.build(&params);
+        let mut b = FsKind::BeeGfs.build(&params);
+        let la = h5replay_with(a.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("a");
+        let lb = h5replay_with(b.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("b");
+        prop_assert_eq!(la, lb);
+        prop_assert_eq!(a.client_view(a.live()), b.client_view(b.live()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Randomized-workload properties over the whole stack.
+//!
+//! The paper's Figure 8 control says ext4 (data journaling) leaves *no*
+//! inconsistent crash state, and §6.3.1 says the same for Lustre on
+//! POSIX workloads. Those are universal claims — so we fuzz them:
+//! random POSIX programs on the safe systems must check clean, every
+//! random program must replay losslessly on every FS, and the unsafe
+//! systems must never crash the checker.
+
+use paracrash::{check_stack, CheckConfig, Stack};
+use pfs::PfsCall;
+use proptest::prelude::*;
+use workloads::{FsKind, Params};
+
+/// A symbolic op in a generated program (paths are drawn from a tiny
+/// namespace so operations collide interestingly).
+#[derive(Debug, Clone)]
+enum GenOp {
+    Creat(u8),
+    Write(u8, u8),
+    Rename(u8, u8),
+    Unlink(u8),
+    Fsync(u8),
+    Close(u8),
+}
+
+fn file_name(i: u8) -> String {
+    format!("/f{}", i % 4)
+}
+
+/// Lower a generated op sequence into an executable PfsCall sequence,
+/// tracking namespace state so every call is valid (the PFS models
+/// assert on unknown files).
+fn lower(ops: &[GenOp]) -> Vec<PfsCall> {
+    let mut exists = [false; 4];
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            GenOp::Creat(f) => {
+                let f = (*f % 4) as usize;
+                if !exists[f] {
+                    exists[f] = true;
+                    out.push(PfsCall::Creat { path: file_name(f as u8) });
+                }
+            }
+            GenOp::Write(f, len) => {
+                let f = (*f % 4) as usize;
+                if exists[f] {
+                    out.push(PfsCall::Pwrite {
+                        path: file_name(f as u8),
+                        offset: 0,
+                        data: vec![*len; 1 + (*len as usize % 48)],
+                    });
+                }
+            }
+            GenOp::Rename(a, b) => {
+                let (a, b) = ((*a % 4) as usize, (*b % 4) as usize);
+                if a != b && exists[a] {
+                    out.push(PfsCall::Rename {
+                        src: file_name(a as u8),
+                        dst: file_name(b as u8),
+                    });
+                    exists[a] = false;
+                    exists[b] = true;
+                }
+            }
+            GenOp::Unlink(f) => {
+                let f = (*f % 4) as usize;
+                if exists[f] {
+                    exists[f] = false;
+                    out.push(PfsCall::Unlink { path: file_name(f as u8) });
+                }
+            }
+            GenOp::Fsync(f) => {
+                let f = (*f % 4) as usize;
+                if exists[f] {
+                    out.push(PfsCall::Fsync { path: file_name(f as u8) });
+                }
+            }
+            GenOp::Close(f) => {
+                let f = (*f % 4) as usize;
+                if exists[f] {
+                    out.push(PfsCall::Close { path: file_name(f as u8) });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(GenOp::Creat),
+            (0u8..4, 0u8..255).prop_map(|(f, l)| GenOp::Write(f, l)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| GenOp::Rename(a, b)),
+            (0u8..4).prop_map(GenOp::Unlink),
+            (0u8..4).prop_map(GenOp::Fsync),
+            (0u8..4).prop_map(GenOp::Close),
+        ],
+        1..7,
+    )
+}
+
+fn run_calls(fs: FsKind, params: &Params, calls: &[PfsCall]) -> Stack {
+    let mut stack = Stack::new(fs.build(params));
+    // Preamble: one pre-existing file so renames/overwrites have targets.
+    stack.posix(0, PfsCall::Creat { path: "/f0".into() });
+    stack.posix(
+        0,
+        PfsCall::Pwrite {
+            path: "/f0".into(),
+            offset: 0,
+            data: b"seed-content".to_vec(),
+        },
+    );
+    stack.posix(0, PfsCall::Close { path: "/f0".into() });
+    stack.seal_preamble();
+    for call in calls {
+        stack.posix(0, call.clone());
+    }
+    stack
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ext4 in data-journaling mode has no inconsistent crash states —
+    /// for *any* program (the Figure 8 control, universally).
+    #[test]
+    fn ext4_is_always_crash_consistent(ops in arb_ops()) {
+        let params = Params::quick();
+        let mut calls = lower(&ops);
+        // The preamble creates /f0; drop duplicate creation.
+        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+        let stack = run_calls(FsKind::Ext4, &params, &calls);
+        let factory = FsKind::Ext4.factory(&params);
+        let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
+        prop_assert_eq!(
+            outcome.raw_inconsistent_states, 0,
+            "ext4 inconsistent on {:?}: {:?}",
+            calls,
+            outcome.bugs.iter().map(|b| b.signature.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Lustre's aggregation + barriers keep every random POSIX program
+    /// crash-consistent (§6.3.1).
+    #[test]
+    fn lustre_is_posix_crash_consistent(ops in arb_ops()) {
+        let params = Params::quick();
+        let mut calls = lower(&ops);
+        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+        let stack = run_calls(FsKind::Lustre, &params, &calls);
+        let factory = FsKind::Lustre.factory(&params);
+        let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
+        prop_assert_eq!(
+            outcome.raw_inconsistent_states, 0,
+            "Lustre inconsistent on {:?}: {:?}",
+            calls,
+            outcome.bugs.iter().map(|b| b.signature.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Every FS materializes random programs losslessly: applying the
+    /// full trace onto the baseline reproduces the live state, and
+    /// recovery of the uncrashed state changes nothing.
+    #[test]
+    fn replay_is_lossless_everywhere(ops in arb_ops()) {
+        let params = Params::quick();
+        let mut calls = lower(&ops);
+        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+        for fs in FsKind::all() {
+            let stack = run_calls(fs, &params, &calls);
+            let mut states = stack.pfs.baseline().clone();
+            states.apply_events(&stack.rec, stack.rec.lowermost_events());
+            prop_assert_eq!(
+                stack.pfs.client_view(&states),
+                stack.pfs.client_view(stack.pfs.live()),
+                "{} diverged on {:?}",
+                fs.name(),
+                calls
+            );
+            let mut live = stack.pfs.live().clone();
+            let before = stack.pfs.client_view(&live);
+            let _ = stack.pfs.recover(&mut live);
+            prop_assert_eq!(
+                before,
+                stack.pfs.client_view(&live),
+                "{} recovery damaged a healthy state on {:?}",
+                fs.name(),
+                calls
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The sensitivity studies of Table 3's last column: several bugs only
+//! trigger under particular client counts, dataset dimensions, file
+//! distributions or repair-tool options — and must *not* trigger
+//! otherwise.
+
+use h5sim::ClearOpts;
+use paracrash::{CheckConfig, LayerVerdict};
+use paracrash_suite::{check_with, signatures};
+use workloads::{FsKind, Params, Program};
+
+fn cfg() -> CheckConfig {
+    CheckConfig::paper_default()
+}
+
+#[test]
+fn bug9_needs_multiple_clients() {
+    // With one client the collective create degenerates to the serial
+    // path and the heap/B-tree concurrency disappears.
+    let single = check_with(
+        Program::H5ParallelCreate,
+        FsKind::BeeGfs,
+        &Params::quick().with_clients(1),
+        &cfg(),
+    );
+    assert!(
+        !single
+            .bugs
+            .iter()
+            .any(|b| b.layer == LayerVerdict::IoLibBug),
+        "single client must not expose bug 9: {:?}",
+        signatures(&single)
+    );
+    let multi = check_with(
+        Program::H5ParallelCreate,
+        FsKind::BeeGfs,
+        &Params::quick().with_clients(2),
+        &cfg(),
+    );
+    assert!(
+        multi
+            .bugs
+            .iter()
+            .any(|b| b.layer == LayerVerdict::IoLibBug
+                && b.signature.to_string().contains("local heap")),
+        "bug 9 must appear with 2 clients: {:?}",
+        signatures(&multi)
+    );
+}
+
+#[test]
+fn bug14_needs_the_btree_split_dimension() {
+    // Small resize: no node split, no child/parent hazard.
+    let small = check_with(
+        Program::H5Resize,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &cfg(),
+    );
+    assert!(
+        !signatures(&small)
+            .iter()
+            .any(|s| s.contains("child B-tree node") || s.contains("parent B-tree node")),
+        "no split at default dims: {:?}",
+        signatures(&small)
+    );
+    // At the split dimension (the paper's 800→1000 window) the parent
+    // is flushed before its children.
+    let params = Params::quick();
+    let big = check_with(
+        Program::H5Resize,
+        FsKind::BeeGfs,
+        &params.clone().with_dims(params.split_dims()),
+        &cfg(),
+    );
+    assert!(
+        signatures(&big)
+            .iter()
+            .any(|s| s.contains("parent B-tree node")),
+        "bug 14 must appear at the split dimension: {:?}",
+        signatures(&big)
+    );
+}
+
+#[test]
+fn bug13_sensitivity_to_h5clear_options() {
+    // With --increase-eof, h5clear repairs the addr-overflow states the
+    // superblock reordering leaves behind, so fewer states stay
+    // inconsistent (Table 3: sensitivity "h5clear options").
+    let default_opts = check_with(
+        Program::H5Resize,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &cfg(),
+    );
+    let with_repair = check_with(
+        Program::H5Resize,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig {
+            clear_opts: ClearOpts { increase_eof: true },
+            ..cfg()
+        },
+    );
+    assert!(
+        with_repair.raw_inconsistent_states <= default_opts.raw_inconsistent_states,
+        "h5clear --increase-eof must not create inconsistencies"
+    );
+    assert!(
+        default_opts.raw_inconsistent_states > 0,
+        "resize must expose inconsistencies without the repair option"
+    );
+}
+
+#[test]
+fn rc_on_beegfs_needs_split_directories() {
+    // Bug 5's "file distrib." sensitivity: with both directories on one
+    // metadata server the rename and the create are journal-ordered.
+    let colocated = {
+        let placement = pfs::Placement::new().pin_dir("/", 0).pin_dir("/A", 0);
+        let stack = Program::Rc.run(FsKind::BeeGfs, &Params::quick().with_placement(placement.clone()));
+        let factory = FsKind::BeeGfs.factory(&Params::quick().with_placement(placement));
+        paracrash::check_stack(&stack, &factory, &cfg())
+    };
+    assert!(
+        colocated.bugs.is_empty(),
+        "colocated dirs must be safe: {:?}",
+        colocated
+            .bugs
+            .iter()
+            .map(|b| b.signature.to_string())
+            .collect::<Vec<_>>()
+    );
+    let split = {
+        let placement = pfs::Placement::new().pin_dir("/", 0).pin_dir("/A", 1);
+        let stack = Program::Rc.run(FsKind::BeeGfs, &Params::quick().with_placement(placement.clone()));
+        let factory = FsKind::BeeGfs.factory(&Params::quick().with_placement(placement));
+        paracrash::check_stack(&stack, &factory, &cfg())
+    };
+    assert!(!split.bugs.is_empty(), "split dirs must expose bug 5");
+}
+
+#[test]
+fn more_victims_expose_no_new_bugs() {
+    // §6.2: "increasing the number of victims in Algorithm 1 did not
+    // expose new bugs" — k = 2 must find the same signatures as k = 1.
+    let k1 = check_with(Program::Arvr, FsKind::BeeGfs, &Params::quick(), &cfg());
+    let k2 = check_with(
+        Program::Arvr,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig { k: 2, ..cfg() },
+    );
+    let s1: std::collections::BTreeSet<String> = signatures(&k1).into_iter().collect();
+    let s2: std::collections::BTreeSet<String> = signatures(&k2).into_iter().collect();
+    assert!(s1.is_subset(&s2));
+    assert_eq!(s1, s2, "k=2 found genuinely new causes");
+}
+
+#[test]
+fn writeback_journaling_is_strictly_worse() {
+    // The paper's Figure 2 case ③: a local FS that reorders directory
+    // operations (modelled by the writeback journal) lets BeeGFS's
+    // metadata updates race each other too.
+    use pfs::beegfs::BeeGfs;
+    use simfs::JournalMode;
+    use simnet::ClusterTopology;
+
+    let build = |mode: JournalMode| -> paracrash::CheckOutcome {
+        let make = move || -> Box<dyn pfs::Pfs> {
+            Box::new(BeeGfs::with_journal(
+                ClusterTopology::paper_dedicated_default(),
+                pfs::Placement::new(),
+                2048,
+                mode,
+            ))
+        };
+        let mut stack = paracrash::Stack::new(make());
+        stack.posix(0, pfs::PfsCall::Creat { path: "/file".into() });
+        stack.posix(
+            0,
+            pfs::PfsCall::Pwrite {
+                path: "/file".into(),
+                offset: 0,
+                data: b"old".to_vec(),
+            },
+        );
+        stack.seal_preamble();
+        stack.posix(0, pfs::PfsCall::Creat { path: "/tmp".into() });
+        stack.posix(
+            0,
+            pfs::PfsCall::Pwrite {
+                path: "/tmp".into(),
+                offset: 0,
+                data: b"new".to_vec(),
+            },
+        );
+        stack.posix(
+            0,
+            pfs::PfsCall::Rename {
+                src: "/tmp".into(),
+                dst: "/file".into(),
+            },
+        );
+        let factory: paracrash::StackFactory = Box::new(make);
+        paracrash::check_stack(&stack, &factory, &cfg())
+    };
+    let data = build(JournalMode::Data);
+    let writeback = build(JournalMode::Writeback);
+    assert!(
+        writeback.raw_inconsistent_states >= data.raw_inconsistent_states,
+        "writeback journaling must not reduce inconsistency ({} vs {})",
+        writeback.raw_inconsistent_states,
+        data.raw_inconsistent_states
+    );
+}

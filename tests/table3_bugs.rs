@@ -1,0 +1,189 @@
+//! The headline regression: the paper's Table 3 bugs reproduce on the
+//! simulated stack (fast profile — same structural shape as the paper's
+//! configuration, scaled down).
+
+use paracrash::LayerVerdict;
+use paracrash_suite::{check_quick, signatures};
+use workloads::{FsKind, Program};
+
+#[test]
+fn bug1_and_bug2_arvr_on_beegfs() {
+    let outcome = check_quick(Program::Arvr, FsKind::BeeGfs);
+    let sigs = signatures(&outcome);
+    assert!(
+        sigs.contains(&"append(file chunk)@storage -> rename(d_entry)@metadata".to_string()),
+        "bug 1 missing: {sigs:?}"
+    );
+    assert!(
+        sigs.contains(&"rename(d_entry)@metadata -> unlink(file chunk)@storage".to_string()),
+        "bug 2 missing: {sigs:?}"
+    );
+    assert!(outcome.bugs.iter().all(|b| b.layer == LayerVerdict::PfsBug));
+}
+
+#[test]
+fn bug1_arvr_on_orangefs_but_not_bug2() {
+    let outcome = check_quick(Program::Arvr, FsKind::OrangeFs);
+    let sigs = signatures(&outcome);
+    // Bug 1: unsynced storage-side data vs durable metadata.
+    assert!(
+        sigs.iter()
+            .any(|s| s.starts_with("append(bstream)@storage ->")),
+        "bug 1 missing on OrangeFS: {sigs:?}"
+    );
+    // Bug 2 is suppressed by the per-update fdatasync: no signature may
+    // pair metadata-before-storage-cleanup.
+    assert!(
+        !sigs.iter().any(|s| s.contains("-> unlink(bstream)") || s.contains("-> rename(bstream)")),
+        "bug 2 must be suppressed on OrangeFS: {sigs:?}"
+    );
+}
+
+#[test]
+fn bug3_arvr_on_gpfs() {
+    let outcome = check_quick(Program::Arvr, FsKind::Gpfs);
+    assert!(
+        outcome.bugs.iter().any(|b| b.layer == LayerVerdict::PfsBug),
+        "GPFS ARVR must expose the partially-persisted journal group"
+    );
+}
+
+#[test]
+fn bug4_cr_on_beegfs_orangefs_gpfs() {
+    for fs in [FsKind::BeeGfs, FsKind::OrangeFs, FsKind::Gpfs] {
+        let outcome = check_quick(Program::Cr, fs);
+        assert!(
+            !outcome.bugs.is_empty(),
+            "CR must expose bug 4 on {}",
+            fs.name()
+        );
+    }
+}
+
+#[test]
+fn bug5_rc_on_beegfs_and_gpfs_but_not_others() {
+    for fs in [FsKind::BeeGfs, FsKind::Gpfs] {
+        let outcome = check_quick(Program::Rc, fs);
+        assert!(!outcome.bugs.is_empty(), "RC bug missing on {}", fs.name());
+    }
+    for fs in [FsKind::GlusterFs, FsKind::OrangeFs, FsKind::Lustre, FsKind::Ext4] {
+        let outcome = check_quick(Program::Rc, fs);
+        assert!(
+            outcome.bugs.is_empty(),
+            "RC must be clean on {}: {:?}",
+            fs.name(),
+            signatures(&outcome)
+        );
+    }
+}
+
+#[test]
+fn bugs_6_7_8_wal_on_beegfs() {
+    let outcome = check_quick(Program::Wal, FsKind::BeeGfs);
+    let sigs = signatures(&outcome);
+    // bug 6: log data vs foo overwrite, cross-storage.
+    assert!(
+        sigs.iter()
+            .any(|s| s.starts_with("append(file chunk)@storage -> pwrite(file chunk)@storage")),
+        "bug 6 missing: {sigs:?}"
+    );
+    // bug 7: log creation metadata vs foo overwrite.
+    assert!(
+        sigs.iter().any(|s| s.starts_with("link(idfile)@metadata ->")),
+        "bug 7 missing: {sigs:?}"
+    );
+    // bug 8: foo overwrite vs log dentry removal.
+    assert!(
+        sigs.iter()
+            .any(|s| s.contains("pwrite(file chunk)@storage -> unlink(d_entry)@metadata")),
+        "bug 8 missing: {sigs:?}"
+    );
+}
+
+#[test]
+fn wal_on_glusterfs_needs_file_distribution() {
+    // Under the default placement the two WAL files colocate and the
+    // same-journal ordering protects them; the split placement exposes
+    // bugs 6/8 (Table 3's "file distrib." sensitivity).
+    let outcome = check_quick(Program::Wal, FsKind::GlusterFs);
+    assert!(!outcome.bugs.is_empty());
+}
+
+#[test]
+fn lustre_and_ext4_are_clean_on_posix() {
+    for program in Program::posix() {
+        for fs in [FsKind::Lustre, FsKind::Ext4] {
+            let outcome = check_quick(program, fs);
+            assert!(
+                outcome.bugs.is_empty(),
+                "{} on {} must be clean, found {:?}",
+                program.name(),
+                fs.name(),
+                signatures(&outcome)
+            );
+        }
+    }
+}
+
+#[test]
+fn bug10_h5_create_is_pfs_rooted_everywhere() {
+    for fs in FsKind::parallel() {
+        let outcome = check_quick(Program::H5Create, fs);
+        assert!(
+            outcome.bugs.iter().any(|b| b.layer == LayerVerdict::PfsBug),
+            "H5-create must be PFS-rooted on {}",
+            fs.name()
+        );
+        assert_eq!(
+            outcome.h5_bad_pfs_ok_states, 0,
+            "H5-create inconsistencies coincide with PFS violations on {}",
+            fs.name()
+        );
+    }
+}
+
+#[test]
+fn bug11_h5_delete_is_an_iolib_bug() {
+    let outcome = check_quick(Program::H5Delete, FsKind::BeeGfs);
+    let sigs = signatures(&outcome);
+    assert!(
+        sigs.contains(&"write(symbol table node) -> write(local heap)".to_string()),
+        "bug 11 signature missing: {sigs:?}"
+    );
+    assert!(outcome
+        .bugs
+        .iter()
+        .any(|b| b.layer == LayerVerdict::IoLibBug));
+}
+
+#[test]
+fn bug12_h5_rename_is_a_multi_structure_atomicity_violation() {
+    let outcome = check_quick(Program::H5Rename, FsKind::BeeGfs);
+    assert!(outcome.bugs.iter().any(|b| {
+        b.layer == LayerVerdict::IoLibBug
+            && b.signature.to_string().starts_with('[')
+            && b.signature.to_string().contains("symbol table node")
+    }));
+}
+
+#[test]
+fn bug15_cdf_create_is_pfs_rooted() {
+    for fs in [FsKind::BeeGfs, FsKind::Lustre] {
+        let outcome = check_quick(Program::CdfCreate, fs);
+        assert!(
+            outcome.bugs.iter().any(|b| b.layer == LayerVerdict::PfsBug),
+            "CDF-create must be PFS-rooted on {}",
+            fs.name()
+        );
+    }
+}
+
+#[test]
+fn cdf_rename_found_no_bugs_in_the_paper_and_none_here() {
+    let outcome = check_quick(Program::CdfRename, FsKind::BeeGfs);
+    assert!(
+        outcome.bugs.is_empty(),
+        "CDF-rename should be clean: {:?}",
+        signatures(&outcome)
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-validate the causality graph's happens-before against an
+//! independent vector-clock simulation — two implementations of
+//! Lamport's partial order must agree on every real program trace.
+
+use simnet::VectorClock;
+use tracer::{CausalityGraph, Process, Recorder};
+use workloads::{FsKind, Params, Program};
+
+/// Simulate vector clocks over a recorded trace: each event ticks its
+/// process component and merges the clocks of every causal predecessor
+/// (program-order predecessor, caller, incoming message edges). By the
+/// classic vector-clock theorem, `clock(a) < clock(b)` iff `a → b`.
+fn clocks_of(rec: &Recorder) -> Vec<VectorClock> {
+    let mut procs: Vec<Process> = rec.events().iter().map(|e| e.proc).collect();
+    procs.sort();
+    procs.dedup();
+    let pidx = |p: Process| procs.iter().position(|&q| q == p).unwrap();
+
+    let mut clocks: Vec<VectorClock> = Vec::with_capacity(rec.len());
+    let mut proc_state: Vec<VectorClock> =
+        procs.iter().map(|_| VectorClock::new(procs.len())).collect();
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); rec.len()];
+    for &(from, to) in rec.extra_edges() {
+        incoming[to].push(from);
+    }
+    for e in rec.events() {
+        let pi = pidx(e.proc);
+        // Start from the program-order predecessor's clock…
+        let mut clock = proc_state[pi].clone();
+        // …merge the caller and message senders…
+        if let Some(parent) = e.parent {
+            clock.receive(pi, &clocks[parent].clone());
+        }
+        for &src in &incoming[e.id] {
+            clock.receive(pi, &clocks[src].clone());
+        }
+        // …and tick the local component (receive already ticked when a
+        // merge happened; tick once more is harmless for the ordering
+        // theorem, but keep exactly one tick for clarity).
+        if e.parent.is_none() && incoming[e.id].is_empty() {
+            clock.tick(pi);
+        }
+        proc_state[pi] = clock.clone();
+        clocks.push(clock);
+    }
+    clocks
+}
+
+#[test]
+fn graph_and_vector_clocks_agree() {
+    let params = Params::quick();
+    for (program, fs) in [
+        (Program::Arvr, FsKind::BeeGfs),
+        (Program::Wal, FsKind::GlusterFs),
+        (Program::H5ParallelCreate, FsKind::Lustre),
+        (Program::Cr, FsKind::Gpfs),
+    ] {
+        let stack = program.run(fs, &params);
+        let g = CausalityGraph::build(&stack.rec);
+        let clocks = clocks_of(&stack.rec);
+        let n = stack.rec.len();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    g.happens_before(a, b),
+                    clocks[a].happens_before(&clocks[b]),
+                    "disagreement on ({a},{b}) in {} on {}",
+                    program.name(),
+                    fs.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_pairs_match_too() {
+    let stack = Program::H5ParallelCreate.run(FsKind::BeeGfs, &Params::quick());
+    let g = CausalityGraph::build(&stack.rec);
+    let clocks = clocks_of(&stack.rec);
+    let mut concurrent = 0usize;
+    let n = stack.rec.len();
+    for a in 0..n {
+        for b in a + 1..n {
+            let gc = g.concurrent(a, b);
+            let cc = clocks[a].concurrent(&clocks[b]);
+            assert_eq!(gc, cc, "({a},{b})");
+            concurrent += usize::from(gc);
+        }
+    }
+    // The collective create really produces concurrency.
+    assert!(concurrent > 0);
+}
