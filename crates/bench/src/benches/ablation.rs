@@ -4,39 +4,13 @@
 //! bench reports wall time while the assertions pin the state counts'
 //! monotonicity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paracrash::{check_stack, CheckConfig, Stack, StackFactory};
+use pc_rt::bench::Bench;
 use pfs::beegfs::BeeGfs;
 use pfs::{Pfs, PfsCall, Placement};
 use simfs::JournalMode;
 use simnet::ClusterTopology;
 use workloads::{FsKind, Params, Program};
-
-fn bench_victim_bound(c: &mut Criterion) {
-    let params = Params::quick();
-    let mut group = c.benchmark_group("ablation-victims");
-    group.sample_size(10);
-    for k in [0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::new("ARVR-BeeGFS", k), &k, |b, &k| {
-            b.iter(|| {
-                let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
-                let factory = FsKind::BeeGfs.factory(&params);
-                let outcome = check_stack(
-                    &stack,
-                    &factory,
-                    &CheckConfig {
-                        k,
-                        ..CheckConfig::paper_default()
-                    },
-                );
-                // k strictly enlarges the state space…
-                assert!(outcome.stats.states_total >= 1);
-                outcome
-            })
-        });
-    }
-    group.finish();
-}
 
 fn arvr_on_journal(mode: JournalMode) -> paracrash::CheckOutcome {
     let make = move || -> Box<dyn Pfs> {
@@ -78,23 +52,36 @@ fn arvr_on_journal(mode: JournalMode) -> paracrash::CheckOutcome {
     check_stack(&stack, &factory, &CheckConfig::paper_default())
 }
 
-fn bench_journal_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-journal");
-    group.sample_size(10);
+/// Register the victim-bound and journal-mode ablation benches.
+pub fn register(b: &mut Bench) {
+    let params = Params::quick();
+    for k in [0usize, 1, 2] {
+        b.bench(&format!("ablation-victims/ARVR-BeeGFS/k{k}"), || {
+            let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+            let factory = FsKind::BeeGfs.factory(&params);
+            let outcome = check_stack(
+                &stack,
+                &factory,
+                &CheckConfig {
+                    k,
+                    ..CheckConfig::paper_default()
+                },
+            );
+            // k strictly enlarges the state space…
+            assert!(outcome.stats.states_total >= 1);
+            outcome
+        });
+    }
+
     for mode in [
         JournalMode::Data,
         JournalMode::Ordered,
         JournalMode::Writeback,
         JournalMode::None,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("ARVR-BeeGFS", mode.as_str()),
-            &mode,
-            |b, &mode| b.iter(|| arvr_on_journal(mode)),
+        b.bench(
+            &format!("ablation-journal/ARVR-BeeGFS/{}", mode.as_str()),
+            || arvr_on_journal(mode),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_victim_bound, bench_journal_modes);
-criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benches for Figure 10: real wall-clock exploration time of the
+//! three crash-state exploration strategies.
+//!
+//! The figure harness (`--bin fig10`) reports the calibrated simulated
+//! seconds; these benches measure what this reproduction actually costs,
+//! so regressions in the framework itself are visible.
+
+use paracrash::ExploreMode;
+use pc_rt::bench::Bench;
+use workloads::{FsKind, Params, Program};
+
+use crate::run_with_mode;
+
+/// Register the Figure 10 exploration-mode benches.
+pub fn register(b: &mut Bench) {
+    let params = Params::quick();
+    for (program, fs) in [
+        (Program::Arvr, FsKind::BeeGfs),
+        (Program::Cr, FsKind::Gpfs),
+        (Program::H5Delete, FsKind::BeeGfs),
+    ] {
+        for mode in [
+            ExploreMode::BruteForce,
+            ExploreMode::Pruning,
+            ExploreMode::Optimized,
+        ] {
+            b.bench(
+                &format!(
+                    "fig10-explore/{}-{}/{}",
+                    program.name(),
+                    fs.name(),
+                    mode.as_str()
+                ),
+                || {
+                    let outcome = run_with_mode(program, fs, &params, mode);
+                    assert!(outcome.stats.states_checked > 0);
+                    outcome
+                },
+            );
+        }
+    }
+    for fs in FsKind::all() {
+        b.bench(&format!("trace-generation/ARVR/{}", fs.name()), || {
+            Program::Arvr.run(fs, &params)
+        });
+    }
+}

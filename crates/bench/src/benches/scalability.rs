@@ -1,0 +1,31 @@
+//! Benches for Figure 11: real exploration cost as the server count
+//! grows (stripe shrinking proportionally, as in the paper).
+
+use paracrash::ExploreMode;
+use pc_rt::bench::Bench;
+use workloads::{FsKind, Params, Program};
+
+use crate::run_with_mode;
+
+/// Register the Figure 11 scalability benches.
+pub fn register(b: &mut Bench) {
+    let base = Params::quick();
+    for &servers in &[4u32, 8, 16] {
+        let stripe = (base.stripe * 4 / u64::from(servers)).max(256);
+        let params = base
+            .clone()
+            .with_servers(servers / 2, servers / 2)
+            .with_stripe(stripe);
+        b.bench(
+            &format!("fig11-scalability/H5-create-BeeGFS/{servers}-servers"),
+            || {
+                run_with_mode(
+                    Program::H5Create,
+                    FsKind::BeeGfs,
+                    &params,
+                    ExploreMode::Optimized,
+                )
+            },
+        );
+    }
+}

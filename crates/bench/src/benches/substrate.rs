@@ -1,0 +1,67 @@
+//! Micro-benches for the substrates: local-FS replay, causality-graph
+//! construction, persistence analysis, crash-state enumeration, and
+//! HDF5 image checking. These are the inner loops of the framework —
+//! Figure 10's wall time is mostly spent here.
+
+use paracrash::{crash_states, PersistAnalysis};
+use pc_rt::bench::Bench;
+use simfs::{FsOp, FsState, JournalMode};
+use tracer::CausalityGraph;
+use workloads::{FsKind, Params, Program};
+
+/// Register the substrate micro-benches.
+pub fn register(b: &mut Bench) {
+    let ops: Vec<FsOp> = (0..200)
+        .map(|i| match i % 4 {
+            0 => FsOp::Creat {
+                path: format!("/f{i}"),
+            },
+            1 => FsOp::Pwrite {
+                path: format!("/f{}", i - 1),
+                offset: 0,
+                data: vec![0u8; 256],
+            },
+            2 => FsOp::SetXattr {
+                path: format!("/f{}", i - 2),
+                key: "user.k".into(),
+                value: vec![1; 16],
+            },
+            _ => FsOp::Rename {
+                src: format!("/f{}", i - 3),
+                dst: format!("/g{i}"),
+            },
+        })
+        .collect();
+    b.bench("simfs/replay-200-ops", || {
+        let mut fs = FsState::new();
+        let failed = fs.apply_lenient(ops.iter());
+        assert!(failed.is_empty());
+        fs.digest()
+    });
+
+    let stack = Program::H5Create.run(FsKind::BeeGfs, &Params::quick());
+    b.bench("pfs/baseline-snapshot-clone", || {
+        stack.pfs.baseline().clone()
+    });
+
+    b.bench("tracer/causality-graph-build", || {
+        CausalityGraph::build(&stack.rec)
+    });
+    let graph = CausalityGraph::build(&stack.rec);
+    b.bench("tracer/consistent-cuts", || {
+        graph.consistent_cuts(&stack.rec.lowermost_events())
+    });
+
+    b.bench("paracrash/persist-analysis", || {
+        PersistAnalysis::build(&stack.rec, &graph, |_| Some(JournalMode::Data))
+    });
+    let pa = PersistAnalysis::build(&stack.rec, &graph, |_| Some(JournalMode::Data));
+    b.bench("paracrash/crash-state-enumeration", || {
+        crash_states(&stack.rec, &graph, &pa, 1, None).len()
+    });
+
+    let view = stack.pfs.client_view(stack.pfs.live());
+    let bytes = view.read("/file.h5").unwrap().to_vec();
+    b.bench("h5sim/h5check-parse", || h5sim::check(&bytes).unwrap());
+    b.bench("h5sim/h5inspect", || h5sim::h5inspect(&bytes).unwrap().len());
+}

@@ -1,0 +1,72 @@
+//! The wall-clock benchmark driver (replaces `cargo bench`'s criterion
+//! targets with a plain binary on the vendored `pc-rt` harness):
+//!
+//! ```sh
+//! cargo run --release -p pc-bench --bin bench                  # all suites
+//! cargo run --release -p pc-bench --bin bench -- fig10         # name filter
+//! cargo run --release -p pc-bench --bin bench -- --json out.json
+//! PC_BENCH_TIME_MS=200 PC_THREADS=4 cargo run --release -p pc-bench --bin bench
+//! ```
+//!
+//! Suites: `fig10-explore` / `trace-generation` (exploration modes),
+//! `fig11-scalability` (server-count scaling), `simfs`/`pfs`/`tracer`/
+//! `paracrash`/`h5sim` substrate micro-benches, and `ablation-victims` /
+//! `ablation-journal`.
+
+use pc_bench::{bench_samples_json, benches};
+use pc_rt::bench::Bench;
+
+fn main() {
+    // Parse `[FILTER] [--json PATH]` ourselves so a `--json` value is
+    // never mistaken for the name filter.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => match args.get(i + 1) {
+                Some(path) => {
+                    json_path = Some(path.clone());
+                    i += 1;
+                }
+                None => {
+                    eprintln!("error: --json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag} (usage: bench [FILTER] [--json PATH])");
+                std::process::exit(2);
+            }
+            name => {
+                if filter.is_some() {
+                    eprintln!("error: more than one filter given ({name})");
+                    std::process::exit(2);
+                }
+                filter = Some(name.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = pc_rt::bench::Config::default();
+    cfg.filter = filter;
+    let mut b = Bench::new(cfg);
+    benches::substrate::register(&mut b);
+    benches::explore::register(&mut b);
+    benches::scalability::register(&mut b);
+    benches::ablation::register(&mut b);
+
+    print!("{}", b.report());
+    if b.samples().is_empty() {
+        eprintln!("no benchmark matched the filter");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = json_path {
+        let doc = bench_samples_json(b.samples());
+        std::fs::write(&path, doc.pretty() + "\n").expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}

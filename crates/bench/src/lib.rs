@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 
 //! Shared harness machinery for the figure/table regeneration binaries
-//! and the criterion benches.
+//! and the wall-clock benches.
 //!
 //! Every evaluation artifact of the paper reduces to running a set of
 //! `(program, file system, placement, parameters)` cells through
@@ -11,9 +11,23 @@
 //! * Figure 8 — inconsistent-state counts per cell;
 //! * Figure 10 — exploration time per cell under the three modes;
 //! * Figure 11 — exploration time as the server count grows.
+//!
+//! The wall-clock benches (formerly criterion bench targets) live in
+//! [`benches`] and run on `pc-rt`'s harness through the `bench` binary:
+//! `cargo run --release -p pc-bench --bin bench -- [filter] [--json PATH]`.
 
+use h5sim::json::Json;
 use paracrash::{check_stack, CheckConfig, CheckOutcome, ExploreMode, Inconsistency, LayerVerdict};
+use pc_rt::bench::Sample;
 use workloads::{FsKind, Params, Program};
+
+/// The wall-clock benchmark suites (ported from the criterion benches).
+pub mod benches {
+    pub mod ablation;
+    pub mod explore;
+    pub mod scalability;
+    pub mod substrate;
+}
 
 /// One evaluated cell of the matrix.
 #[derive(Debug, Clone)]
@@ -200,6 +214,26 @@ pub fn run_with_mode(program: Program, fs: FsKind, params: &Params, mode: Explor
         ..CheckConfig::paper_default()
     };
     run_program(program, fs, params, &cfg).outcome
+}
+
+/// Serialize bench results as JSON (via `h5sim`'s vendored writer —
+/// the same one `h5inspect` uses, keeping the workspace registry-free).
+pub fn bench_samples_json(samples: &[Sample]) -> Json {
+    Json::Arr(
+        samples
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("iters".into(), Json::Int(u64::from(s.iters))),
+                    ("min_ns".into(), Json::Int(s.min_ns.round() as u64)),
+                    ("mean_ns".into(), Json::Int(s.mean_ns.round() as u64)),
+                    ("median_ns".into(), Json::Int(s.median_ns.round() as u64)),
+                    ("p95_ns".into(), Json::Int(s.p95_ns.round() as u64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

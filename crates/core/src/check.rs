@@ -282,20 +282,17 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     // skipping and §5.2's aggregation. Computing a verdict the pruner
     // later discards wastes only CPU — the reported bugs, state counts
     // and the simulated cost model are identical to a fully sequential
-    // exploration.
+    // exploration. The pool honours `PC_THREADS` (1 = the sequential
+    // reference run used by determinism tests).
     let mut legal_of: Vec<Option<LegalStates>> = vec![None; states.len()];
     for &idx in &order {
         legal_of[idx] = Some(evaluate(&states[idx], &mut pfs_cache, &mut h5_cache));
     }
-    use rayon::prelude::*;
-    let computed: Vec<(bool, Option<(LayerVerdict, Model)>)> = states
-        .par_iter()
-        .zip(legal_of.par_iter())
-        .map(|(state, legal)| {
-            let (legal_views, legal_h5) = legal.as_ref().expect("prefilled");
-            verdict_of(state, legal_views, legal_h5)
-        })
-        .collect();
+    let computed: Vec<(bool, Option<(LayerVerdict, Model)>)> =
+        pc_rt::pool::par_map_indices(states.len(), |i| {
+            let (legal_views, legal_h5) = legal_of[i].as_ref().expect("prefilled");
+            verdict_of(&states[i], legal_views, legal_h5)
+        });
     for &idx in &order {
         let state = &states[idx];
         if cfg.mode.prunes() && pruner_skips(&pruner, rec, &topo, &pa, state) {

@@ -1,0 +1,296 @@
+//! Scoped worker pool: data-parallel `par_map` / `par_chunks` on
+//! borrowed data, built on [`std::thread::scope`].
+//!
+//! This is the fan-out engine for Algorithm 1's exploration loop: after
+//! the sequential pass computes each crash state's legal golden states,
+//! the per-state verdicts (materialize → recover → compare) are
+//! independent and embarrassingly parallel, so
+//! [`check_stack`](../../paracrash/fn.check_stack.html) hands them to
+//! [`par_map`]. Workers pull indices from a shared atomic counter —
+//! dynamic scheduling, so a few expensive states (large persisted sets,
+//! deep recovery) don't stall a statically partitioned worker.
+//!
+//! Results always come back **in input order**, whatever order workers
+//! finish in, and a panic in any task propagates to the caller once all
+//! workers have stopped — the same contract `rayon`'s `par_iter().map()`
+//! provided, so call sites swap over mechanically.
+//!
+//! The worker count is decided per [`Pool`]: explicitly via
+//! [`Pool::with_threads`], or from the environment via [`Pool::new`]
+//! (the `PC_THREADS` variable, else [`std::thread::available_parallelism`]).
+//! `PC_THREADS=1` degenerates to a sequential loop on the calling
+//! thread, which is the reference behaviour for determinism tests.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_rt::pool::{self, Pool};
+//!
+//! // Free function: pool sized from PC_THREADS / the machine.
+//! let doubled = pool::par_map(&[1, 2, 3], |&x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//!
+//! // Explicit pool: deterministic single-threaded reference run.
+//! let seq = Pool::with_threads(1).par_map(&[1, 2, 3], |&x| x * 2);
+//! assert_eq!(seq, doubled);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "PC_THREADS";
+
+/// Number of workers a default-configured pool will use: `PC_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A worker-pool configuration.
+///
+/// Threads are not kept alive between calls: each `par_*` call spawns
+/// scoped workers and joins them before returning. The tasks this pool
+/// exists for (crash-state reconstruction, legal-state replay) cost
+/// milliseconds to seconds each, so thread spawn overhead (~10 µs) is
+/// noise; what matters is the dynamic index queue keeping all cores
+/// busy on skewed workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Pool {
+    /// Pool sized by `PC_THREADS` / available parallelism.
+    pub fn new() -> Pool {
+        Pool {
+            threads: default_threads(),
+        }
+    }
+
+    /// Pool with an explicit worker count (`n == 0` is treated as 1).
+    pub fn with_threads(n: usize) -> Pool {
+        Pool {
+            threads: n.max(1),
+        }
+    }
+
+    /// The worker count this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every element of `items`, in parallel, returning
+    /// results in input order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Apply `f` to every index in `0..n`, in parallel, returning
+    /// results in index order. This is the primitive the other `par_*`
+    /// entry points reduce to; call it directly when the task needs the
+    /// index itself (e.g. to address several parallel slices at once).
+    pub fn par_map_indices<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Batch completed results locally; take the shared
+                    // lock once per batch, not once per item.
+                    let mut done: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                        if done.len() >= 32 {
+                            let mut guard = slots.lock().unwrap();
+                            for (j, v) in done.drain(..) {
+                                guard[j] = Some(v);
+                            }
+                        }
+                    }
+                    let mut guard = slots.lock().unwrap();
+                    for (j, v) in done {
+                        guard[j] = Some(v);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .drain(..)
+            .map(|v| v.expect("every index produced"))
+            .collect()
+    }
+
+    /// Apply `f` to consecutive chunks of `items` (each of length
+    /// `chunk` except possibly the last), in parallel, returning the
+    /// per-chunk results in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T]) -> U + Sync,
+    {
+        assert!(chunk > 0, "par_chunks with chunk size 0");
+        let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+        self.par_map_indices(chunks.len(), |i| f(chunks[i]))
+    }
+}
+
+/// [`Pool::par_map`] on a default-configured pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    Pool::new().par_map(items, f)
+}
+
+/// [`Pool::par_map_indices`] on a default-configured pool.
+pub fn par_map_indices<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    Pool::new().par_map_indices(n, f)
+}
+
+/// [`Pool::par_chunks`] on a default-configured pool.
+pub fn par_chunks<T, U, F>(items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    Pool::new().par_chunks(items, chunk, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<usize> = (0..257).collect();
+            let out = pool.par_map(&items, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    /// The single-threaded pool and multi-threaded pools must agree on
+    /// every output — the determinism contract check.rs relies on.
+    #[test]
+    fn single_vs_multi_thread_results_are_identical() {
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13) ^ x;
+        let seq = Pool::with_threads(1).par_map(&items, f);
+        for threads in [2, 3, 7] {
+            let par = Pool::with_threads(threads).par_map(&items, f);
+            assert_eq!(seq, par, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = Pool::with_threads(4).par_map_indices(123, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 123);
+        assert_eq!(out, (0..123).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_workers_actually_participate() {
+        use std::sync::Mutex;
+        // With heavy-ish tasks and 4 workers, more than one OS thread
+        // must execute tasks (guards against a silently sequential pool).
+        let ids: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        Pool::with_threads(4).par_map_indices(64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let id = std::thread::current().id();
+            let mut guard = ids.lock().unwrap();
+            if !guard.contains(&id) {
+                guard.push(id);
+            }
+        });
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_including_ragged_tail() {
+        let items: Vec<u32> = (0..103).collect();
+        let sums = Pool::with_threads(3).par_chunks(&items, 10, |c| c.iter().sum::<u32>());
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), items.iter().sum::<u32>());
+        assert_eq!(sums[10], (100..103).sum::<u32>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Pool::new().par_map(&empty, |&x| x).is_empty());
+        assert_eq!(Pool::new().par_map(&[9], |&x: &u8| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::with_threads(4).par_map_indices(50, |i| {
+                if i == 17 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn with_threads_zero_means_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+}

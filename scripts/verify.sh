@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic, zero-registry-dependency build.
+#
+# Two gates:
+#   1. Dependency policy — every dependency in every Cargo.toml must be
+#      an in-tree `path` crate (or a `*.workspace = true` reference to
+#      one). Any registry dependency (a `version = "..."` requirement)
+#      fails the build *before* cargo runs, with a pointed message.
+#   2. Tier-1 — `cargo build --release` and `cargo test -q`, both fully
+#      offline (CARGO_NET_OFFLINE=true + --offline), so a cold, empty
+#      ~/.cargo/registry is sufficient.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gate 1: no registry dependencies =="
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Within dependency tables, flag any spec that is neither a `path`
+    # dependency nor a workspace inheritance.
+    bad=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies/)
+            next
+        }
+        in_deps && /=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /\.workspace[ \t]*=[ \t]*true/ && $0 !~ /^[ \t]*#/) {
+                print FILENAME ": " $0
+            }
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "registry dependency detected (hermetic-build policy forbids these):"
+        echo "$bad"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: vendor the functionality into crates/rt (pc-rt) or another in-tree crate."
+    exit 1
+fi
+echo "ok: all dependencies are in-tree path crates"
+
+echo "== gate 2: tier-1 build + tests, offline =="
+export CARGO_NET_OFFLINE=true
+cargo build --release --offline
+cargo test -q --offline
+echo "verify: OK"

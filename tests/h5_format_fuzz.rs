@@ -1,9 +1,13 @@
 //! Fuzz the HDF5-like library and format: random valid call sequences
 //! must always produce files that `h5check` accepts, whose object maps
 //! tile the file without overlap, and that replay deterministically.
+//! (Hosted on the vendored `pc-rt` property harness.)
 
 use h5sim::{check, h5clear, h5inspect, h5replay_with, ClearOpts, H5Call, H5Spec};
-use proptest::prelude::*;
+use pc_rt::proptest::{gen_vec, run, Config};
+use pc_rt::rng::Rng;
+use pc_rt::prop_assert_eq;
+use pc_rt::prop_assert;
 use workloads::FsKind;
 use workloads::Params;
 
@@ -106,92 +110,118 @@ fn lower(ops: &[GenOp]) -> Vec<(u32, H5Call)> {
     calls
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<GenOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Create(g, d)),
-            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Resize(g, d)),
-            (0u8..2, 0u8..3).prop_map(|(g, d)| GenOp::Delete(g, d)),
-            (0u8..2, 0u8..3, 0u8..2, 0u8..3)
-                .prop_map(|(g, d, g2, d2)| GenOp::Rename(g, d, g2, d2)),
-        ],
-        0..10,
-    )
+/// Up to ~9 random symbolic ops (bounded by the shrinkable `size`
+/// budget), uniformly over the four op kinds.
+fn arb_ops(rng: &mut Rng, size: usize) -> Vec<GenOp> {
+    gen_vec(rng, size.min(9), |r| {
+        let g = (r.next_u32() % 2) as u8;
+        let d = (r.next_u32() % 3) as u8;
+        match r.gen_index(4) {
+            0 => GenOp::Create(g, d),
+            1 => GenOp::Resize(g, d),
+            2 => GenOp::Delete(g, d),
+            _ => {
+                let g2 = (r.next_u32() % 2) as u8;
+                let d2 = (r.next_u32() % 3) as u8;
+                GenOp::Rename(g, d, g2, d2)
+            }
+        }
+    })
 }
 
 fn spec() -> H5Spec {
     H5Spec { elem: 8, seg: 256 }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any valid call sequence produces a clean, parseable file with the
-    /// expected dataset census.
-    #[test]
-    fn random_sequences_produce_valid_files(ops in arb_ops()) {
-        let params = Params::quick();
-        let calls = lower(&ops);
-        let mut pfs = FsKind::Ext4.build(&params);
-        let logical = h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec())
-            .expect("valid sequence replays");
-        // Census: count live datasets from the call sequence.
-        let mut live = std::collections::BTreeSet::new();
-        for (_, c) in &calls {
-            match c {
-                H5Call::CreateDataset { group, name, .. } => {
-                    live.insert(format!("{group}/{name}"));
+/// Any valid call sequence produces a clean, parseable file with the
+/// expected dataset census.
+#[test]
+fn random_sequences_produce_valid_files() {
+    run(
+        "random_sequences_produce_valid_files",
+        &Config::with_cases(32),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let calls = lower(ops);
+            let mut pfs = FsKind::Ext4.build(&params);
+            let logical = h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec())
+                .expect("valid sequence replays");
+            // Census: count live datasets from the call sequence.
+            let mut live = std::collections::BTreeSet::new();
+            for (_, c) in &calls {
+                match c {
+                    H5Call::CreateDataset { group, name, .. } => {
+                        live.insert(format!("{group}/{name}"));
+                    }
+                    H5Call::DeleteDataset { group, name } => {
+                        live.remove(&format!("{group}/{name}"));
+                    }
+                    H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
+                        live.remove(&format!("{src_group}/{src_name}"));
+                        live.insert(format!("{dst_group}/{dst_name}"));
+                    }
+                    _ => {}
                 }
-                H5Call::DeleteDataset { group, name } => {
-                    live.remove(&format!("{group}/{name}"));
-                }
-                H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
-                    live.remove(&format!("{src_group}/{src_name}"));
-                    live.insert(format!("{dst_group}/{dst_name}"));
-                }
-                _ => {}
             }
-        }
-        prop_assert_eq!(
-            logical.datasets.keys().cloned().collect::<Vec<_>>(),
-            live.into_iter().collect::<Vec<_>>()
-        );
-    }
+            prop_assert_eq!(
+                logical.datasets.keys().cloned().collect::<Vec<_>>(),
+                live.into_iter().collect::<Vec<_>>()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The object map tiles the file without overlaps, and h5clear is
-    /// idempotent on clean files.
-    #[test]
-    fn object_maps_never_overlap(ops in arb_ops()) {
-        let params = Params::quick();
-        let calls = lower(&ops);
-        let mut pfs = FsKind::Ext4.build(&params);
-        h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("replays");
-        let view = pfs.client_view(pfs.live());
-        let bytes = view.read("/fuzz.h5").expect("file exists").to_vec();
-        let map = h5inspect(&bytes).expect("clean file inspects");
-        let mut prev_end = 0u64;
-        for obj in &map {
-            prop_assert!(obj.addr >= prev_end, "overlap at {}", obj.name);
-            prev_end = obj.addr + obj.len;
-        }
-        // h5clear on a clean file only touches the status byte.
-        let cleared = h5clear(&bytes, ClearOpts::default());
-        prop_assert_eq!(check(&bytes).expect("ok"), check(&cleared).expect("ok"));
-        let twice = h5clear(&cleared, ClearOpts { increase_eof: true });
-        prop_assert!(check(&twice).is_ok());
-    }
+/// The object map tiles the file without overlaps, and h5clear is
+/// idempotent on clean files.
+#[test]
+fn object_maps_never_overlap() {
+    run(
+        "object_maps_never_overlap",
+        &Config::with_cases(32),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let calls = lower(ops);
+            let mut pfs = FsKind::Ext4.build(&params);
+            h5replay_with(pfs.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("replays");
+            let view = pfs.client_view(pfs.live());
+            let bytes = view.read("/fuzz.h5").expect("file exists").to_vec();
+            let map = h5inspect(&bytes).expect("clean file inspects");
+            let mut prev_end = 0u64;
+            for obj in &map {
+                prop_assert!(obj.addr >= prev_end, "overlap at {}", obj.name);
+                prev_end = obj.addr + obj.len;
+            }
+            // h5clear on a clean file only touches the status byte.
+            let cleared = h5clear(&bytes, ClearOpts::default());
+            prop_assert_eq!(check(&bytes).expect("ok"), check(&cleared).expect("ok"));
+            let twice = h5clear(&cleared, ClearOpts { increase_eof: true });
+            prop_assert!(check(&twice).is_ok());
+            Ok(())
+        },
+    );
+}
 
-    /// Replays are deterministic: two fresh stacks produce structurally
-    /// identical logical states.
-    #[test]
-    fn replays_are_deterministic(ops in arb_ops()) {
-        let params = Params::quick();
-        let calls = lower(&ops);
-        let mut a = FsKind::BeeGfs.build(&params);
-        let mut b = FsKind::BeeGfs.build(&params);
-        let la = h5replay_with(a.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("a");
-        let lb = h5replay_with(b.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("b");
-        prop_assert_eq!(la, lb);
-        prop_assert_eq!(a.client_view(a.live()), b.client_view(b.live()));
-    }
+/// Replays are deterministic: two fresh stacks produce structurally
+/// identical logical states.
+#[test]
+fn replays_are_deterministic() {
+    run(
+        "replays_are_deterministic",
+        &Config::with_cases(32),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let calls = lower(ops);
+            let mut a = FsKind::BeeGfs.build(&params);
+            let mut b = FsKind::BeeGfs.build(&params);
+            let la = h5replay_with(a.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("a");
+            let lb = h5replay_with(b.as_mut(), "/fuzz.h5", &[0], &calls, spec()).expect("b");
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(a.client_view(a.live()), b.client_view(b.live()));
+            Ok(())
+        },
+    );
 }

@@ -1,198 +1,268 @@
 //! Property-based tests over the framework's core invariants, driven by
-//! randomly generated multi-process traces.
+//! randomly generated multi-process traces (hosted on the vendored
+//! `pc-rt` property harness; `PC_PROPTEST_SEED` reproduces failures).
 
-use proptest::prelude::*;
+use pc_rt::proptest::{gen_vec, run, Config};
+use pc_rt::rng::Rng;
+use pc_rt::{prop_assert, prop_assert_eq, prop_assume};
 use simfs::{FsOp, JournalMode};
 use tracer::{BitSet, CausalityGraph, Layer, Payload, Process, Recorder};
 
-/// A randomly generated trace: `n` lowermost ops spread over `servers`
-/// servers and chained/crossed by random message edges.
-fn arb_trace() -> impl Strategy<Value = (Recorder, Vec<usize>)> {
-    (2usize..12, 1u32..4, proptest::collection::vec((0u32..4, 0u8..6), 0..8)).prop_map(
-        |(n, servers, edges)| {
-            let mut rec = Recorder::new();
-            let mut ids = Vec::new();
-            for i in 0..n {
-                let server = (i as u32) % servers;
-                let op = match i % 5 {
-                    0 => FsOp::Creat {
-                        path: format!("/f{i}"),
-                    },
-                    1 => FsOp::Append {
-                        path: format!("/f{}", i.saturating_sub(1)),
-                        data: vec![i as u8],
-                    },
-                    2 => FsOp::SetXattr {
-                        path: format!("/f{}", i.saturating_sub(2)),
-                        key: "user.k".into(),
-                        value: vec![i as u8],
-                    },
-                    3 => FsOp::Fsync {
-                        path: format!("/f{}", i.saturating_sub(3)),
-                    },
-                    _ => FsOp::Unlink {
-                        path: format!("/f{}", i.saturating_sub(4)),
-                    },
-                };
-                ids.push(rec.record(
-                    Layer::LocalFs,
-                    Process::Server(server),
-                    Payload::Fs { server, op },
-                    None,
-                ));
-            }
-            // Random forward cross-server edges.
-            for (a, b) in edges {
-                let (a, b) = (a as usize % n, b as usize % n);
-                if a < b {
-                    rec.add_edge(ids[a], ids[b]);
-                }
-            }
-            (rec, ids)
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every enumerated consistent cut is downward-closed under
-    /// happens-before.
-    #[test]
-    fn consistent_cuts_are_downward_closed((rec, ids) in arb_trace()) {
-        let g = CausalityGraph::build(&rec);
-        for cut in g.consistent_cuts(&ids) {
-            prop_assert!(g.is_consistent_cut(&cut, &ids));
-            for &a in &ids {
-                for &b in &ids {
-                    if g.happens_before(a, b) && cut.contains(b) {
-                        prop_assert!(cut.contains(a), "cut not downward closed");
-                    }
-                }
-            }
+/// A randomly generated trace: up to ~11 lowermost ops spread over
+/// 1–3 servers and chained/crossed by random message edges. The `size`
+/// budget bounds both the op count and the edge count, so shrinking a
+/// failure yields a smaller trace.
+fn arb_trace(rng: &mut Rng, size: usize) -> (Recorder, Vec<usize>) {
+    let n = 2 + rng.gen_range(0..=size.min(9) as u64) as usize;
+    let servers = rng.gen_range(1u32..4) as u32;
+    let edges = gen_vec(rng, size.min(7), |r| {
+        (r.next_u32() % 4, (r.next_u64() % 6) as u8)
+    });
+    let mut rec = Recorder::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let server = (i as u32) % servers;
+        let op = match i % 5 {
+            0 => FsOp::Creat {
+                path: format!("/f{i}"),
+            },
+            1 => FsOp::Append {
+                path: format!("/f{}", i.saturating_sub(1)),
+                data: vec![i as u8],
+            },
+            2 => FsOp::SetXattr {
+                path: format!("/f{}", i.saturating_sub(2)),
+                key: "user.k".into(),
+                value: vec![i as u8],
+            },
+            3 => FsOp::Fsync {
+                path: format!("/f{}", i.saturating_sub(3)),
+            },
+            _ => FsOp::Unlink {
+                path: format!("/f{}", i.saturating_sub(4)),
+            },
+        };
+        ids.push(rec.record(
+            Layer::LocalFs,
+            Process::Server(server),
+            Payload::Fs { server, op },
+            None,
+        ));
+    }
+    // Random forward cross-server edges.
+    for (a, b) in edges {
+        let (a, b) = (a as usize % n, b as usize % n);
+        if a < b {
+            rec.add_edge(ids[a], ids[b]);
         }
     }
+    (rec, ids)
+}
 
-    /// `happens_before` from the causality graph agrees with an
-    /// independent vector-clock simulation along program order.
-    #[test]
-    fn graph_hb_is_a_partial_order((rec, ids) in arb_trace()) {
-        let g = CausalityGraph::build(&rec);
-        for &a in &ids {
-            prop_assert!(!g.happens_before(a, a), "irreflexive");
-            for &b in &ids {
-                if g.happens_before(a, b) {
-                    prop_assert!(!g.happens_before(b, a), "antisymmetric");
-                    for &c in &ids {
-                        if g.happens_before(b, c) {
-                            prop_assert!(g.happens_before(a, c), "transitive");
+/// Every enumerated consistent cut is downward-closed under
+/// happens-before.
+#[test]
+fn consistent_cuts_are_downward_closed() {
+    run(
+        "consistent_cuts_are_downward_closed",
+        &Config::with_cases(64),
+        arb_trace,
+        |(rec, ids)| {
+            let g = CausalityGraph::build(rec);
+            for cut in g.consistent_cuts(ids) {
+                prop_assert!(g.is_consistent_cut(&cut, ids));
+                for &a in ids {
+                    for &b in ids {
+                        if g.happens_before(a, b) && cut.contains(b) {
+                            prop_assert!(cut.contains(a), "cut not downward closed");
                         }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Crash states never violate the persists-before relation: if
-    /// `a persists_before b` and `b` persisted, `a` persisted.
-    #[test]
-    fn crash_states_respect_persistence_order((rec, _ids) in arb_trace()) {
-        let g = CausalityGraph::build(&rec);
-        let pa = paracrash::PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
-        let states = paracrash::crash_states(&rec, &g, &pa, 2, None);
-        prop_assert!(!states.is_empty());
-        for st in &states {
-            for &a in pa.updates() {
-                for &b in pa.updates() {
-                    if pa.persists_before(a, b) && st.persisted.contains(b) {
-                        prop_assert!(
-                            st.persisted.contains(a),
-                            "state drops {a} but keeps its dependent {b}"
-                        );
+/// `happens_before` from the causality graph is a strict partial order.
+#[test]
+fn graph_hb_is_a_partial_order() {
+    run(
+        "graph_hb_is_a_partial_order",
+        &Config::with_cases(64),
+        arb_trace,
+        |(rec, ids)| {
+            let g = CausalityGraph::build(rec);
+            for &a in ids {
+                prop_assert!(!g.happens_before(a, a), "irreflexive");
+                for &b in ids {
+                    if g.happens_before(a, b) {
+                        prop_assert!(!g.happens_before(b, a), "antisymmetric");
+                        for &c in ids {
+                            if g.happens_before(b, c) {
+                                prop_assert!(g.happens_before(a, c), "transitive");
+                            }
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Synced updates are pinned: any crash state whose cut includes the
-    /// covering fsync persists the update.
-    #[test]
-    fn synced_updates_survive_every_crash((rec, _ids) in arb_trace()) {
-        let g = CausalityGraph::build(&rec);
-        let pa = paracrash::PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Writeback));
-        let states = paracrash::crash_states(&rec, &g, &pa, 2, None);
-        for st in &states {
-            for &u in pa.updates() {
-                if st.cut.contains(u) && pa.pinned(&rec, &g, u, &st.cut) {
-                    prop_assert!(st.persisted.contains(u), "pinned update {u} dropped");
+/// Crash states never violate the persists-before relation: if
+/// `a persists_before b` and `b` persisted, `a` persisted.
+#[test]
+fn crash_states_respect_persistence_order() {
+    run(
+        "crash_states_respect_persistence_order",
+        &Config::with_cases(64),
+        arb_trace,
+        |(rec, _ids)| {
+            let g = CausalityGraph::build(rec);
+            let pa = paracrash::PersistAnalysis::build(rec, &g, |_| Some(JournalMode::Data));
+            let states = paracrash::crash_states(rec, &g, &pa, 2, None);
+            prop_assert!(!states.is_empty());
+            for st in &states {
+                for &a in pa.updates() {
+                    for &b in pa.updates() {
+                        if pa.persists_before(a, b) && st.persisted.contains(b) {
+                            prop_assert!(
+                                st.persisted.contains(a),
+                                "state drops {a} but keeps its dependent {b}"
+                            );
+                        }
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Model lattice: every causal preserved set is also a legal commit
-    /// and baseline preserved set.
-    #[test]
-    fn weaker_models_admit_more((rec, ids) in arb_trace()) {
-        prop_assume!(ids.len() <= 8);
-        let g = CausalityGraph::build(&rec);
-        let causal = paracrash::Model::Causal.preserved_sets(&g, &ids, &[]);
-        let commit: std::collections::BTreeSet<Vec<usize>> = paracrash::Model::Commit
-            .preserved_sets(&g, &ids, &[])
-            .into_iter()
-            .map(|mut s| { s.sort_unstable(); s })
-            .collect();
-        let baseline: std::collections::BTreeSet<Vec<usize>> = paracrash::Model::Baseline
-            .preserved_sets(&g, &ids, &[])
-            .into_iter()
-            .map(|mut s| { s.sort_unstable(); s })
-            .collect();
-        for mut s in causal {
-            s.sort_unstable();
-            prop_assert!(commit.contains(&s));
-            prop_assert!(baseline.contains(&s));
-        }
-        // Strict's single set is causal-legal.
-        let strict = paracrash::Model::Strict.preserved_sets(&g, &ids, &[]);
-        prop_assert_eq!(strict.len(), 1);
-    }
+/// Synced updates are pinned: any crash state whose cut includes the
+/// covering fsync persists the update.
+#[test]
+fn synced_updates_survive_every_crash() {
+    run(
+        "synced_updates_survive_every_crash",
+        &Config::with_cases(64),
+        arb_trace,
+        |(rec, _ids)| {
+            let g = CausalityGraph::build(rec);
+            let pa = paracrash::PersistAnalysis::build(rec, &g, |_| Some(JournalMode::Writeback));
+            let states = paracrash::crash_states(rec, &g, &pa, 2, None);
+            for st in &states {
+                for &u in pa.updates() {
+                    if st.cut.contains(u) && pa.pinned(rec, &g, u, &st.cut) {
+                        prop_assert!(st.persisted.contains(u), "pinned update {u} dropped");
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Replaying any subset of ops leaves the local FS structurally
-    /// clean (the invariant ParaCrash's state materialization relies
-    /// on).
-    #[test]
-    fn lenient_replay_preserves_fs_invariants(
-        (rec, ids) in arb_trace(),
-        mask in 0u64..,
-    ) {
-        let mut fs = simfs::FsState::new();
-        let ops: Vec<&FsOp> = ids
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
-            .filter_map(|(_, &id)| match &rec.event(id).payload {
-                Payload::Fs { op, .. } => Some(op),
-                _ => None,
-            })
-            .collect();
-        fs.apply_lenient(ops);
-        prop_assert!(simfs::Fsck::is_clean(&fs));
-    }
+/// Model lattice: every causal preserved set is also a legal commit
+/// and baseline preserved set.
+#[test]
+fn weaker_models_admit_more() {
+    run(
+        "weaker_models_admit_more",
+        &Config::with_cases(64),
+        arb_trace,
+        |(rec, ids)| {
+            prop_assume!(ids.len() <= 8);
+            let g = CausalityGraph::build(rec);
+            let causal = paracrash::Model::Causal.preserved_sets(&g, ids, &[]);
+            let commit: std::collections::BTreeSet<Vec<usize>> = paracrash::Model::Commit
+                .preserved_sets(&g, ids, &[])
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s
+                })
+                .collect();
+            let baseline: std::collections::BTreeSet<Vec<usize>> = paracrash::Model::Baseline
+                .preserved_sets(&g, ids, &[])
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s
+                })
+                .collect();
+            for mut s in causal {
+                s.sort_unstable();
+                prop_assert!(commit.contains(&s));
+                prop_assert!(baseline.contains(&s));
+            }
+            // Strict's single set is causal-legal.
+            let strict = paracrash::Model::Strict.preserved_sets(&g, ids, &[]);
+            prop_assert_eq!(strict.len(), 1);
+            Ok(())
+        },
+    );
+}
 
-    /// Bitset algebra sanity under random operations.
-    #[test]
-    fn bitset_algebra(xs in proptest::collection::btree_set(0usize..200, 0..40),
-                      ys in proptest::collection::btree_set(0usize..200, 0..40)) {
-        let a = BitSet::from_iter(200, xs.iter().copied());
-        let b = BitSet::from_iter(200, ys.iter().copied());
-        let mut u = a.clone();
-        u.union_with(&b);
-        prop_assert_eq!(u.count(), xs.union(&ys).count());
-        let mut d = a.clone();
-        d.subtract(&b);
-        prop_assert_eq!(d.count(), xs.difference(&ys).count());
-        prop_assert_eq!(a.is_disjoint(&b), xs.is_disjoint(&ys));
-        prop_assert_eq!(a.is_subset(&u), true);
-    }
+/// Replaying any subset of ops leaves the local FS structurally
+/// clean (the invariant ParaCrash's state materialization relies
+/// on).
+#[test]
+fn lenient_replay_preserves_fs_invariants() {
+    run(
+        "lenient_replay_preserves_fs_invariants",
+        &Config::with_cases(64),
+        |rng, size| {
+            let (rec, ids) = arb_trace(rng, size);
+            let mask = rng.next_u64();
+            (rec, ids, mask)
+        },
+        |(rec, ids, mask)| {
+            let mut fs = simfs::FsState::new();
+            let ops: Vec<&FsOp> = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+                .filter_map(|(_, &id)| match &rec.event(id).payload {
+                    Payload::Fs { op, .. } => Some(op),
+                    _ => None,
+                })
+                .collect();
+            fs.apply_lenient(ops);
+            prop_assert!(simfs::Fsck::is_clean(&fs));
+            Ok(())
+        },
+    );
+}
+
+/// Bitset algebra sanity under random operations.
+#[test]
+fn bitset_algebra() {
+    run(
+        "bitset_algebra",
+        &Config::with_cases(64),
+        |rng, size| {
+            let set = |r: &mut Rng| -> std::collections::BTreeSet<usize> {
+                gen_vec(r, size.min(39), |r| r.gen_index(200))
+                    .into_iter()
+                    .collect()
+            };
+            (set(rng), set(rng))
+        },
+        |(xs, ys)| {
+            let a = BitSet::from_iter(200, xs.iter().copied());
+            let b = BitSet::from_iter(200, ys.iter().copied());
+            let mut u = a.clone();
+            u.union_with(&b);
+            prop_assert_eq!(u.count(), xs.union(ys).count());
+            let mut d = a.clone();
+            d.subtract(&b);
+            prop_assert_eq!(d.count(), xs.difference(ys).count());
+            prop_assert_eq!(a.is_disjoint(&b), xs.is_disjoint(ys));
+            prop_assert_eq!(a.is_subset(&u), true);
+            Ok(())
+        },
+    );
 }

@@ -5,11 +5,14 @@
 //! POSIX workloads. Those are universal claims — so we fuzz them:
 //! random POSIX programs on the safe systems must check clean, every
 //! random program must replay losslessly on every FS, and the unsafe
-//! systems must never crash the checker.
+//! systems must never crash the checker. (Hosted on the vendored
+//! `pc-rt` property harness.)
 
 use paracrash::{check_stack, CheckConfig, Stack};
+use pc_rt::prop_assert_eq;
+use pc_rt::proptest::{run, Config};
+use pc_rt::rng::Rng;
 use pfs::PfsCall;
-use proptest::prelude::*;
 use workloads::{FsKind, Params};
 
 /// A symbolic op in a generated program (paths are drawn from a tiny
@@ -88,18 +91,22 @@ fn lower(ops: &[GenOp]) -> Vec<PfsCall> {
     out
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<GenOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..4).prop_map(GenOp::Creat),
-            (0u8..4, 0u8..255).prop_map(|(f, l)| GenOp::Write(f, l)),
-            (0u8..4, 0u8..4).prop_map(|(a, b)| GenOp::Rename(a, b)),
-            (0u8..4).prop_map(GenOp::Unlink),
-            (0u8..4).prop_map(GenOp::Fsync),
-            (0u8..4).prop_map(GenOp::Close),
-        ],
-        1..7,
-    )
+/// 1 to ~6 random symbolic ops, shrinking with the `size` budget.
+fn arb_ops(rng: &mut Rng, size: usize) -> Vec<GenOp> {
+    let len = 1 + rng.gen_range(0..=size.min(5) as u64) as usize;
+    (0..len)
+        .map(|_| {
+            let f = (rng.next_u32() % 4) as u8;
+            match rng.gen_index(6) {
+                0 => GenOp::Creat(f),
+                1 => GenOp::Write(f, (rng.next_u32() % 255) as u8),
+                2 => GenOp::Rename(f, (rng.next_u32() % 4) as u8),
+                3 => GenOp::Unlink(f),
+                4 => GenOp::Fsync(f),
+                _ => GenOp::Close(f),
+            }
+        })
+        .collect()
 }
 
 fn run_calls(fs: FsKind, params: &Params, calls: &[PfsCall]) -> Stack {
@@ -122,75 +129,76 @@ fn run_calls(fs: FsKind, params: &Params, calls: &[PfsCall]) -> Stack {
     stack
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// ext4 in data-journaling mode has no inconsistent crash states —
+/// for *any* program (the Figure 8 control, universally).
+#[test]
+fn ext4_is_always_crash_consistent() {
+    run(
+        "ext4_is_always_crash_consistent",
+        &Config::with_cases(24),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let mut calls = lower(ops);
+            // The preamble creates /f0; drop duplicate creation.
+            calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+            let stack = run_calls(FsKind::Ext4, &params, &calls);
+            let factory = FsKind::Ext4.factory(&params);
+            let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
+            prop_assert_eq!(outcome.raw_inconsistent_states, 0);
+            Ok(())
+        },
+    );
+}
 
-    /// ext4 in data-journaling mode has no inconsistent crash states —
-    /// for *any* program (the Figure 8 control, universally).
-    #[test]
-    fn ext4_is_always_crash_consistent(ops in arb_ops()) {
-        let params = Params::quick();
-        let mut calls = lower(&ops);
-        // The preamble creates /f0; drop duplicate creation.
-        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
-        let stack = run_calls(FsKind::Ext4, &params, &calls);
-        let factory = FsKind::Ext4.factory(&params);
-        let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
-        prop_assert_eq!(
-            outcome.raw_inconsistent_states, 0,
-            "ext4 inconsistent on {:?}: {:?}",
-            calls,
-            outcome.bugs.iter().map(|b| b.signature.to_string()).collect::<Vec<_>>()
-        );
-    }
+/// Lustre's aggregation + barriers keep every random POSIX program
+/// crash-consistent (§6.3.1).
+#[test]
+fn lustre_is_posix_crash_consistent() {
+    run(
+        "lustre_is_posix_crash_consistent",
+        &Config::with_cases(24),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let mut calls = lower(ops);
+            calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+            let stack = run_calls(FsKind::Lustre, &params, &calls);
+            let factory = FsKind::Lustre.factory(&params);
+            let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
+            prop_assert_eq!(outcome.raw_inconsistent_states, 0);
+            Ok(())
+        },
+    );
+}
 
-    /// Lustre's aggregation + barriers keep every random POSIX program
-    /// crash-consistent (§6.3.1).
-    #[test]
-    fn lustre_is_posix_crash_consistent(ops in arb_ops()) {
-        let params = Params::quick();
-        let mut calls = lower(&ops);
-        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
-        let stack = run_calls(FsKind::Lustre, &params, &calls);
-        let factory = FsKind::Lustre.factory(&params);
-        let outcome = check_stack(&stack, &factory, &CheckConfig::paper_default());
-        prop_assert_eq!(
-            outcome.raw_inconsistent_states, 0,
-            "Lustre inconsistent on {:?}: {:?}",
-            calls,
-            outcome.bugs.iter().map(|b| b.signature.to_string()).collect::<Vec<_>>()
-        );
-    }
-
-    /// Every FS materializes random programs losslessly: applying the
-    /// full trace onto the baseline reproduces the live state, and
-    /// recovery of the uncrashed state changes nothing.
-    #[test]
-    fn replay_is_lossless_everywhere(ops in arb_ops()) {
-        let params = Params::quick();
-        let mut calls = lower(&ops);
-        calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
-        for fs in FsKind::all() {
-            let stack = run_calls(fs, &params, &calls);
-            let mut states = stack.pfs.baseline().clone();
-            states.apply_events(&stack.rec, stack.rec.lowermost_events());
-            prop_assert_eq!(
-                stack.pfs.client_view(&states),
-                stack.pfs.client_view(stack.pfs.live()),
-                "{} diverged on {:?}",
-                fs.name(),
-                calls
-            );
-            let mut live = stack.pfs.live().clone();
-            let before = stack.pfs.client_view(&live);
-            let _ = stack.pfs.recover(&mut live);
-            prop_assert_eq!(
-                before,
-                stack.pfs.client_view(&live),
-                "{} recovery damaged a healthy state on {:?}",
-                fs.name(),
-                calls
-            );
-        }
-    }
+/// Every FS materializes random programs losslessly: applying the
+/// full trace onto the baseline reproduces the live state, and
+/// recovery of the uncrashed state changes nothing.
+#[test]
+fn replay_is_lossless_everywhere() {
+    run(
+        "replay_is_lossless_everywhere",
+        &Config::with_cases(24),
+        arb_ops,
+        |ops| {
+            let params = Params::quick();
+            let mut calls = lower(ops);
+            calls.retain(|c| !matches!(c, PfsCall::Creat { path } if path == "/f0"));
+            for fs in FsKind::all() {
+                let stack = run_calls(fs, &params, &calls);
+                let mut states = stack.pfs.baseline().clone();
+                states.apply_events(&stack.rec, stack.rec.lowermost_events());
+                prop_assert_eq!(
+                    stack.pfs.client_view(&states),
+                    stack.pfs.client_view(stack.pfs.live())
+                );
+                let mut live = stack.pfs.live().clone();
+                let before = stack.pfs.client_view(&live);
+                let _ = stack.pfs.recover(&mut live);
+                prop_assert_eq!(before, stack.pfs.client_view(&live));
+            }
+            Ok(())
+        },
+    );
 }
