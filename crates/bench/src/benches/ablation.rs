@@ -22,7 +22,12 @@ fn arvr_on_journal(mode: JournalMode) -> paracrash::CheckOutcome {
         ))
     };
     let mut stack = Stack::new(make());
-    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/file".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -32,7 +37,12 @@ fn arvr_on_journal(mode: JournalMode) -> paracrash::CheckOutcome {
         },
     );
     stack.seal_preamble();
-    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {

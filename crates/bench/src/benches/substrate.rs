@@ -63,5 +63,7 @@ pub fn register(b: &mut Bench) {
     let view = stack.pfs.client_view(stack.pfs.live());
     let bytes = view.read("/file.h5").unwrap().to_vec();
     b.bench("h5sim/h5check-parse", || h5sim::check(&bytes).unwrap());
-    b.bench("h5sim/h5inspect", || h5sim::h5inspect(&bytes).unwrap().len());
+    b.bench("h5sim/h5inspect", || {
+        h5sim::h5inspect(&bytes).unwrap().len()
+    });
 }

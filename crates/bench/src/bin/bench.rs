@@ -4,39 +4,52 @@
 //! ```sh
 //! cargo run --release -p pc-bench --bin bench                  # all suites
 //! cargo run --release -p pc-bench --bin bench -- fig10         # name filter
+//! cargo run --release -p pc-bench --bin bench -- --json        # per-group BENCH_*.json
 //! cargo run --release -p pc-bench --bin bench -- --json out.json
 //! PC_BENCH_TIME_MS=200 PC_THREADS=4 cargo run --release -p pc-bench --bin bench
 //! ```
 //!
-//! Suites: `fig10-explore` / `trace-generation` (exploration modes),
-//! `fig11-scalability` (server-count scaling), `simfs`/`pfs`/`tracer`/
-//! `paracrash`/`h5sim` substrate micro-benches, and `ablation-victims` /
-//! `ablation-journal`.
+//! Suites: `fig10-explore` / `trace-generation` / `snapshot-engine`
+//! (exploration modes and replay engines), `fig11-scalability`
+//! (server-count scaling), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
+//! substrate micro-benches, and `ablation-victims` / `ablation-journal`.
+//!
+//! Bare `--json` writes one `BENCH_<group>.json` per registration group
+//! (`substrate`, `explore`, `scalability`, `ablation`) at the repo root;
+//! `--json PATH` writes every sample to one combined file instead. The
+//! format is documented in `EXPERIMENTS.md`.
 
 use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
+/// Registration groups in registration order: group name → suite.
+const SUITES: [(&str, fn(&mut Bench)); 4] = [
+    ("substrate", benches::substrate::register),
+    ("explore", benches::explore::register),
+    ("scalability", benches::scalability::register),
+    ("ablation", benches::ablation::register),
+];
+
 fn main() {
-    // Parse `[FILTER] [--json PATH]` ourselves so a `--json` value is
-    // never mistaken for the name filter.
+    // Parse `[FILTER] [--json [PATH]]` ourselves so a `--json` value is
+    // never mistaken for the name filter. A bare `--json` (end of args
+    // or followed by another flag) selects per-group output.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter: Option<String> = None;
-    let mut json_path: Option<String> = None;
+    let mut json_combined: Option<String> = None;
+    let mut json_per_group = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => match args.get(i + 1) {
-                Some(path) => {
-                    json_path = Some(path.clone());
+                Some(path) if !path.starts_with('-') => {
+                    json_combined = Some(path.clone());
                     i += 1;
                 }
-                None => {
-                    eprintln!("error: --json requires a path");
-                    std::process::exit(2);
-                }
+                _ => json_per_group = true,
             },
             flag if flag.starts_with('-') => {
-                eprintln!("error: unknown flag {flag} (usage: bench [FILTER] [--json PATH])");
+                eprintln!("error: unknown flag {flag} (usage: bench [FILTER] [--json [PATH]])");
                 std::process::exit(2);
             }
             name => {
@@ -53,10 +66,14 @@ fn main() {
     let mut cfg = pc_rt::bench::Config::default();
     cfg.filter = filter;
     let mut b = Bench::new(cfg);
-    benches::substrate::register(&mut b);
-    benches::explore::register(&mut b);
-    benches::scalability::register(&mut b);
-    benches::ablation::register(&mut b);
+    // Remember where each group's samples start so per-group output can
+    // slice the one shared sample list.
+    let mut bounds = Vec::with_capacity(SUITES.len());
+    for (name, register) in SUITES {
+        let start = b.samples().len();
+        register(&mut b);
+        bounds.push((name, start, b.samples().len()));
+    }
 
     print!("{}", b.report());
     if b.samples().is_empty() {
@@ -64,9 +81,22 @@ fn main() {
         std::process::exit(1);
     }
 
-    if let Some(path) = json_path {
+    if let Some(path) = json_combined {
         let doc = bench_samples_json(b.samples());
         std::fs::write(&path, doc.pretty() + "\n").expect("write bench JSON");
         eprintln!("wrote {path}");
+    } else if json_per_group {
+        // The binary lives in crates/bench; BENCH_*.json go to the repo
+        // root so harness runs always land in the same place.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        for (name, start, end) in bounds {
+            if start == end {
+                continue; // filtered out entirely — keep old files intact
+            }
+            let path = format!("{root}/BENCH_{name}.json");
+            let doc = bench_samples_json(&b.samples()[start..end]);
+            std::fs::write(&path, doc.pretty() + "\n").expect("write bench JSON");
+            eprintln!("wrote BENCH_{name}.json");
+        }
     }
 }

@@ -41,7 +41,11 @@ fn main() {
         FsKind::GlusterFs,
         FsKind::Gpfs,
     ] {
-        println!("\n({}) ARVR trace on {}\n", fs.name().to_lowercase(), fs.name());
+        println!(
+            "\n({}) ARVR trace on {}\n",
+            fs.name().to_lowercase(),
+            fs.name()
+        );
         let stack = Program::Arvr.run(fs, &params);
         print!("{}", stack.rec.render());
     }

@@ -14,7 +14,7 @@
 //! ```
 
 use paracrash::CheckConfig;
-use pc_bench::{run_program_swept, render_bug};
+use pc_bench::{render_bug, run_program_swept};
 use workloads::{FsKind, Params, Program};
 
 fn usage() -> ! {
@@ -65,7 +65,11 @@ fn main() {
             std::process::exit(1);
         });
     }
-    let mut params = if paper { Params::paper() } else { Params::quick() };
+    let mut params = if paper {
+        Params::paper()
+    } else {
+        Params::quick()
+    };
     params = params
         .with_servers(cfg.servers.0, cfg.servers.1)
         .with_clients(cfg.clients);

@@ -8,8 +8,8 @@
 //! followed by a summary comparing against the paper's 15 ground-truth
 //! rows (`workloads::ground_truth`).
 
-use pc_bench::{default_config, params_from_args, render_bug, run_program, run_program_swept};
 use paracrash::LayerVerdict;
+use pc_bench::{default_config, params_from_args, render_bug, run_program, run_program_swept};
 use std::collections::BTreeSet;
 use workloads::ground_truth::BugLayer;
 use workloads::{table3, FsKind, Params, Program};
@@ -64,7 +64,10 @@ fn main() {
     }
 
     println!("\n---- summary vs. the paper ----");
-    println!("total unique (program, fs, signature) findings: {}", found.len());
+    println!(
+        "total unique (program, fs, signature) findings: {}",
+        found.len()
+    );
     let pfs_found = found
         .iter()
         .filter(|(_, _, _, l)| *l == LayerVerdict::PfsBug)

@@ -208,7 +208,12 @@ pub fn render_bug(bug: &Inconsistency) -> String {
 }
 
 /// Bench-friendly single-cell runner with explicit mode.
-pub fn run_with_mode(program: Program, fs: FsKind, params: &Params, mode: ExploreMode) -> CheckOutcome {
+pub fn run_with_mode(
+    program: Program,
+    fs: FsKind,
+    params: &Params,
+    mode: ExploreMode,
+) -> CheckOutcome {
     let cfg = CheckConfig {
         mode,
         ..CheckConfig::paper_default()

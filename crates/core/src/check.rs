@@ -18,12 +18,12 @@ use crate::classify::{classify, BugSignature};
 use crate::config::CheckConfig;
 use crate::emulate::crash_states;
 use crate::explore::{
-    is_data_chunk, server_fingerprints, tsp_order, CostModel, ExploreStats, Pruner,
-    ReplayCache,
+    is_data_chunk, server_fingerprints, tsp_order, CostModel, ExploreStats, Pruner, ReplayCache,
 };
 use crate::model::Model;
 use crate::persist::PersistAnalysis;
 use crate::report::op_detail;
+use crate::snapshot::{naive_snapshots, prepare_states, SnapshotPlan};
 use crate::stack::{replay_h5, replay_pfs, Stack, StackFactory};
 use h5sim::{check as h5check, check_lenient, h5clear, H5Logical};
 use pfs::{recover_and_mount, PfsCall, PfsView};
@@ -126,9 +126,7 @@ fn layer_candidates(
                 continue;
             }
         }
-        if let Some(&a) = layer_ops
-            .iter().rfind(|&&op| graph.happens_before(op, e))
-        {
+        if let Some(&a) = layer_ops.iter().rfind(|&&op| graph.happens_before(op, e)) {
             out.insert(a);
         }
     }
@@ -209,8 +207,9 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     let mut pruner = Pruner::new();
     // Legal-state sets are shared, not cloned, across states: the heavy
     // HDF5 cells hold multi-megabyte views and hundreds of crash states.
-    let mut pfs_cache: ReplayCache<Arc<Vec<PfsView>>> = ReplayCache::new();
-    let mut h5_cache: ReplayCache<Arc<Vec<H5Logical>>> = ReplayCache::new();
+    let mut pfs_cache: ReplayCache<Arc<Vec<PfsView>>> = ReplayCache::with_cap(cfg.replay_cache_cap);
+    let mut h5_cache: ReplayCache<Arc<Vec<H5Logical>>> =
+        ReplayCache::with_cap(cfg.replay_cache_cap);
     let mut bugs: BTreeMap<(BugSignature, LayerVerdict), Inconsistency> = BTreeMap::new();
     let mut raw_inconsistent = 0usize;
     let mut h5_bad_pfs_ok = 0usize;
@@ -252,23 +251,56 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         (legal_views, legal_h5)
     };
 
+    // Crash-state materialization engine. The default (COW) engine
+    // pre-materializes every state as an O(1) fork off a shared prefix
+    // tree of persisted-event sequences; the `PC_NAIVE_SNAPSHOTS=1`
+    // oracle instead deep-clones the baseline and replays each state's
+    // full prefix, reproducing the historical clone-everything engine.
+    // Both apply the exact same events in the exact same order, so the
+    // materialized states — and every verdict derived from them — are
+    // bit-identical (asserted by `tests/snapshot_equivalence.rs`).
+    let plan: Option<SnapshotPlan> = if naive_snapshots() {
+        None
+    } else {
+        Some(prepare_states(rec, stack.pfs.baseline(), &states))
+    };
+
     // The per-state verdict, shared by the sequential and parallel paths.
-    let verdict_of = |state: &crate::emulate::CrashState,
+    let verdict_of = |i: usize,
                       legal_views: &[PfsView],
                       legal_h5: &[H5Logical]|
      -> (bool, Option<(LayerVerdict, Model)>) {
-        let view = recovered_view(stack, &state.persisted);
+        let state = &states[i];
+        let view = match &plan {
+            Some(plan) => {
+                let mut st = plan.prepared[i].fork();
+                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+                view
+            }
+            None => {
+                let mut st = stack.pfs.baseline().deep_clone();
+                st.apply_events(rec, state.persisted.iter());
+                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+                view
+            }
+        };
         let pfs_ok = legal_views.contains(&view);
         let verdict = if let Some(path) = &stack.h5_path {
-            h5_verdict(cfg, path, &view, legal_h5, baseline_h5.as_ref(), &modified_keys).map(
-                |violated| {
-                    if pfs_ok {
-                        (LayerVerdict::IoLibBug, violated)
-                    } else {
-                        (LayerVerdict::PfsBug, violated)
-                    }
-                },
+            h5_verdict(
+                cfg,
+                path,
+                &view,
+                legal_h5,
+                baseline_h5.as_ref(),
+                &modified_keys,
             )
+            .map(|violated| {
+                if pfs_ok {
+                    (LayerVerdict::IoLibBug, violated)
+                } else {
+                    (LayerVerdict::PfsBug, violated)
+                }
+            })
         } else if pfs_ok {
             None
         } else {
@@ -291,7 +323,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     let computed: Vec<(bool, Option<(LayerVerdict, Model)>)> =
         pc_rt::pool::par_map_indices(states.len(), |i| {
             let (legal_views, legal_h5) = legal_of[i].as_ref().expect("prefilled");
-            verdict_of(&states[i], legal_views, legal_h5)
+            verdict_of(i, legal_views, legal_h5)
         });
     for &idx in &order {
         let state = &states[idx];
@@ -309,8 +341,20 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
             }
             let (legal_views, legal_h5) = legal_of[idx].as_ref().expect("prefilled");
             aggregate_or_classify(
-                stack, rec, &topo, &pa, cfg, state, layer, violated_model, legal_views,
-                legal_h5, baseline_h5.as_ref(), &modified_keys, &mut bugs, &mut pruner,
+                stack,
+                rec,
+                &topo,
+                &pa,
+                cfg,
+                state,
+                layer,
+                violated_model,
+                legal_views,
+                legal_h5,
+                baseline_h5.as_ref(),
+                &modified_keys,
+                &mut bugs,
+                &mut pruner,
                 cfg.mode.prunes(),
             );
         }
@@ -439,9 +483,12 @@ fn aggregate_or_classify(
         });
 }
 
-/// Materialize a persisted set on the baseline snapshot, recover, mount.
+/// Materialize a persisted set on a COW fork of the baseline snapshot,
+/// recover, mount. Used by the classifier's flip oracle, whose probe
+/// sets are not prefix-structured — both engines share this path, which
+/// keeps their verdicts identical by construction.
 fn recovered_view(stack: &Stack, persisted: &BitSet) -> PfsView {
-    let mut states = stack.pfs.baseline().clone();
+    let mut states = stack.pfs.baseline().fork();
     states.apply_events(&stack.rec, persisted.iter());
     let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut states);
     view
@@ -491,9 +538,14 @@ fn legal_h5_logicals(
     };
     for set in enum_model.preserved_sets(graph, candidates, &[]) {
         let subset: Vec<(u32, h5sim::H5Call)> = stack.h5.subset(&set);
-        if let Some(logical) =
-            replay_h5(factory, path, &stack.h5_ranks, &stack.pre_h5, &subset, stack.h5_spec)
-        {
+        if let Some(logical) = replay_h5(
+            factory,
+            path,
+            &stack.h5_ranks,
+            &stack.pre_h5,
+            &subset,
+            stack.h5_spec,
+        ) {
             if seen.insert(logical.digest()) {
                 out.push(logical);
             }
@@ -587,8 +639,7 @@ fn h5_verdict(
             false
         }
     };
-    let violates_causal =
-        violates_baseline || strict.map(|l| !legal.contains(&l)).unwrap_or(true);
+    let violates_causal = violates_baseline || strict.map(|l| !legal.contains(&l)).unwrap_or(true);
 
     let violated = match cfg.h5_model {
         Model::Baseline => violates_baseline,
@@ -620,7 +671,12 @@ mod tests {
 
     fn run_arvr(factory: &StackFactory) -> Stack {
         let mut stack = Stack::new(factory());
-        stack.posix(0, PfsCall::Creat { path: "/file".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/file".into(),
+            },
+        );
         stack.posix(
             0,
             PfsCall::Pwrite {
@@ -629,9 +685,19 @@ mod tests {
                 data: b"old".to_vec(),
             },
         );
-        stack.posix(0, PfsCall::Close { path: "/file".into() });
+        stack.posix(
+            0,
+            PfsCall::Close {
+                path: "/file".into(),
+            },
+        );
         stack.seal_preamble();
-        stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+        );
         stack.posix(
             0,
             PfsCall::Pwrite {
@@ -640,7 +706,12 @@ mod tests {
                 data: b"new".to_vec(),
             },
         );
-        stack.posix(0, PfsCall::Close { path: "/tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Close {
+                path: "/tmp".into(),
+            },
+        );
         stack.posix(
             0,
             PfsCall::Rename {
@@ -666,7 +737,11 @@ mod tests {
         assert_eq!(outcome.h5_bad_pfs_ok_states, 0);
         // Bug 1's shape must be among the signatures: the storage-side
         // append reordered after metadata-side rename work.
-        let sigs: Vec<String> = outcome.bugs.iter().map(|b| b.signature.to_string()).collect();
+        let sigs: Vec<String> = outcome
+            .bugs
+            .iter()
+            .map(|b| b.signature.to_string())
+            .collect();
         assert!(
             sigs.iter()
                 .any(|s| s.contains("append(file chunk)@storage")),

@@ -104,9 +104,7 @@ pub fn classify(
         .filter_map(|u| call_of(rec, u))
         .collect();
     for &u in pa.updates() {
-        if state.cut.contains(u)
-            || call_of(rec, u).is_some_and(|c| in_cut_calls.contains(&c))
-        {
+        if state.cut.contains(u) || call_of(rec, u).is_some_and(|c| in_cut_calls.contains(&c)) {
             universe.insert(u);
         }
     }
@@ -210,8 +208,14 @@ pub fn classify(
     if let Some(&a) = unpersisted.last() {
         let partner = persisted
             .iter()
-            .copied().find(|&b| b > a && meaningful(b) && sig(b) != sig(a))
-            .or_else(|| persisted.iter().copied().find(|&b| b > a && sig(b) != sig(a)));
+            .copied()
+            .find(|&b| b > a && meaningful(b) && sig(b) != sig(a))
+            .or_else(|| {
+                persisted
+                    .iter()
+                    .copied()
+                    .find(|&b| b > a && sig(b) != sig(a))
+            });
         if let Some(b) = partner {
             return BugSignature {
                 kind: BugKind::Reordering,

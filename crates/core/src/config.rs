@@ -34,6 +34,10 @@ pub struct CheckConfig {
     pub servers: (u32, u32),
     /// Number of application clients.
     pub clients: u32,
+    /// Maximum entries held by each golden-state replay cache before
+    /// LRU eviction (0 disables caching). Large enough that the paper's
+    /// workloads never evict; a bound, not a tuning knob.
+    pub replay_cache_cap: usize,
 }
 
 impl Default for CheckConfig {
@@ -57,6 +61,7 @@ impl CheckConfig {
             stripe_size: 128 * 1024,
             servers: (2, 2),
             clients: 2,
+            replay_cache_cap: 4096,
         }
     }
 
@@ -64,7 +69,8 @@ impl CheckConfig {
     ///
     /// Recognized keys: `pfs_model`, `h5_model`, `k`, `mode`,
     /// `h5clear_increase_eof`, `stripe_size`, `meta_servers`,
-    /// `storage_servers`, `clients`. Unknown keys are rejected.
+    /// `storage_servers`, `clients`, `replay_cache_cap`. Unknown keys
+    /// are rejected.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut cfg = Self::paper_default();
         for (lineno, line) in text.lines().enumerate() {
@@ -89,6 +95,9 @@ impl CheckConfig {
                 "meta_servers" => cfg.servers.0 = value.parse().map_err(|_| bad("count"))?,
                 "storage_servers" => cfg.servers.1 = value.parse().map_err(|_| bad("count"))?,
                 "clients" => cfg.clients = value.parse().map_err(|_| bad("count"))?,
+                "replay_cache_cap" => {
+                    cfg.replay_cache_cap = value.parse().map_err(|_| bad("count"))?
+                }
                 other => return Err(format!("line {}: unknown key {other}", lineno + 1)),
             }
         }
@@ -100,7 +109,8 @@ impl CheckConfig {
         format!(
             "pfs_model = {}\nh5_model = {}\nk = {}\nmode = {}\n\
              h5clear_increase_eof = {}\nstripe_size = {}\n\
-             meta_servers = {}\nstorage_servers = {}\nclients = {}\n",
+             meta_servers = {}\nstorage_servers = {}\nclients = {}\n\
+             replay_cache_cap = {}\n",
             self.pfs_model.as_str(),
             self.h5_model.as_str(),
             self.k,
@@ -110,6 +120,7 @@ impl CheckConfig {
             self.servers.0,
             self.servers.1,
             self.clients,
+            self.replay_cache_cap,
         )
     }
 }
@@ -135,6 +146,14 @@ mod tests {
         assert_eq!(parsed.pfs_model, cfg.pfs_model);
         assert_eq!(parsed.stripe_size, cfg.stripe_size);
         assert_eq!(parsed.mode, cfg.mode);
+        assert_eq!(parsed.replay_cache_cap, cfg.replay_cache_cap);
+    }
+
+    #[test]
+    fn parse_replay_cache_cap() {
+        let cfg = CheckConfig::parse("replay_cache_cap = 16\n").unwrap();
+        assert_eq!(cfg.replay_cache_cap, 16);
+        assert!(CheckConfig::parse("replay_cache_cap = lots").is_err());
     }
 
     #[test]

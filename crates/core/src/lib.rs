@@ -33,6 +33,7 @@ pub mod explore;
 pub mod model;
 pub mod persist;
 pub mod report;
+pub mod snapshot;
 pub mod stack;
 
 pub use check::{check_stack, CheckOutcome, Inconsistency, LayerVerdict};
@@ -42,4 +43,5 @@ pub use emulate::{crash_states, CrashState};
 pub use explore::{ExploreMode, ExploreStats};
 pub use model::Model;
 pub use persist::PersistAnalysis;
+pub use snapshot::{naive_snapshots, prepare_states, SnapshotPlan, SnapshotStats};
 pub use stack::{Stack, StackFactory};

@@ -101,7 +101,13 @@ impl PersistAnalysis {
     /// their server.
     fn commits(rec: &Recorder, a: EventId, s: EventId) -> bool {
         match (&rec.event(a).payload, &rec.event(s).payload) {
-            (Payload::Fs { server: sa, op }, Payload::Fs { server: ss, op: sync }) => {
+            (
+                Payload::Fs { server: sa, op },
+                Payload::Fs {
+                    server: ss,
+                    op: sync,
+                },
+            ) => {
                 sa == ss
                     && match sync {
                         FsOp::SyncFs => true,
@@ -127,9 +133,9 @@ impl PersistAnalysis {
         b: EventId,
     ) -> bool {
         // Commit rule (works across servers): a → sync(a) → b.
-        let committed = syncs
-            .iter()
-            .any(|&s| Self::commits(rec, a, s) && graph.happens_before(a, s) && graph.happens_before(s, b));
+        let committed = syncs.iter().any(|&s| {
+            Self::commits(rec, a, s) && graph.happens_before(a, s) && graph.happens_before(s, b)
+        });
         if committed {
             return true;
         }
@@ -239,8 +245,18 @@ mod tests {
     fn cross_server_is_unordered_without_commit() {
         let mut rec = Recorder::new();
         let calls = chain_client(&mut rec, 2);
-        let a = fs_event(&mut rec, 0, FsOp::Creat { path: "/a".into() }, Some(calls[0]));
-        let b = fs_event(&mut rec, 1, FsOp::Creat { path: "/b".into() }, Some(calls[1]));
+        let a = fs_event(
+            &mut rec,
+            0,
+            FsOp::Creat { path: "/a".into() },
+            Some(calls[0]),
+        );
+        let b = fs_event(
+            &mut rec,
+            1,
+            FsOp::Creat { path: "/b".into() },
+            Some(calls[1]),
+        );
         let g = CausalityGraph::build(&rec);
         let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Data));
         assert!(g.happens_before(a, b) || g.concurrent(a, b));
@@ -316,7 +332,10 @@ mod tests {
         // Writeback mode so the same-FS rule does not mask the commit
         // rule (data ops are unordered under writeback).
         let pa = PersistAnalysis::build(&rec, &g, |_| Some(JournalMode::Writeback));
-        assert!(!pa.persists_before(a, b), "fdatasync of another file commits nothing");
+        assert!(
+            !pa.persists_before(a, b),
+            "fdatasync of another file commits nothing"
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ mod tests {
             },
             Some(top),
         );
-        assert_eq!(object_of(&rec, low).as_deref(), Some("symbol table node of g1"));
+        assert_eq!(
+            object_of(&rec, low).as_deref(),
+            Some("symbol table node of g1")
+        );
         assert_eq!(op_sig(&rec, &topo, low), "write(symbol table node)");
     }
 }

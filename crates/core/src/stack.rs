@@ -214,7 +214,12 @@ mod tests {
     #[test]
     fn stack_records_and_seals() {
         let mut stack = Stack::new(factory()());
-        stack.posix(0, PfsCall::Creat { path: "/file".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/file".into(),
+            },
+        );
         stack.posix(
             0,
             PfsCall::Pwrite {
@@ -227,7 +232,12 @@ mod tests {
         assert_eq!(stack.pre_calls.len(), 2);
         assert!(stack.calls.is_empty());
         assert!(stack.rec.is_empty());
-        stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+        );
         assert_eq!(stack.calls.len(), 1);
         assert!(!stack.rec.is_empty());
     }
@@ -235,9 +245,19 @@ mod tests {
     #[test]
     fn replay_full_subset_matches_live() {
         let mut stack = Stack::new(factory()());
-        stack.posix(0, PfsCall::Creat { path: "/file".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/file".into(),
+            },
+        );
         stack.seal_preamble();
-        stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+        );
         stack.posix(
             0,
             PfsCall::Rename {
@@ -291,12 +311,22 @@ mod tests {
                     dst: "/B".into(),
                 },
             ),
-            (Process::Client(0), PfsCall::Creat { path: "/B/foo".into() }),
+            (
+                Process::Client(0),
+                PfsCall::Creat {
+                    path: "/B/foo".into(),
+                },
+            ),
         ];
         assert!(executable(&calls));
         let bad = vec![
             (Process::Client(0), PfsCall::Mkdir { path: "/A".into() }),
-            (Process::Client(0), PfsCall::Creat { path: "/B/foo".into() }),
+            (
+                Process::Client(0),
+                PfsCall::Creat {
+                    path: "/B/foo".into(),
+                },
+            ),
         ];
         assert!(!executable(&bad));
     }

@@ -69,9 +69,7 @@ impl H5Call {
             H5Call::CreateFile => "H5Fcreate",
             H5Call::CreateGroup { .. } => "H5Gcreate",
             H5Call::CreateDataset { .. } | H5Call::CreateDatasetParallel { .. } => "H5Dcreate",
-            H5Call::ResizeDataset { .. } | H5Call::ResizeDatasetParallel { .. } => {
-                "H5Dset_extent"
-            }
+            H5Call::ResizeDataset { .. } | H5Call::ResizeDatasetParallel { .. } => "H5Dset_extent",
             H5Call::DeleteDataset { .. } => "H5Ldelete",
             H5Call::RenameDataset { .. } => "H5Lmove",
             H5Call::CloseFile => "H5Fclose",
@@ -83,19 +81,41 @@ impl H5Call {
         match self {
             H5Call::CreateFile | H5Call::CloseFile => vec![],
             H5Call::CreateGroup { group } => vec![group.clone()],
-            H5Call::CreateDataset { group, name, rows, cols } => {
+            H5Call::CreateDataset {
+                group,
+                name,
+                rows,
+                cols,
+            } => {
                 vec![group.clone(), name.clone(), format!("{rows}x{cols}")]
             }
-            H5Call::CreateDatasetParallel { group, name, rows, cols, nranks } => vec![
+            H5Call::CreateDatasetParallel {
+                group,
+                name,
+                rows,
+                cols,
+                nranks,
+            } => vec![
                 group.clone(),
                 name.clone(),
                 format!("{rows}x{cols}"),
                 format!("nranks={nranks}"),
             ],
-            H5Call::ResizeDataset { group, name, rows, cols } => {
+            H5Call::ResizeDataset {
+                group,
+                name,
+                rows,
+                cols,
+            } => {
                 vec![group.clone(), name.clone(), format!("{rows}x{cols}")]
             }
-            H5Call::ResizeDatasetParallel { group, name, rows, cols, nranks } => vec![
+            H5Call::ResizeDatasetParallel {
+                group,
+                name,
+                rows,
+                cols,
+                nranks,
+            } => vec![
                 group.clone(),
                 name.clone(),
                 format!("{rows}x{cols}"),

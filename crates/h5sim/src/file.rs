@@ -301,7 +301,12 @@ impl H5File {
         self.flush_group(mpi, rank, "/", Flush::Snod, ev);
     }
 
-    fn alloc_dataset(&mut self, name: &str, rows: u64, cols: u64) -> (DatasetRt, Vec<(u64, Vec<u8>)>) {
+    fn alloc_dataset(
+        &mut self,
+        name: &str,
+        rows: u64,
+        cols: u64,
+    ) -> (DatasetRt, Vec<(u64, Vec<u8>)>) {
         let total = rows * cols * self.spec.elem;
         let oh = self.alloc(sizes::OHDR);
         let dtree = self.alloc(sizes::DTRE);
@@ -313,7 +318,9 @@ impl H5File {
             let len = self.spec.seg.min(total - written);
             let addr = self.alloc(len);
             segs.push((addr, len));
-            let bytes: Vec<u8> = (0..len).map(|i| fill_byte(name, idx * self.spec.seg + i)).collect();
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| fill_byte(name, idx * self.spec.seg + i))
+                .collect();
             seg_payloads.push((addr, bytes));
             written += len;
             idx += 1;

@@ -80,7 +80,11 @@ pub enum H5Error {
     },
     /// An address points at or beyond the superblock's end-of-file
     /// (bug 13's "addr overflow").
-    AddrOverflow { what: &'static str, addr: u64, eof: u64 },
+    AddrOverflow {
+        what: &'static str,
+        addr: u64,
+        eof: u64,
+    },
     /// A name offset does not decode inside the local heap.
     BadHeapName { group: String, offset: u64 },
     /// The superblock itself is unreadable → the file cannot be opened
@@ -100,7 +104,10 @@ impl fmt::Display for H5Error {
                 String::from_utf8_lossy(found)
             ),
             H5Error::AddrOverflow { what, addr, eof } => {
-                write!(f, "h5check: {what} address {addr:#x} overflows eof {eof:#x}")
+                write!(
+                    f,
+                    "h5check: {what} address {addr:#x} overflows eof {eof:#x}"
+                )
             }
             H5Error::BadHeapName { group, offset } => {
                 write!(f, "h5check: bad heap name offset {offset} in group {group}")
@@ -170,11 +177,19 @@ fn expect_sig(
     eof: u64,
 ) -> Result<(), H5Error> {
     if at >= eof {
-        return Err(H5Error::AddrOverflow { what, addr: at, eof });
+        return Err(H5Error::AddrOverflow {
+            what,
+            addr: at,
+            eof,
+        });
     }
     let found = sig(b, at).ok_or(H5Error::Truncated { what, addr: at })?;
     if &found != magic {
-        return Err(H5Error::BadSignature { what, addr: at, found });
+        return Err(H5Error::BadSignature {
+            what,
+            addr: at,
+            found,
+        });
     }
     Ok(())
 }
@@ -618,11 +633,13 @@ pub fn check(bytes: &[u8]) -> Result<H5Logical, H5Error> {
         }) if addr == root_oh => Err(H5Error::CannotOpen {
             reason: format!("root object header unreadable at {addr:#x}"),
         }),
-        Err(H5Error::AddrOverflow { what: "object header", addr, eof }) if addr == root_oh => {
-            Err(H5Error::CannotOpen {
-                reason: format!("root object header at {addr:#x} beyond eof {eof:#x}"),
-            })
-        }
+        Err(H5Error::AddrOverflow {
+            what: "object header",
+            addr,
+            eof,
+        }) if addr == root_oh => Err(H5Error::CannotOpen {
+            reason: format!("root object header at {addr:#x} beyond eof {eof:#x}"),
+        }),
         Err(e) => Err(e),
     }
 }

@@ -117,10 +117,7 @@ mod tests {
     fn nested_structure() {
         let j = Json::Obj(vec![
             ("name".into(), Json::Str("superblock".into())),
-            (
-                "range".into(),
-                Json::Arr(vec![Json::Int(0), Json::Int(96)]),
-            ),
+            ("range".into(), Json::Arr(vec![Json::Int(0), Json::Int(96)])),
         ]);
         let s = j.pretty();
         assert!(s.contains("\"name\": \"superblock\""));

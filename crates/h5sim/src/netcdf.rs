@@ -57,7 +57,8 @@ impl NcFile {
         rows: u64,
         cols: u64,
     ) {
-        self.h5.create_dataset(mpi, h5t, rank, "/", name, rows, cols);
+        self.h5
+            .create_dataset(mpi, h5t, rank, "/", name, rows, cols);
     }
 
     /// `nc_rename_var`: an in-place name update — a single heap record
@@ -71,7 +72,8 @@ impl NcFile {
         old: &str,
         new: &str,
     ) {
-        self.h5.rename_dataset_in_place(mpi, h5t, rank, "/", old, new);
+        self.h5
+            .rename_dataset_in_place(mpi, h5t, rank, "/", old, new);
     }
 
     /// `nc_close`.

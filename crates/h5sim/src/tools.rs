@@ -214,8 +214,19 @@ pub fn render_replay_program(path: &str, calls: &[(u32, H5Call)]) -> String {
                     "    hid_t g{i} = H5Gcreate(file, \"{group}\", H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);\n"
                 ));
             }
-            H5Call::CreateDataset { group, name, rows, cols }
-            | H5Call::CreateDatasetParallel { group, name, rows, cols, .. } => {
+            H5Call::CreateDataset {
+                group,
+                name,
+                rows,
+                cols,
+            }
+            | H5Call::CreateDatasetParallel {
+                group,
+                name,
+                rows,
+                cols,
+                ..
+            } => {
                 c.push_str(&format!(
                     "    {{ hsize_t dims{i}[2] = {{{rows}, {cols}}};\n\
                      \x20     hid_t sp{i} = H5Screate_simple(2, dims{i}, NULL);\n\
@@ -223,8 +234,19 @@ pub fn render_replay_program(path: &str, calls: &[(u32, H5Call)]) -> String {
                      \x20     H5Dclose(d{i}); H5Sclose(sp{i}); }}\n"
                 ));
             }
-            H5Call::ResizeDataset { group, name, rows, cols }
-            | H5Call::ResizeDatasetParallel { group, name, rows, cols, .. } => {
+            H5Call::ResizeDataset {
+                group,
+                name,
+                rows,
+                cols,
+            }
+            | H5Call::ResizeDatasetParallel {
+                group,
+                name,
+                rows,
+                cols,
+                ..
+            } => {
                 c.push_str(&format!(
                     "    {{ hsize_t ext{i}[2] = {{{rows}, {cols}}};\n\
                      \x20     hid_t d{i} = H5Dopen(file, \"/{group}/{name}\", H5P_DEFAULT);\n\
@@ -236,7 +258,12 @@ pub fn render_replay_program(path: &str, calls: &[(u32, H5Call)]) -> String {
                     "    H5Ldelete(file, \"/{group}/{name}\", H5P_DEFAULT);\n"
                 ));
             }
-            H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
+            H5Call::RenameDataset {
+                src_group,
+                src_name,
+                dst_group,
+                dst_name,
+            } => {
                 c.push_str(&format!(
                     "    H5Lmove(file, \"/{src_group}/{src_name}\", file, \"/{dst_group}/{dst_name}\", H5P_DEFAULT, H5P_DEFAULT);\n"
                 ));
@@ -316,7 +343,12 @@ pub fn h5replay_with(
                         }
                         f.create_group(&mut mpi, &mut h5t, *rank, group);
                     }
-                    H5Call::CreateDataset { group, name, rows, cols } => {
+                    H5Call::CreateDataset {
+                        group,
+                        name,
+                        rows,
+                        cols,
+                    } => {
                         let key = format::dataset_key(group, name);
                         if !groups.contains(group) || !datasets.insert(key) {
                             return Err(ReplayError::Invalid(format!(
@@ -325,19 +357,31 @@ pub fn h5replay_with(
                         }
                         f.create_dataset(&mut mpi, &mut h5t, *rank, group, name, *rows, *cols);
                     }
-                    H5Call::CreateDatasetParallel { group, name, rows, cols, nranks } => {
+                    H5Call::CreateDatasetParallel {
+                        group,
+                        name,
+                        rows,
+                        cols,
+                        nranks,
+                    } => {
                         let key = format::dataset_key(group, name);
                         if !groups.contains(group) || !datasets.insert(key) {
                             return Err(ReplayError::Invalid(format!(
                                 "cannot create {group}/{name}"
                             )));
                         }
-                        let use_ranks: Vec<u32> = ranks.iter().copied().take(*nranks as usize).collect();
+                        let use_ranks: Vec<u32> =
+                            ranks.iter().copied().take(*nranks as usize).collect();
                         f.create_dataset_parallel(
                             &mut mpi, &mut h5t, &use_ranks, group, name, *rows, *cols,
                         );
                     }
-                    H5Call::ResizeDataset { group, name, rows, cols } => {
+                    H5Call::ResizeDataset {
+                        group,
+                        name,
+                        rows,
+                        cols,
+                    } => {
                         if !datasets.contains(&format::dataset_key(group, name)) {
                             return Err(ReplayError::Invalid(format!(
                                 "resize of missing {group}/{name}"
@@ -345,13 +389,20 @@ pub fn h5replay_with(
                         }
                         f.resize_dataset(&mut mpi, &mut h5t, *rank, group, name, *rows, *cols);
                     }
-                    H5Call::ResizeDatasetParallel { group, name, rows, cols, nranks } => {
+                    H5Call::ResizeDatasetParallel {
+                        group,
+                        name,
+                        rows,
+                        cols,
+                        nranks,
+                    } => {
                         if !datasets.contains(&format::dataset_key(group, name)) {
                             return Err(ReplayError::Invalid(format!(
                                 "resize of missing {group}/{name}"
                             )));
                         }
-                        let use_ranks: Vec<u32> = ranks.iter().copied().take(*nranks as usize).collect();
+                        let use_ranks: Vec<u32> =
+                            ranks.iter().copied().take(*nranks as usize).collect();
                         f.resize_dataset_parallel(
                             &mut mpi, &mut h5t, &use_ranks, group, name, *rows, *cols,
                         );
@@ -372,7 +423,9 @@ pub fn h5replay_with(
                     } => {
                         let src = format::dataset_key(src_group, src_name);
                         let dst = format::dataset_key(dst_group, dst_name);
-                        if !datasets.remove(&src) || !groups.contains(dst_group) || !datasets.insert(dst)
+                        if !datasets.remove(&src)
+                            || !groups.contains(dst_group)
+                            || !datasets.insert(dst)
                         {
                             return Err(ReplayError::Invalid(format!(
                                 "rename of missing {src_group}/{src_name}"
@@ -512,11 +565,7 @@ mod tests {
     fn h5clear_repairs_eof() {
         let mut pfs = Ext4Direct::paper_default();
         let _ = h5replay(&mut pfs, "/f.h5", &[0], &preamble()).unwrap();
-        let bytes = pfs
-            .client_view(pfs.live())
-            .read("/f.h5")
-            .unwrap()
-            .to_vec();
+        let bytes = pfs.client_view(pfs.live()).read("/f.h5").unwrap().to_vec();
         // Break the EOF (superblock behind the B-tree — bug 13's shape).
         let mut broken = bytes.clone();
         broken[16..24].copy_from_slice(&200u64.to_le_bytes());

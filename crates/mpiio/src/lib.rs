@@ -99,7 +99,11 @@ impl<'a> MpiIo<'a> {
         let ev = self.mpi_event(
             rank,
             "MPI_File_write_at",
-            vec![path.into(), offset.to_string(), format!("len={}", data.len())],
+            vec![
+                path.into(),
+                offset.to_string(),
+                format!("len={}", data.len()),
+            ],
             parent,
         );
         self.dispatch(
@@ -262,7 +266,10 @@ mod tests {
         mpi.barrier(&[0, 1], None);
         let w1 = mpi.file_write_at(1, "/f", 1, b"b", None);
         let g = CausalityGraph::build(&rec);
-        assert!(g.happens_before(w0, w1), "barrier must order rank 0 before rank 1");
+        assert!(
+            g.happens_before(w0, w1),
+            "barrier must order rank 0 before rank 1"
+        );
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl BeeGfs {
         let fs = live.server_mut(root_meta).as_fs_mut();
         fs.mkdir_all("/dentries/root").unwrap();
         fs.creat("/inodes/root").unwrap();
-        let baseline = live.clone();
+        let baseline = live.fork();
         BeeGfs {
             topo,
             placement,
@@ -209,8 +209,12 @@ impl BeeGfs {
         // Figure 2: creat(idfile); link(idfile, dentries/<name>);
         // setxattr(dir_inode) on the metadata server, driven by an RPC
         // from the client.
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(meta), &format!("CREAT {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(meta),
+            &format!("CREAT {path}"),
+            Some(cev),
+        );
         let idf = Self::idfile_path(&id);
         let e1 = self.emit(rec, meta, FsOp::Creat { path: idf.clone() }, Some(recv));
         self.emit(
@@ -266,10 +270,21 @@ impl BeeGfs {
         let ometa = self.meta_server(owner);
 
         // Dentry on the parent's owner.
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(pmeta), &format!("MKDIR {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(pmeta),
+            &format!("MKDIR {path}"),
+            Some(cev),
+        );
         let dentry = self.dentry_path(&pinfo.key, &name);
-        let e = self.emit(rec, pmeta, FsOp::Creat { path: dentry.clone() }, Some(recv));
+        let e = self.emit(
+            rec,
+            pmeta,
+            FsOp::Creat {
+                path: dentry.clone(),
+            },
+            Some(recv),
+        );
         self.emit(
             rec,
             pmeta,
@@ -371,12 +386,15 @@ impl BeeGfs {
                 .and_then(|f| f.chunks.get(&stripe))
                 .copied();
             if cur_len.is_none() {
-                self.emit(rec, storage, FsOp::Creat { path: chunk.clone() }, Some(recv));
-                self.files
-                    .get_mut(path)
-                    .unwrap()
-                    .chunks
-                    .insert(stripe, 0);
+                self.emit(
+                    rec,
+                    storage,
+                    FsOp::Creat {
+                        path: chunk.clone(),
+                    },
+                    Some(recv),
+                );
+                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
             }
             let cur_len = self.files.get(path).unwrap().chunks[&stripe];
             let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
@@ -430,7 +448,14 @@ impl BeeGfs {
         }
     }
 
-    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn do_rename(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         if self.dirs.contains_key(src) {
             self.rename_dir(rec, client, src, dst, cev);
         } else {
@@ -438,7 +463,14 @@ impl BeeGfs {
         }
     }
 
-    fn rename_dir(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn rename_dir(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         let sparent = Self::parent_of(src);
         let dparent = Self::parent_of(dst);
         let spinfo = self.dir_info(&sparent).clone();
@@ -496,7 +528,14 @@ impl BeeGfs {
         }
     }
 
-    fn rename_file(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn rename_file(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         let sparent = Self::parent_of(src);
         let dparent = Self::parent_of(dst);
         let spinfo = self.dir_info(&sparent).clone();
@@ -936,7 +975,7 @@ impl Pfs for BeeGfs {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -954,7 +993,7 @@ impl Pfs for BeeGfs {
         // dentries whose object is missing.
         let metas = self.topo.metadata_servers();
         for &m in &metas {
-            let fs = states.server(m).as_fs().clone();
+            let fs = states.server(m).as_fs().fork();
             let Ok(dirkeys) = fs.readdir("/dentries") else {
                 continue;
             };
@@ -996,7 +1035,7 @@ impl Pfs for BeeGfs {
         // persisted, or every dentry was removed) are orphans —
         // disposed, together with their chunks.
         for &m in &metas {
-            let fs = states.server(m).as_fs().clone();
+            let fs = states.server(m).as_fs().fork();
             let Ok(ids) = fs.readdir("/idfiles") else {
                 continue;
             };
@@ -1013,9 +1052,7 @@ impl Pfs for BeeGfs {
                             if let Ok(names) = fs2.readdir(&format!("/dentries/{key}")) {
                                 for name in names {
                                     if m2 == m
-                                        && fs2
-                                            .resolve(&format!("/dentries/{key}/{name}"))
-                                            .ok()
+                                        && fs2.resolve(&format!("/dentries/{key}/{name}")).ok()
                                             == Some(id_ino)
                                     {
                                         linked = true;
@@ -1044,7 +1081,7 @@ impl Pfs for BeeGfs {
             }
         }
         for &s in &self.topo.storage_servers() {
-            let fs = states.server(s).as_fs().clone();
+            let fs = states.server(s).as_fs().fork();
             let Ok(chunks) = fs.readdir("/chunks") else {
                 continue;
             };
@@ -1086,7 +1123,14 @@ mod tests {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         // Preamble: file with old content.
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -1100,8 +1144,14 @@ mod tests {
         fs.seal_baseline();
         let mut rec = Recorder::new();
         // Test program: ARVR.
-        let mut evs =
-            vec![fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None)];
+        let mut evs = vec![fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        )];
         evs.push(fs.dispatch(
             &mut rec,
             c,
@@ -1112,7 +1162,14 @@ mod tests {
             },
             None,
         ));
-        evs.push(fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/tmp".into() }, None));
+        evs.push(fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Close {
+                path: "/tmp".into(),
+            },
+            None,
+        ));
         evs.push(fs.dispatch(
             &mut rec,
             c,
@@ -1172,7 +1229,10 @@ mod tests {
         let (report, view) = recover_and_mount(&fs, &mut states);
         // The file exists but its content is neither old nor new.
         let got = view.read("/file");
-        assert!(got != Some(&b"old"[..]) && got != Some(&b"new"[..]), "{view}");
+        assert!(
+            got != Some(&b"old"[..]) && got != Some(&b"new"[..]),
+            "{view}"
+        );
         assert!(!view.exists("/tmp"));
         let _ = report;
     }
@@ -1219,7 +1279,14 @@ mod tests {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/foo".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -1242,7 +1309,14 @@ mod tests {
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/foo".into(),
+            },
+            None,
+        );
         let before = rec.len();
         fs.dispatch(
             &mut rec,
@@ -1254,10 +1328,22 @@ mod tests {
             None,
         );
         let has_link = rec.events()[before..].iter().any(|e| {
-            matches!(&e.payload, Payload::Fs { op: FsOp::Link { .. }, .. })
+            matches!(
+                &e.payload,
+                Payload::Fs {
+                    op: FsOp::Link { .. },
+                    ..
+                }
+            )
         });
         let has_unlink = rec.events()[before..].iter().any(|e| {
-            matches!(&e.payload, Payload::Fs { op: FsOp::Unlink { .. }, .. })
+            matches!(
+                &e.payload,
+                Payload::Fs {
+                    op: FsOp::Unlink { .. },
+                    ..
+                }
+            )
         });
         assert!(has_link && has_unlink);
         let view = fs.client_view(fs.live());
@@ -1274,7 +1360,14 @@ mod tests {
         );
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/big".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/big".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,

@@ -61,7 +61,11 @@ impl PfsCall {
             | PfsCall::Close { path }
             | PfsCall::Fsync { path } => vec![path.clone()],
             PfsCall::Pwrite { path, offset, data } => {
-                vec![path.clone(), offset.to_string(), format!("len={}", data.len())]
+                vec![
+                    path.clone(),
+                    offset.to_string(),
+                    format!("len={}", data.len()),
+                ]
             }
             PfsCall::Rename { src, dst } => vec![src.clone(), dst.clone()],
         }

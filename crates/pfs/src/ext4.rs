@@ -11,7 +11,7 @@ use crate::call::PfsCall;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
-use simfs::{Fsck, FsOp, JournalMode};
+use simfs::{FsOp, Fsck, JournalMode};
 use simnet::ClusterTopology;
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -30,7 +30,7 @@ impl Ext4Direct {
         Ext4Direct {
             topo: ClusterTopology::combined(1, 2),
             journal,
-            baseline: live.clone(),
+            baseline: live.fork(),
             live,
         }
     }
@@ -138,7 +138,7 @@ impl Pfs for Ext4Direct {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -177,7 +177,14 @@ mod tests {
         let mut fs = Ext4Direct::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -190,7 +197,14 @@ mod tests {
         );
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -238,7 +252,14 @@ mod tests {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/f".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/f".into(),
+            },
+            None,
+        );
         let view = fs.client_view(fs.live());
         assert!(view.dirs.contains("/A"));
         assert!(view.exists("/A/f"));

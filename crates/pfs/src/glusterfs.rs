@@ -73,7 +73,7 @@ impl GlusterFs {
             topo,
             placement,
             stripe,
-            baseline: live.clone(),
+            baseline: live.fork(),
             live,
             files: BTreeMap::new(),
             dirs: vec!["/".to_string()],
@@ -145,8 +145,12 @@ impl GlusterFs {
         self.next_id += 1;
         let brick = primary as u32;
         let overwritten = self.files.get(path).cloned();
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(brick), &format!("CREATE {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(brick),
+            &format!("CREATE {path}"),
+            Some(cev),
+        );
         // Figure 9(c): creat(tmp); lsetxattr(tmp); link(tmp, new chunk).
         let dp = Self::data_path(path);
         let e = self.emit(rec, brick, FsOp::Creat { path: dp.clone() }, Some(recv));
@@ -241,9 +245,20 @@ impl GlusterFs {
             } else {
                 Self::chunk_path(&info.gfid, stripe)
             };
-            let cur = self.files.get(path).and_then(|f| f.chunks.get(&stripe)).copied();
+            let cur = self
+                .files
+                .get(path)
+                .and_then(|f| f.chunks.get(&stripe))
+                .copied();
             if cur.is_none() {
-                self.emit(rec, brick, FsOp::Creat { path: target.clone() }, Some(recv));
+                self.emit(
+                    rec,
+                    brick,
+                    FsOp::Creat {
+                        path: target.clone(),
+                    },
+                    Some(recv),
+                );
                 self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
             }
             let cur = self.files.get(path).unwrap().chunks[&stripe];
@@ -308,7 +323,14 @@ impl GlusterFs {
         }
     }
 
-    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn do_rename(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         if self.dirs.contains(&src.to_string()) {
             // Directory rename: replicated like mkdir, one local rename
             // per brick.
@@ -532,7 +554,7 @@ impl Pfs for GlusterFs {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -555,7 +577,10 @@ impl Pfs for GlusterFs {
                     if !fs.is_dir(&p) {
                         if let Ok(meta) = fs.getxattr(&p, "user.meta") {
                             let (_, _, gen) = Self::parse_meta(meta);
-                            by_path.entry(vpath.to_string()).or_default().push((id, gen));
+                            by_path
+                                .entry(vpath.to_string())
+                                .or_default()
+                                .push((id, gen));
                         }
                     }
                 }
@@ -655,7 +680,14 @@ mod tests {
     fn run_arvr(fs: &mut GlusterFs) -> Recorder {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -668,7 +700,14 @@ mod tests {
         );
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -679,7 +718,14 @@ mod tests {
             },
             None,
         );
-        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Close {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -734,11 +780,29 @@ mod tests {
     #[test]
     fn pinned_files_split_across_bricks() {
         let placement = Placement::new().pin_file("/log", 0).pin_file("/foo", 1);
-        let mut fs = GlusterFs::new(ClusterTopology::paper_combined_default(), placement, 128 * 1024);
+        let mut fs = GlusterFs::new(
+            ClusterTopology::paper_combined_default(),
+            placement,
+            128 * 1024,
+        );
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/log".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/log".into(),
+            },
+            None,
+        );
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/foo".into(),
+            },
+            None,
+        );
         assert_eq!(fs.files["/log"].primary, 0);
         assert_eq!(fs.files["/foo"].primary, 1);
     }
@@ -752,7 +816,14 @@ mod tests {
         );
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/big".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/big".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -781,7 +852,11 @@ mod tests {
         // A renamed file colliding with a stale old entry on another
         // brick must resolve to the newer generation.
         let placement = Placement::new().pin_file("/a", 0).pin_file("/b", 1);
-        let mut fs = GlusterFs::new(ClusterTopology::paper_combined_default(), placement, 128 * 1024);
+        let mut fs = GlusterFs::new(
+            ClusterTopology::paper_combined_default(),
+            placement,
+            128 * 1024,
+        );
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/b".into() }, None);
@@ -822,8 +897,10 @@ mod tests {
         let keep: Vec<EventId> = rec
             .lowermost_events()
             .into_iter()
-            .filter(|&id| !matches!(&rec.event(id).payload,
-                Payload::Fs { op: FsOp::Unlink { path }, .. } if path == "/data/b"))
+            .filter(|&id| {
+                !matches!(&rec.event(id).payload,
+                Payload::Fs { op: FsOp::Unlink { path }, .. } if path == "/data/b")
+            })
             .collect();
         let mut states = fs.baseline().clone();
         states.apply_events(&rec, keep);

@@ -79,21 +79,25 @@ impl Gpfs {
         dirpaths.insert("/".to_string(), "root".to_string());
         // mkfs: superblock + empty root directory block.
         let root_server = placement.dir_index("root", topo.server_count() as usize) as u32;
-        live.server_mut(root_server).as_block_mut().apply(&BlockOp::write(
-            Self::lba("super"),
-            StructTag::Superblock,
-            b"gpfs".to_vec(),
-        ));
-        live.server_mut(root_server).as_block_mut().apply(&BlockOp::write(
-            Self::lba("dir:root"),
-            StructTag::DirEntry("root".into()),
-            Vec::new(),
-        ));
+        live.server_mut(root_server)
+            .as_block_mut()
+            .apply(&BlockOp::write(
+                Self::lba("super"),
+                StructTag::Superblock,
+                b"gpfs".to_vec(),
+            ));
+        live.server_mut(root_server)
+            .as_block_mut()
+            .apply(&BlockOp::write(
+                Self::lba("dir:root"),
+                StructTag::DirEntry("root".into()),
+                Vec::new(),
+            ));
         Gpfs {
             topo,
             placement,
             stripe,
-            baseline: live.clone(),
+            baseline: live.fork(),
             live,
             files: BTreeMap::new(),
             dirents,
@@ -113,12 +117,8 @@ impl Gpfs {
             return;
         };
         for server in servers {
-            let (_, recv) = RpcNet::new(rec).request(
-                client,
-                Process::Server(server),
-                "FLUSH-DATA",
-                Some(cev),
-            );
+            let (_, recv) =
+                RpcNet::new(rec).request(client, Process::Server(server), "FLUSH-DATA", Some(cev));
             self.emit(rec, server, BlockOp::SyncCache, Some(recv));
             RpcNet::new(rec).reply(Process::Server(server), client, "OK");
         }
@@ -237,7 +237,14 @@ impl Gpfs {
         )
     }
 
-    fn write_log(&mut self, rec: &mut Recorder, server: u32, what: &str, group: u32, parent: Option<EventId>) -> EventId {
+    fn write_log(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        what: &str,
+        group: u32,
+        parent: Option<EventId>,
+    ) -> EventId {
         self.emit(
             rec,
             server,
@@ -276,7 +283,13 @@ impl Gpfs {
         self.emit(rec, server, op, parent)
     }
 
-    fn write_allocmap(&mut self, rec: &mut Recorder, server: u32, group: u32, parent: Option<EventId>) -> EventId {
+    fn write_allocmap(
+        &mut self,
+        rec: &mut Recorder,
+        server: u32,
+        group: u32,
+        parent: Option<EventId>,
+    ) -> EventId {
         self.emit(
             rec,
             server,
@@ -304,11 +317,21 @@ impl Gpfs {
             .expect("parent directory exists")
             .insert(Self::name_of(path).to_string(), format!("F:{id}"));
 
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("CREATE {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(dsrv),
+            &format!("CREATE {path}"),
+            Some(cev),
+        );
         self.write_log(rec, dsrv, &format!("create {path}"), group, Some(recv));
         self.write_dirent_block(rec, &pid, group, Some(recv));
-        self.write_inode(rec, &id, format!("size=0;first={first}"), Some(group), Some(recv));
+        self.write_inode(
+            rec,
+            &id,
+            format!("size=0;first={first}"),
+            Some(group),
+            Some(recv),
+        );
         let isrv = self.id_server(&id);
         self.write_allocmap(rec, isrv, group, Some(recv));
         RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
@@ -337,12 +360,22 @@ impl Gpfs {
             .insert(Self::name_of(path).to_string(), format!("D:{did}"));
         self.dirents.insert(did.clone(), BTreeMap::new());
         self.dirpaths.insert(path.to_string(), did.clone());
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("MKDIR {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(dsrv),
+            &format!("MKDIR {path}"),
+            Some(cev),
+        );
         self.write_log(rec, dsrv, &format!("mkdir {path}"), group, Some(recv));
         self.write_dirent_block(rec, &pid, group, Some(recv));
         self.write_dirent_block(rec, &did, group, Some(recv));
-        self.write_inode(rec, &format!("dir:{did}"), "dir".into(), Some(group), Some(recv));
+        self.write_inode(
+            rec,
+            &format!("dir:{did}"),
+            "dir".into(),
+            Some(group),
+            Some(recv),
+        );
         RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
     }
 
@@ -410,11 +443,24 @@ impl Gpfs {
             &format!("SETATTR {path}"),
             Some(cev),
         );
-        self.write_inode(rec, &id, format!("size={size};first={first}"), None, Some(recv));
+        self.write_inode(
+            rec,
+            &id,
+            format!("size={size};first={first}"),
+            None,
+            Some(recv),
+        );
         RpcNet::new(rec).reply(Process::Server(isrv), client, "OK");
     }
 
-    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn do_rename(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         let spid = self.dir_id(&Self::parent_of(src));
         let dpid = self.dir_id(&Self::parent_of(dst));
         let group = self.next_group;
@@ -428,10 +474,10 @@ impl Gpfs {
                 .get_mut(&spid)
                 .unwrap()
                 .remove(Self::name_of(src));
-            self.dirents
-                .get_mut(&dpid)
-                .unwrap()
-                .insert(Self::name_of(dst).to_string(), rec_entry.expect("dir entry"));
+            self.dirents.get_mut(&dpid).unwrap().insert(
+                Self::name_of(dst).to_string(),
+                rec_entry.expect("dir entry"),
+            );
             let moved: Vec<(String, String)> = self
                 .dirpaths
                 .keys()
@@ -456,7 +502,13 @@ impl Gpfs {
             );
             self.write_log(rec, dsrv, &format!("rename {src} {dst}"), group, Some(recv));
             self.write_dirent_block(rec, &spid, group, Some(recv));
-            self.write_inode(rec, &format!("dir:{spid}"), "dir".into(), Some(group), Some(recv));
+            self.write_inode(
+                rec,
+                &format!("dir:{spid}"),
+                "dir".into(),
+                Some(group),
+                Some(recv),
+            );
             RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
             return;
         }
@@ -467,11 +519,15 @@ impl Gpfs {
             .unwrap_or_else(|| panic!("GPFS: rename of unknown file {src}"))
             .clone();
         let overwritten = self.files.get(dst).cloned();
-        let entry = self.dirents.get_mut(&spid).unwrap().remove(Self::name_of(src));
-        self.dirents
-            .get_mut(&dpid)
+        let entry = self
+            .dirents
+            .get_mut(&spid)
             .unwrap()
-            .insert(Self::name_of(dst).to_string(), entry.unwrap_or(format!("F:{}", info.id)));
+            .remove(Self::name_of(src));
+        self.dirents.get_mut(&dpid).unwrap().insert(
+            Self::name_of(dst).to_string(),
+            entry.unwrap_or(format!("F:{}", info.id)),
+        );
 
         // Figure 9(d) / bug 3: the atomic group of the ARVR rename —
         // log + parent dir block (+ source dir block if different) on the
@@ -488,12 +544,30 @@ impl Gpfs {
         self.write_dirent_block(rec, &dpid, group, Some(recv));
         if spid != dpid {
             self.write_dirent_block(rec, &spid, group, Some(recv));
-            self.write_inode(rec, &format!("dir:{spid}"), "dir".into(), Some(group), Some(recv));
+            self.write_inode(
+                rec,
+                &format!("dir:{spid}"),
+                "dir".into(),
+                Some(group),
+                Some(recv),
+            );
         }
         if let Some(old) = &overwritten {
-            self.write_inode(rec, &old.id.clone(), "deleted".into(), Some(group), Some(recv));
+            self.write_inode(
+                rec,
+                &old.id.clone(),
+                "deleted".into(),
+                Some(group),
+                Some(recv),
+            );
         }
-        self.write_inode(rec, &format!("dir:{dpid}"), "dir".into(), Some(group), Some(recv));
+        self.write_inode(
+            rec,
+            &format!("dir:{dpid}"),
+            "dir".into(),
+            Some(group),
+            Some(recv),
+        );
         RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
 
         self.files.remove(src);
@@ -514,11 +588,21 @@ impl Gpfs {
             .unwrap()
             .remove(Self::name_of(path));
         let dsrv = self.dir_server(&pid);
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(dsrv), &format!("UNLINK {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(dsrv),
+            &format!("UNLINK {path}"),
+            Some(cev),
+        );
         self.write_log(rec, dsrv, &format!("unlink {path}"), group, Some(recv));
         self.write_dirent_block(rec, &pid, group, Some(recv));
-        self.write_inode(rec, &info.id.clone(), "deleted".into(), Some(group), Some(recv));
+        self.write_inode(
+            rec,
+            &info.id.clone(),
+            "deleted".into(),
+            Some(group),
+            Some(recv),
+        );
         let isrv = self.id_server(&info.id);
         self.write_allocmap(rec, isrv, group, Some(recv));
         RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
@@ -689,7 +773,7 @@ impl Pfs for Gpfs {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -714,17 +798,14 @@ impl Pfs for Gpfs {
                 if let Some(id) = record.strip_prefix("F:") {
                     match inodes.get(id) {
                         None => {
-                            report.finding(format!(
-                                "entry {dir}/{name}: inode {id} block missing"
-                            ));
+                            report.finding(format!("entry {dir}/{name}: inode {id} block missing"));
                             fixed.remove(name);
                             report.repair(format!("removed entry {dir}/{name}"));
                             report.unrecovered_damage = true;
                         }
                         Some(p) if p == "deleted" => {
-                            report.finding(format!(
-                                "entry {dir}/{name}: inode {id} marked deleted"
-                            ));
+                            report
+                                .finding(format!("entry {dir}/{name}: inode {id} marked deleted"));
                             fixed.remove(name);
                             report.repair(format!("removed entry {dir}/{name}"));
                             report.unrecovered_damage = true;
@@ -740,11 +821,14 @@ impl Pfs for Gpfs {
         // Write repaired directory blocks back.
         for (dir, entries) in fixed_dirs {
             let server = self.dir_server(&dir);
-            states.server_mut(server).as_block_mut().apply(&BlockOp::write(
-                Self::lba(&format!("dir:{dir}")),
-                StructTag::DirEntry(dir.clone()),
-                Self::serialize_dir(&entries),
-            ));
+            states
+                .server_mut(server)
+                .as_block_mut()
+                .apply(&BlockOp::write(
+                    Self::lba(&format!("dir:{dir}")),
+                    StructTag::DirEntry(dir.clone()),
+                    Self::serialize_dir(&entries),
+                ));
         }
         report
     }
@@ -769,7 +853,14 @@ mod tests {
     fn run_arvr(fs: &mut Gpfs) -> Recorder {
         let c = Process::Client(0);
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -782,7 +873,14 @@ mod tests {
         );
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -903,10 +1001,13 @@ mod tests {
             None,
         );
         fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None);
-        assert!(rec
-            .events()
-            .iter()
-            .any(|e| matches!(&e.payload, Payload::Block { op: BlockOp::SyncCache, .. })));
+        assert!(rec.events().iter().any(|e| matches!(
+            &e.payload,
+            Payload::Block {
+                op: BlockOp::SyncCache,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -915,7 +1016,14 @@ mod tests {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/x".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/x".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,

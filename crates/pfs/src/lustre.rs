@@ -63,13 +63,16 @@ impl Lustre {
             live.server_mut(m).as_fs_mut().mkdir_all("/mdt").unwrap();
         }
         for &s in &topo.storage_servers() {
-            live.server_mut(s).as_fs_mut().mkdir_all("/objects").unwrap();
+            live.server_mut(s)
+                .as_fs_mut()
+                .mkdir_all("/objects")
+                .unwrap();
         }
         Lustre {
             topo,
             placement,
             stripe,
-            baseline: live.clone(),
+            baseline: live.fork(),
             live,
             files: BTreeMap::new(),
             dirty: BTreeMap::new(),
@@ -298,14 +301,24 @@ impl Pfs for Lustre {
                         .and_then(|f| f.chunks.get(&stripe))
                         .copied();
                     if cur.is_none() {
-                        self.emit(rec, ost, FsOp::Creat { path: target.clone() }, Some(recv));
+                        self.emit(
+                            rec,
+                            ost,
+                            FsOp::Creat {
+                                path: target.clone(),
+                            },
+                            Some(recv),
+                        );
                         self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
                     }
                     let cur = self.files.get(path).unwrap().chunks[&stripe];
                     let local = off - stripe * self.stripe;
                     let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
                     let op = if local == cur {
-                        FsOp::Append { path: target, data: buf }
+                        FsOp::Append {
+                            path: target,
+                            data: buf,
+                        }
                     } else {
                         FsOp::Pwrite {
                             path: target,
@@ -466,7 +479,7 @@ impl Pfs for Lustre {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -494,7 +507,7 @@ impl Pfs for Lustre {
             }
         }
         for &s in &self.topo.storage_servers() {
-            let fs = states.server(s).as_fs().clone();
+            let fs = states.server(s).as_fs().fork();
             let Ok(objs) = fs.readdir("/objects") else {
                 continue;
             };
@@ -575,7 +588,14 @@ mod tests {
     fn run_arvr(fs: &mut Lustre) -> Recorder {
         let c = Process::Client(0);
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -586,10 +606,24 @@ mod tests {
             },
             None,
         );
-        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/file".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Close {
+                path: "/file".into(),
+            },
+            None,
+        );
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -600,7 +634,14 @@ mod tests {
             },
             None,
         );
-        fs.dispatch(&mut rec, c, &PfsCall::Close { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Close {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -626,11 +667,25 @@ mod tests {
             .expect("append traced");
         let rename_pos = events
             .iter()
-            .position(|e| matches!(&e.payload, Payload::Fs { op: FsOp::Rename { .. }, .. }))
+            .position(|e| {
+                matches!(
+                    &e.payload,
+                    Payload::Fs {
+                        op: FsOp::Rename { .. },
+                        ..
+                    }
+                )
+            })
             .expect("rename traced");
-        let fsync_between = events[append_pos..rename_pos]
-            .iter()
-            .any(|e| matches!(&e.payload, Payload::Fs { op: FsOp::Fsync { .. }, .. }));
+        let fsync_between = events[append_pos..rename_pos].iter().any(|e| {
+            matches!(
+                &e.payload,
+                Payload::Fs {
+                    op: FsOp::Fsync { .. },
+                    ..
+                }
+            )
+        });
         assert!(fsync_between, "close must flush OST data before the rename");
     }
 
@@ -644,10 +699,13 @@ mod tests {
             &PfsCall::Creat { path: "/f".into() },
             None,
         );
-        assert!(rec
-            .events()
-            .iter()
-            .any(|e| matches!(&e.payload, Payload::Fs { op: FsOp::SyncFs, .. })));
+        assert!(rec.events().iter().any(|e| matches!(
+            &e.payload,
+            Payload::Fs {
+                op: FsOp::SyncFs,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -669,7 +727,14 @@ mod tests {
         let mut fs = Lustre::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/d.h5".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/d.h5".into(),
+            },
+            None,
+        );
         let start = rec.len();
         fs.dispatch(
             &mut rec,

@@ -92,7 +92,7 @@ impl OrangeFs {
             topo,
             placement,
             stripe,
-            baseline: live.clone(),
+            baseline: live.fork(),
             live,
             dirs,
             files: BTreeMap::new(),
@@ -189,8 +189,12 @@ impl OrangeFs {
         let handle = format!("h{}", self.next_id);
         self.next_id += 1;
         let first = self.placement.file_index(path, self.n_storage());
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(meta), &format!("CREATE {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(meta),
+            &format!("CREATE {path}"),
+            Some(cev),
+        );
         self.db_update(
             rec,
             meta,
@@ -221,10 +225,16 @@ impl OrangeFs {
         let pinfo = self.dir_info(&Self::parent_of(path)).clone();
         let key = format!("d{}", self.next_id);
         self.next_id += 1;
-        let owner = self.placement.dir_index(path, self.topo.metadata_servers().len());
+        let owner = self
+            .placement
+            .dir_index(path, self.topo.metadata_servers().len());
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(meta), &format!("MKDIR {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(meta),
+            &format!("MKDIR {path}"),
+            Some(cev),
+        );
         self.db_update(
             rec,
             meta,
@@ -265,7 +275,11 @@ impl OrangeFs {
                 Some(cev),
             );
             let bs = Self::bstream_path(&info.handle, stripe);
-            let cur = self.files.get(path).and_then(|f| f.chunks.get(&stripe)).copied();
+            let cur = self
+                .files
+                .get(path)
+                .and_then(|f| f.chunks.get(&stripe))
+                .copied();
             if cur.is_none() {
                 self.emit(rec, storage, FsOp::Creat { path: bs.clone() }, Some(recv));
                 self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
@@ -277,7 +291,10 @@ impl OrangeFs {
             // metadata side of OrangeFS is durable-by-construction
             // (this asymmetry is Table 3 bug 1).
             let op = if local == cur {
-                FsOp::Append { path: bs, data: buf }
+                FsOp::Append {
+                    path: bs,
+                    data: buf,
+                }
             } else {
                 FsOp::Pwrite {
                     path: bs,
@@ -300,8 +317,12 @@ impl OrangeFs {
         let (handle, first, size) = (f.handle.clone(), f.first, f.size);
         let pinfo = self.dir_info(&Self::parent_of(path)).clone();
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(meta), &format!("SETATTR {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(meta),
+            &format!("SETATTR {path}"),
+            Some(cev),
+        );
         self.db_update(
             rec,
             meta,
@@ -312,7 +333,14 @@ impl OrangeFs {
         RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
     }
 
-    fn do_rename(&mut self, rec: &mut Recorder, client: Process, src: &str, dst: &str, cev: EventId) {
+    fn do_rename(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        src: &str,
+        dst: &str,
+        cev: EventId,
+    ) {
         if self.dirs.contains_key(src) {
             // Directory rename within one parent: a single keyval record
             // (one atomic DB page update).
@@ -415,9 +443,17 @@ impl OrangeFs {
             RpcNet::new(rec).reply(Process::Server(smeta), client, "OK");
         }
         if let Some(old) = &overwritten {
-            self.db_update(rec, dmeta, "attrs.db", format!("R {}", old.handle), Some(recv));
+            self.db_update(
+                rec,
+                dmeta,
+                "attrs.db",
+                format!("R {}", old.handle),
+                Some(recv),
+            );
         }
-        let reply_recv = RpcNet::new(rec).reply(Process::Server(dmeta), client, "OK").1;
+        let reply_recv = RpcNet::new(rec)
+            .reply(Process::Server(dmeta), client, "OK")
+            .1;
         let _ = reply_recv;
 
         // Storage-side cleanup of the overwritten file's bstreams:
@@ -462,8 +498,12 @@ impl OrangeFs {
             .clone();
         let pinfo = self.dir_info(&Self::parent_of(path)).clone();
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) =
-            RpcNet::new(rec).request(client, Process::Server(meta), &format!("UNLINK {path}"), Some(cev));
+        let (_, recv) = RpcNet::new(rec).request(
+            client,
+            Process::Server(meta),
+            &format!("UNLINK {path}"),
+            Some(cev),
+        );
         self.db_update(
             rec,
             meta,
@@ -471,7 +511,13 @@ impl OrangeFs {
             format!("D {} {}", pinfo.key, Self::name_of(path)),
             Some(recv),
         );
-        self.db_update(rec, meta, "attrs.db", format!("R {}", info.handle), Some(recv));
+        self.db_update(
+            rec,
+            meta,
+            "attrs.db",
+            format!("R {}", info.handle),
+            Some(recv),
+        );
         RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
         self.strand_bstreams(rec, meta, &info);
         self.files.remove(path);
@@ -687,7 +733,7 @@ impl Pfs for OrangeFs {
     }
 
     fn seal_baseline(&mut self) {
-        self.baseline = self.live.clone();
+        self.baseline = self.live.fork();
     }
 
     fn baseline(&self) -> &ServerStates {
@@ -720,7 +766,7 @@ impl Pfs for OrangeFs {
             }
         }
         for &s in &self.topo.storage_servers() {
-            let fs = states.server(s).as_fs().clone();
+            let fs = states.server(s).as_fs().fork();
             let Ok(names) = fs.readdir("/bstreams") else {
                 continue;
             };
@@ -747,7 +793,9 @@ impl Pfs for OrangeFs {
 
     fn client_view(&self, states: &ServerStates) -> PfsView {
         let mut view = PfsView::new();
-        let root_owner = self.placement.dir_index("/", self.topo.metadata_servers().len());
+        let root_owner = self
+            .placement
+            .dir_index("/", self.topo.metadata_servers().len());
         self.walk_dir(states, "root", root_owner, "/", &mut view);
         view
     }
@@ -766,7 +814,14 @@ mod tests {
         let mut fs = OrangeFs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/foo".into(),
+            },
+            None,
+        );
         let ops: Vec<&FsOp> = rec
             .lowermost_events()
             .into_iter()
@@ -794,7 +849,14 @@ mod tests {
         let mut rec = Recorder::new();
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/foo".into(),
+            },
+            None,
+        );
         fs.dispatch(
             &mut rec,
             c,
@@ -815,7 +877,14 @@ mod tests {
         let mut fs = OrangeFs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/tmp".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+            None,
+        );
         let before = rec.len();
         fs.dispatch(
             &mut rec,
@@ -849,7 +918,14 @@ mod tests {
         let c = Process::Client(0);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
         fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/A/foo".into() }, None);
+        fs.dispatch(
+            &mut rec,
+            c,
+            &PfsCall::Creat {
+                path: "/A/foo".into(),
+            },
+            None,
+        );
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(

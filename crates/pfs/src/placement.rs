@@ -85,7 +85,13 @@ impl Placement {
     /// The storage-server index for byte `offset` of `file` under
     /// round-robin striping with the given stripe size (Table 2: chunks
     /// "stored across data servers in a round-robin manner").
-    pub fn stripe_index(&self, file: &str, offset: u64, stripe_size: u64, n_storage: usize) -> usize {
+    pub fn stripe_index(
+        &self,
+        file: &str,
+        offset: u64,
+        stripe_size: u64,
+        n_storage: usize,
+    ) -> usize {
         let first = self.file_index(file, n_storage);
         let stripe = (offset / stripe_size) as usize;
         (first + stripe) % n_storage

@@ -92,6 +92,30 @@ impl Store {
             Store::Block(dev) => dev.digest(),
         }
     }
+
+    /// O(1) copy-on-write snapshot of this store (shares all nodes with
+    /// `self` until either side mutates).
+    pub fn fork(&self) -> Store {
+        match self {
+            Store::Fs { state, journal } => Store::Fs {
+                state: state.fork(),
+                journal: *journal,
+            },
+            Store::Block(dev) => Store::Block(dev.fork()),
+        }
+    }
+
+    /// Structurally independent copy (the `PC_NAIVE_SNAPSHOTS=1` oracle's
+    /// clone-everything cost model).
+    pub fn deep_clone(&self) -> Store {
+        match self {
+            Store::Fs { state, journal } => Store::Fs {
+                state: state.deep_clone(),
+                journal: *journal,
+            },
+            Store::Block(dev) => Store::Block(dev.deep_clone()),
+        }
+    }
 }
 
 /// The persistent state of the whole cluster: one store per server,
@@ -171,6 +195,23 @@ impl ServerStates {
             .zip(other.per_server_digests())
             .filter(|(a, b)| **a != *b)
             .count()
+    }
+
+    /// O(1) copy-on-write snapshot of the whole cluster: the simulation
+    /// analogue of taking per-server LVM snapshots before crash emulation
+    /// (§4.3), minus the copying.
+    pub fn fork(&self) -> ServerStates {
+        ServerStates {
+            stores: self.stores.iter().map(Store::fork).collect(),
+        }
+    }
+
+    /// Structurally independent copy of every server (the
+    /// `PC_NAIVE_SNAPSHOTS=1` oracle's clone-everything cost model).
+    pub fn deep_clone(&self) -> ServerStates {
+        ServerStates {
+            stores: self.stores.iter().map(Store::deep_clone).collect(),
+        }
     }
 }
 

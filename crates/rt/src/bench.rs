@@ -131,9 +131,7 @@ impl Bench {
     /// interface `cargo run -p pc-bench --bin bench -- <filter>`
     /// exposes).
     pub fn from_env_and_args() -> Bench {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Bench::new(Config {
             filter,
             ..Config::default()
@@ -268,7 +266,9 @@ mod tests {
             filter: None,
         });
         // ~1 ms per iteration -> ~20 iterations, far below max_iters.
-        b.bench("sleepy", || std::thread::sleep(std::time::Duration::from_millis(1)));
+        b.bench("sleepy", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
         let s = &b.samples()[0];
         assert!(s.iters >= 2 && s.iters < 1000, "iters = {}", s.iters);
     }

@@ -84,9 +84,7 @@ impl Pool {
 
     /// Pool with an explicit worker count (`n == 0` is treated as 1).
     pub fn with_threads(n: usize) -> Pool {
-        Pool {
-            threads: n.max(1),
-        }
+        Pool { threads: n.max(1) }
     }
 
     /// The worker count this pool will use.

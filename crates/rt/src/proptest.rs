@@ -407,7 +407,9 @@ mod tests {
         let gen = |rng: &mut Rng, size: usize| gen_vec(rng, size, |r| r.next_u64());
         let a: Vec<Vec<u64>> = (0..10).map(|c| gen(&mut case_rng(9, c), 16)).collect();
         let b: Vec<Vec<u64>> = (0..10).map(|c| gen(&mut case_rng(9, c), 16)).collect();
-        let c: Vec<Vec<u64>> = (0..10).map(|case| gen(&mut case_rng(10, case), 16)).collect();
+        let c: Vec<Vec<u64>> = (0..10)
+            .map(|case| gen(&mut case_rng(10, case), 16))
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// The on-disk structure a tagged block write updates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,15 +159,55 @@ pub fn block_persists_before(op1: &BlockOp, op2: &BlockOp, barrier_between: bool
 }
 
 /// An addressable block device, snapshot-able like [`crate::FsState`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Like `FsState`, the block table is persistent (copy-on-write):
+/// `clone`/[`BlockDev::fork`] are O(1), per-block payloads stay shared
+/// between forks until overwritten, and the digest is memoized.
+#[derive(Clone, Default)]
 pub struct BlockDev {
-    blocks: BTreeMap<u64, (StructTag, Vec<u8>)>,
+    blocks: Arc<BTreeMap<u64, Arc<(StructTag, Vec<u8>)>>>,
+    digest_memo: Arc<OnceLock<u64>>,
 }
+
+impl fmt::Debug for BlockDev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockDev")
+            .field("blocks", &self.blocks)
+            .finish()
+    }
+}
+
+impl PartialEq for BlockDev {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.blocks, &other.blocks) || self.blocks == other.blocks
+    }
+}
+
+impl Eq for BlockDev {}
 
 impl BlockDev {
     /// An empty (all-zero) device.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// O(1) copy-on-write snapshot (see [`crate::FsState::fork`]).
+    pub fn fork(&self) -> BlockDev {
+        self.clone()
+    }
+
+    /// A structurally independent copy sharing no blocks with `self`
+    /// (the `PC_NAIVE_SNAPSHOTS=1` oracle's clone-everything cost model).
+    pub fn deep_clone(&self) -> BlockDev {
+        BlockDev {
+            blocks: Arc::new(
+                self.blocks
+                    .iter()
+                    .map(|(k, v)| (*k, Arc::new((**v).clone())))
+                    .collect(),
+            ),
+            digest_memo: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Apply one command. `SyncCache` is a no-op at the state level.
@@ -175,23 +216,26 @@ impl BlockDev {
             lba, payload, tag, ..
         } = op
         {
-            self.blocks.insert(*lba, (tag.clone(), payload.clone()));
+            if self.digest_memo.get().is_some() || Arc::strong_count(&self.digest_memo) > 1 {
+                self.digest_memo = Arc::new(OnceLock::new());
+            }
+            Arc::make_mut(&mut self.blocks).insert(*lba, Arc::new((tag.clone(), payload.clone())));
         }
     }
 
     /// Read the content last written to `lba`, if any.
     pub fn read(&self, lba: u64) -> Option<&[u8]> {
-        self.blocks.get(&lba).map(|(_, d)| d.as_slice())
+        self.blocks.get(&lba).map(|b| b.1.as_slice())
     }
 
     /// Read the tag of the block at `lba`, if written.
     pub fn tag_at(&self, lba: u64) -> Option<&StructTag> {
-        self.blocks.get(&lba).map(|(t, _)| t)
+        self.blocks.get(&lba).map(|b| &b.0)
     }
 
     /// All written blocks in LBA order.
     pub fn iter(&self) -> impl Iterator<Item = (&u64, &StructTag, &[u8])> {
-        self.blocks.iter().map(|(l, (t, d))| (l, t, d.as_slice()))
+        self.blocks.iter().map(|(l, b)| (l, &b.0, b.1.as_slice()))
     }
 
     /// Number of written blocks.
@@ -204,11 +248,14 @@ impl BlockDev {
         self.blocks.is_empty()
     }
 
-    /// Canonical digest for crash-state dedup.
+    /// Canonical digest for crash-state dedup (memoized like
+    /// [`crate::FsState::digest`]).
     pub fn digest(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.blocks.hash(&mut h);
-        h.finish()
+        *self.digest_memo.get_or_init(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.blocks.hash(&mut h);
+            h.finish()
+        })
     }
 }
 
@@ -260,6 +307,20 @@ mod tests {
         let w = BlockOp::write_in_group(4, StructTag::AllocMap, vec![1], 7);
         assert_eq!(w.atomic_group(), Some(7));
         assert_eq!(BlockOp::SyncCache.atomic_group(), None);
+    }
+
+    #[test]
+    fn fork_is_independent_and_digest_memo_is_safe() {
+        let mut a = BlockDev::new();
+        a.apply(&BlockOp::write(1, StructTag::LogFile, vec![1]));
+        let d0 = a.digest();
+        let fork = a.fork();
+        assert_eq!(fork.digest(), d0);
+        a.apply(&BlockOp::write(1, StructTag::LogFile, vec![2]));
+        assert_ne!(a.digest(), d0);
+        assert_eq!(fork.digest(), d0);
+        assert_eq!(fork.read(1), Some(&[1u8][..]));
+        assert_eq!(a.deep_clone(), a);
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl fmt::Display for FsckIssue {
             "{}: {} ({})",
             self.subject,
             self.detail,
-            if self.repairable { "repairable" } else { "unrepairable" }
+            if self.repairable {
+                "repairable"
+            } else {
+                "unrepairable"
+            }
         )
     }
 }
@@ -129,7 +133,9 @@ mod tests {
                 src: "/nope".into(),
                 dst: "/b".into(),
             },
-            FsOp::Unlink { path: "/gone".into() },
+            FsOp::Unlink {
+                path: "/gone".into(),
+            },
             FsOp::Link {
                 src: "/a".into(),
                 dst: "/c".into(),

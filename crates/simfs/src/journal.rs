@@ -115,10 +115,30 @@ mod tests {
     fn writeback_orders_only_metadata() {
         let (d1, d2) = (data("/x"), data("/y"));
         let (m1, m2) = (meta("/x"), meta("/y"));
-        assert!(same_fs_persists_before(JournalMode::Writeback, &m1, &m2, true));
-        assert!(!same_fs_persists_before(JournalMode::Writeback, &d1, &d2, true));
-        assert!(!same_fs_persists_before(JournalMode::Writeback, &d1, &m2, true));
-        assert!(!same_fs_persists_before(JournalMode::Writeback, &m1, &d2, true));
+        assert!(same_fs_persists_before(
+            JournalMode::Writeback,
+            &m1,
+            &m2,
+            true
+        ));
+        assert!(!same_fs_persists_before(
+            JournalMode::Writeback,
+            &d1,
+            &d2,
+            true
+        ));
+        assert!(!same_fs_persists_before(
+            JournalMode::Writeback,
+            &d1,
+            &m2,
+            true
+        ));
+        assert!(!same_fs_persists_before(
+            JournalMode::Writeback,
+            &m1,
+            &d2,
+            true
+        ));
     }
 
     #[test]
@@ -129,10 +149,30 @@ mod tests {
             size: 0,
         };
         let m_other = meta("/g");
-        assert!(same_fs_persists_before(JournalMode::Ordered, &d, &m_same, true));
-        assert!(!same_fs_persists_before(JournalMode::Ordered, &d, &m_other, true));
-        assert!(same_fs_persists_before(JournalMode::Ordered, &m_other, &m_same, true));
-        assert!(!same_fs_persists_before(JournalMode::Ordered, &m_same, &d, true));
+        assert!(same_fs_persists_before(
+            JournalMode::Ordered,
+            &d,
+            &m_same,
+            true
+        ));
+        assert!(!same_fs_persists_before(
+            JournalMode::Ordered,
+            &d,
+            &m_other,
+            true
+        ));
+        assert!(same_fs_persists_before(
+            JournalMode::Ordered,
+            &m_other,
+            &m_same,
+            true
+        ));
+        assert!(!same_fs_persists_before(
+            JournalMode::Ordered,
+            &m_same,
+            &d,
+            true
+        ));
         assert!(!same_fs_persists_before(
             JournalMode::Ordered,
             &data("/f"),

@@ -10,7 +10,9 @@ use crate::error::{FsError, FsResult};
 use crate::ops::FsOp;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// Inode number.
 pub type Ino = u64;
@@ -73,11 +75,17 @@ impl Inode {
 /// A snapshot-able, comparable local file system.
 ///
 /// Cloning an `FsState` is the simulation analogue of taking an LVM/ext4
-/// snapshot of a storage server before crash emulation (§4.3).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// snapshot of a storage server before crash emulation (§4.3). The inode
+/// table is a persistent (copy-on-write) structure: `clone`/[`FsState::fork`]
+/// are O(1) Arc bumps, and mutation unshares only the touched nodes via
+/// `Arc::make_mut`, so memory grows with divergence rather than state size.
+#[derive(Clone)]
 pub struct FsState {
-    inodes: BTreeMap<Ino, Inode>,
+    inodes: Arc<BTreeMap<Ino, Arc<Inode>>>,
     next_ino: Ino,
+    /// Memoized [`FsState::digest`]. Abandoned (not cleared) on mutation so
+    /// forks sharing the cell never observe a diverged state's digest.
+    digest_memo: Arc<OnceLock<u64>>,
 }
 
 impl Default for FsState {
@@ -86,15 +94,84 @@ impl Default for FsState {
     }
 }
 
+impl fmt::Debug for FsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FsState")
+            .field("inodes", &self.inodes)
+            .field("next_ino", &self.next_ino)
+            .finish()
+    }
+}
+
+impl PartialEq for FsState {
+    fn eq(&self, other: &Self) -> bool {
+        self.next_ino == other.next_ino
+            && (Arc::ptr_eq(&self.inodes, &other.inodes) || self.inodes == other.inodes)
+    }
+}
+
+impl Eq for FsState {}
+
 impl FsState {
     /// An empty file system containing only `/`.
     pub fn new() -> Self {
         let mut inodes = BTreeMap::new();
-        inodes.insert(ROOT_INO, Inode::empty_dir());
+        inodes.insert(ROOT_INO, Arc::new(Inode::empty_dir()));
         FsState {
-            inodes,
+            inodes: Arc::new(inodes),
             next_ino: ROOT_INO + 1,
+            digest_memo: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// O(1) copy-on-write snapshot: shares the whole inode table with
+    /// `self` until either side mutates. This is the fast path the replay
+    /// engine forks crash states from.
+    pub fn fork(&self) -> FsState {
+        self.clone()
+    }
+
+    /// A structurally independent copy sharing no nodes with `self`. Only
+    /// the `PC_NAIVE_SNAPSHOTS=1` oracle uses this — it reproduces the
+    /// historical clone-everything cost model.
+    pub fn deep_clone(&self) -> FsState {
+        FsState {
+            inodes: Arc::new(
+                self.inodes
+                    .iter()
+                    .map(|(k, v)| (*k, Arc::new((**v).clone())))
+                    .collect(),
+            ),
+            next_ino: self.next_ino,
+            digest_memo: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Invalidate the digest memo ahead of a mutation. A shared or
+    /// initialized cell is abandoned rather than cleared: forks still
+    /// holding it keep their (valid) memo, and this state re-memoizes
+    /// lazily. Any live fork keeps a strong reference, so sharing is
+    /// always visible in `strong_count`.
+    fn touch(&mut self) {
+        if self.digest_memo.get().is_some() || Arc::strong_count(&self.digest_memo) > 1 {
+            self.digest_memo = Arc::new(OnceLock::new());
+        }
+    }
+
+    /// Unshared access to the inode table (clones the table's Arc spine on
+    /// first mutation after a fork; individual inodes stay shared).
+    fn inodes_mut(&mut self) -> &mut BTreeMap<Ino, Arc<Inode>> {
+        self.touch();
+        Arc::make_mut(&mut self.inodes)
+    }
+
+    /// Unshared access to one inode (clones just that inode if shared).
+    fn inode_mut(&mut self, ino: Ino) -> &mut Inode {
+        Arc::make_mut(
+            self.inodes_mut()
+                .get_mut(&ino)
+                .expect("resolved ino exists"),
+        )
     }
 
     /// Split an absolute path into components; rejects empty / relative
@@ -110,7 +187,7 @@ impl FsState {
     pub fn resolve(&self, path: &str) -> FsResult<Ino> {
         let mut cur = ROOT_INO;
         for comp in Self::components(path)? {
-            match &self.inodes[&cur] {
+            match &*self.inodes[&cur] {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
                         .get(comp)
@@ -131,7 +208,7 @@ impl FsState {
             .ok_or_else(|| FsError::Invalid(format!("no final component in {path}")))?;
         let mut cur = ROOT_INO;
         for comp in dirs {
-            match &self.inodes[&cur] {
+            match &*self.inodes[&cur] {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
                         .get(*comp)
@@ -144,7 +221,7 @@ impl FsState {
     }
 
     fn dir_entries_mut(&mut self, ino: Ino) -> &mut BTreeMap<String, Ino> {
-        match self.inodes.get_mut(&ino).expect("resolved ino exists") {
+        match self.inode_mut(ino) {
             Inode::Dir { entries, .. } => entries,
             Inode::File { .. } => unreachable!("parent resolution returns directories"),
         }
@@ -165,7 +242,7 @@ impl FsState {
     /// Read full file contents.
     pub fn read(&self, path: &str) -> FsResult<&[u8]> {
         let ino = self.resolve(path)?;
-        match &self.inodes[&ino] {
+        match &*self.inodes[&ino] {
             Inode::File { data, .. } => Ok(data),
             Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
         }
@@ -184,7 +261,7 @@ impl FsState {
     /// List directory entry names (sorted).
     pub fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
         let ino = self.resolve(path)?;
-        match &self.inodes[&ino] {
+        match &*self.inodes[&ino] {
             Inode::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
             Inode::File { .. } => Err(FsError::NotADirectory(path.to_string())),
         }
@@ -200,7 +277,7 @@ impl FsState {
     }
 
     fn walk_from(&self, ino: Ino, prefix: String, out: &mut Vec<String>) {
-        if let Inode::Dir { entries, .. } = &self.inodes[&ino] {
+        if let Inode::Dir { entries, .. } = &*self.inodes[&ino] {
             for (name, child) in entries {
                 let path = format!("{prefix}/{name}");
                 out.push(path.clone());
@@ -216,7 +293,7 @@ impl FsState {
 
     /// Direct inode access (used by `fsck`).
     pub fn inode(&self, ino: Ino) -> Option<&Inode> {
-        self.inodes.get(&ino)
+        self.inodes.get(&ino).map(|a| &**a)
     }
 
     /// Root inode number.
@@ -267,7 +344,7 @@ impl FsState {
         match self.dir_entries_mut(parent).entry(name) {
             Entry::Occupied(e) => {
                 let ino = *e.get();
-                match self.inodes.get_mut(&ino).expect("entry target exists") {
+                match self.inode_mut(ino) {
                     Inode::File { data, .. } => {
                         data.clear();
                         Ok(())
@@ -278,7 +355,8 @@ impl FsState {
             Entry::Vacant(e) => {
                 e.insert(fresh_ino);
                 self.next_ino += 1;
-                self.inodes.insert(fresh_ino, Inode::empty_file());
+                self.inodes_mut()
+                    .insert(fresh_ino, Arc::new(Inode::empty_file()));
                 Ok(())
             }
         }
@@ -294,7 +372,7 @@ impl FsState {
         let ino = self.next_ino;
         self.next_ino += 1;
         self.dir_entries_mut(parent).insert(name, ino);
-        self.inodes.insert(ino, Inode::empty_dir());
+        self.inodes_mut().insert(ino, Arc::new(Inode::empty_dir()));
         Ok(())
     }
 
@@ -316,7 +394,7 @@ impl FsState {
     /// `pwrite`: positional write, zero-filling any hole.
     pub fn pwrite(&mut self, path: &str, offset: u64, buf: &[u8]) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        match self.inodes.get_mut(&ino).expect("resolved") {
+        match self.inode_mut(ino) {
             Inode::File { data, .. } => {
                 let off = offset as usize;
                 let end = off + buf.len();
@@ -333,7 +411,7 @@ impl FsState {
     /// `append`: write at end of file.
     pub fn append(&mut self, path: &str, buf: &[u8]) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        match self.inodes.get_mut(&ino).expect("resolved") {
+        match self.inode_mut(ino) {
             Inode::File { data, .. } => {
                 data.extend_from_slice(buf);
                 Ok(())
@@ -345,7 +423,7 @@ impl FsState {
     /// `truncate`.
     pub fn truncate(&mut self, path: &str, size: u64) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        match self.inodes.get_mut(&ino).expect("resolved") {
+        match self.inode_mut(ino) {
             Inode::File { data, .. } => {
                 data.resize(size as usize, 0);
                 Ok(())
@@ -364,7 +442,7 @@ impl FsState {
         let dst_name = dst_name.to_string();
         if let Some(&existing) = self.dir_entries_mut(dst_parent).get(&dst_name) {
             if existing != src_ino {
-                if let Inode::Dir { entries, .. } = &self.inodes[&existing] {
+                if let Inode::Dir { entries, .. } = &*self.inodes[&existing] {
                     if !entries.is_empty() {
                         return Err(FsError::NotEmpty(dst.to_string()));
                     }
@@ -413,7 +491,7 @@ impl FsState {
     /// `rmdir`: remove an empty directory.
     pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        match &self.inodes[&ino] {
+        match &*self.inodes[&ino] {
             Inode::Dir { entries, .. } => {
                 if !entries.is_empty() {
                     return Err(FsError::NotEmpty(path.to_string()));
@@ -424,16 +502,14 @@ impl FsState {
         let (parent, name) = self.resolve_parent(path)?;
         let name = name.to_string();
         self.dir_entries_mut(parent).remove(&name);
-        self.inodes.remove(&ino);
+        self.inodes_mut().remove(&ino);
         Ok(())
     }
 
     /// `setxattr`.
     pub fn setxattr(&mut self, path: &str, key: &str, value: &[u8]) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        self.inodes
-            .get_mut(&ino)
-            .expect("resolved")
+        self.inode_mut(ino)
             .xattrs_mut()
             .insert(key.to_string(), value.to_vec());
         Ok(())
@@ -442,12 +518,7 @@ impl FsState {
     /// `removexattr`.
     pub fn removexattr(&mut self, path: &str, key: &str) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        let removed = self
-            .inodes
-            .get_mut(&ino)
-            .expect("resolved")
-            .xattrs_mut()
-            .remove(key);
+        let removed = self.inode_mut(ino).xattrs_mut().remove(key);
         if removed.is_none() {
             return Err(FsError::NoAttr(format!("{path}#{key}")));
         }
@@ -458,10 +529,8 @@ impl FsState {
     fn nlink(&self, ino: Ino) -> usize {
         self.inodes
             .values()
-            .filter_map(|i| match i {
-                Inode::Dir { entries, .. } => {
-                    Some(entries.values().filter(|&&e| e == ino).count())
-                }
+            .filter_map(|i| match &**i {
+                Inode::Dir { entries, .. } => Some(entries.values().filter(|&&e| e == ino).count()),
                 Inode::File { .. } => None,
             })
             .sum()
@@ -469,15 +538,20 @@ impl FsState {
 
     fn drop_if_unreferenced(&mut self, ino: Ino) {
         if self.nlink(ino) == 0 {
-            self.inodes.remove(&ino);
+            self.inodes_mut().remove(&ino);
         }
     }
 
     /// A canonical 64-bit digest of the full state. Two states compare
     /// equal iff their digests match (modulo hash collisions); ParaCrash
     /// uses digests to dedup crash states cheaply before falling back to a
-    /// structural comparison.
+    /// structural comparison. Memoized: repeated digests of an unmutated
+    /// state (and of its unmutated forks) are O(1).
     pub fn digest(&self) -> u64 {
+        *self.digest_memo.get_or_init(|| self.compute_digest())
+    }
+
+    fn compute_digest(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         // Hash the *logical* tree (paths + contents), not raw inode
         // numbers: two states reached by different op interleavings must
@@ -485,7 +559,7 @@ impl FsState {
         for path in self.walk() {
             path.hash(&mut h);
             if let Ok(ino) = self.resolve(&path) {
-                match &self.inodes[&ino] {
+                match &*self.inodes[&ino] {
                     Inode::File { data, xattrs } => {
                         0u8.hash(&mut h);
                         data.hash(&mut h);
@@ -513,7 +587,7 @@ impl FsState {
             let (ia, ib) = (self.resolve(path), other.resolve(path));
             match (ia, ib) {
                 (Ok(ia), Ok(ib)) => {
-                    let (na, nb) = (&self.inodes[&ia], &other.inodes[&ib]);
+                    let (na, nb) = (&*self.inodes[&ia], &*other.inodes[&ib]);
                     match (na, nb) {
                         (
                             Inode::File {
@@ -529,10 +603,7 @@ impl FsState {
                                 return false;
                             }
                         }
-                        (
-                            Inode::Dir { xattrs: xa, .. },
-                            Inode::Dir { xattrs: xb, .. },
-                        ) => {
+                        (Inode::Dir { xattrs: xa, .. }, Inode::Dir { xattrs: xb, .. }) => {
                             if xa != xb {
                                 return false;
                             }
@@ -689,7 +760,9 @@ mod tests {
         let mut fs = FsState::new();
         let script = [
             FsOp::Mkdir { path: "/d".into() },
-            FsOp::Creat { path: "/d/f".into() },
+            FsOp::Creat {
+                path: "/d/f".into(),
+            },
             FsOp::Pwrite {
                 path: "/d/f".into(),
                 offset: 0,
@@ -708,7 +781,9 @@ mod tests {
                 key: "user.k".into(),
                 value: b"v".to_vec(),
             },
-            FsOp::Fsync { path: "/d/f".into() },
+            FsOp::Fsync {
+                path: "/d/f".into(),
+            },
             FsOp::Link {
                 src: "/d/f".into(),
                 dst: "/d/g".into(),
@@ -717,7 +792,9 @@ mod tests {
                 src: "/d/g".into(),
                 dst: "/d/h".into(),
             },
-            FsOp::Unlink { path: "/d/h".into() },
+            FsOp::Unlink {
+                path: "/d/h".into(),
+            },
             FsOp::SyncFs,
         ];
         for op in &script {
@@ -748,5 +825,45 @@ mod tests {
         fs.pwrite("/f", 0, b"mutated").unwrap();
         assert_eq!(snap.read("/f").unwrap(), b"");
         assert!(!snap.same_tree(&fs));
+    }
+
+    #[test]
+    fn fork_is_independent_both_ways() {
+        let mut fs = fs_with(&["/f", "/g"]);
+        fs.pwrite("/f", 0, b"base").unwrap();
+        let mut fork = fs.fork();
+        fork.pwrite("/f", 0, b"FORK").unwrap();
+        fs.pwrite("/g", 0, b"ORIG").unwrap();
+        assert_eq!(fs.read("/f").unwrap(), b"base");
+        assert_eq!(fork.read("/f").unwrap(), b"FORK");
+        assert_eq!(fork.read("/g").unwrap(), b"");
+    }
+
+    #[test]
+    fn fork_matches_deep_clone() {
+        let mut fs = fs_with(&["/a/f"]);
+        fs.setxattr("/a/f", "user.k", b"v").unwrap();
+        let fork = fs.fork();
+        let deep = fs.deep_clone();
+        assert_eq!(fork, deep);
+        assert!(fork.same_tree(&deep));
+        assert_eq!(fork.digest(), deep.digest());
+    }
+
+    #[test]
+    fn digest_memo_survives_fork_and_resets_on_mutation() {
+        let mut fs = fs_with(&["/f"]);
+        fs.pwrite("/f", 0, b"x").unwrap();
+        let d0 = fs.digest();
+        let fork = fs.fork();
+        assert_eq!(fork.digest(), d0);
+        fs.pwrite("/f", 0, b"y").unwrap();
+        assert_ne!(fs.digest(), d0);
+        // The fork still sees the original content and digest.
+        assert_eq!(fork.digest(), d0);
+        assert_eq!(fork.read("/f").unwrap(), b"x");
+        // Reverting the mutation restores the original digest.
+        fs.pwrite("/f", 0, b"x").unwrap();
+        assert_eq!(fs.digest(), d0);
     }
 }

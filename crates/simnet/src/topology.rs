@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn paper_defaults_match_table2() {
-        assert_eq!(
-            ClusterTopology::paper_dedicated_default().server_count(),
-            4
-        );
+        assert_eq!(ClusterTopology::paper_dedicated_default().server_count(), 4);
         assert_eq!(ClusterTopology::paper_combined_default().server_count(), 2);
     }
 

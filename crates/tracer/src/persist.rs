@@ -48,9 +48,7 @@ fn dec(s: &str) -> Result<String, ParseError> {
             let hex = s
                 .get(i + 1..i + 3)
                 .ok_or_else(|| ParseError::new("truncated escape"))?;
-            out.push(
-                u8::from_str_radix(hex, 16).map_err(|_| ParseError::new("bad escape"))?,
-            );
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| ParseError::new("bad escape"))?);
             i += 3;
         } else {
             out.push(bytes[i]);
@@ -110,7 +108,11 @@ impl ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error (line {}): {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error (line {}): {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -194,11 +196,15 @@ fn parse_fs_op(fields: &[&str]) -> Result<FsOp, ParseError> {
     Ok(match fields[0] {
         "creat" => {
             need(1)?;
-            FsOp::Creat { path: dec(fields[1])? }
+            FsOp::Creat {
+                path: dec(fields[1])?,
+            }
         }
         "mkdir" => {
             need(1)?;
-            FsOp::Mkdir { path: dec(fields[1])? }
+            FsOp::Mkdir {
+                path: dec(fields[1])?,
+            }
         }
         "pwrite" => {
             need(3)?;
@@ -240,11 +246,15 @@ fn parse_fs_op(fields: &[&str]) -> Result<FsOp, ParseError> {
         }
         "unlink" => {
             need(1)?;
-            FsOp::Unlink { path: dec(fields[1])? }
+            FsOp::Unlink {
+                path: dec(fields[1])?,
+            }
         }
         "rmdir" => {
             need(1)?;
-            FsOp::Rmdir { path: dec(fields[1])? }
+            FsOp::Rmdir {
+                path: dec(fields[1])?,
+            }
         }
         "setxattr" => {
             need(3)?;
@@ -263,11 +273,15 @@ fn parse_fs_op(fields: &[&str]) -> Result<FsOp, ParseError> {
         }
         "fsync" => {
             need(1)?;
-            FsOp::Fsync { path: dec(fields[1])? }
+            FsOp::Fsync {
+                path: dec(fields[1])?,
+            }
         }
         "fdatasync" => {
             need(1)?;
-            FsOp::Fdatasync { path: dec(fields[1])? }
+            FsOp::Fdatasync {
+                path: dec(fields[1])?,
+            }
         }
         "syncfs" => FsOp::SyncFs,
         other => return Err(ParseError::new(format!("unknown fs op {other}"))),
@@ -415,7 +429,9 @@ fn parse_payload(fields: &[&str]) -> Result<Payload, ParseError> {
         }
         "sync" => {
             need(1)?;
-            Payload::Sync { name: dec(fields[1])? }
+            Payload::Sync {
+                name: dec(fields[1])?,
+            }
         }
         other => return Err(ParseError::new(format!("unknown payload {other}"))),
     })
@@ -541,9 +557,7 @@ pub fn load(text: &str) -> Result<Recorder, ParseError> {
                     .map_err(|_| ParseError::new("bad edge").at(lineno + 1))?;
                 edges.push((from, to));
             }
-            other => {
-                return Err(ParseError::new(format!("unknown record {other}")).at(lineno + 1))
-            }
+            other => return Err(ParseError::new(format!("unknown record {other}")).at(lineno + 1)),
         }
     }
     let mut rec = Recorder::new();
@@ -667,7 +681,10 @@ mod tests {
         assert_eq!(err.line, 1);
         let err = load("E 0 localfs s0 - - fs 0 creat /x\nQ what").unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(load("E 1 localfs s0 - - fs 0 creat /x").is_err(), "gap in ids");
+        assert!(
+            load("E 1 localfs s0 - - fs 0 creat /x").is_err(),
+            "gap in ids"
+        );
     }
 
     #[test]

@@ -216,10 +216,7 @@ mod tests {
             .map(|b| b.no)
             .collect();
         assert_eq!(iolib, vec![9, 11, 12, 14]);
-        assert_eq!(
-            bugs.iter().filter(|b| b.layer == BugLayer::Pfs).count(),
-            8
-        );
+        assert_eq!(bugs.iter().filter(|b| b.layer == BugLayer::Pfs).count(), 8);
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let p = Params::quick().with_dims(48).with_clients(4).with_servers(4, 4);
+        let p = Params::quick()
+            .with_dims(48)
+            .with_clients(4)
+            .with_servers(4, 4);
         assert_eq!(p.dims, 48);
         assert_eq!(p.ranks(), vec![0, 1, 2, 3]);
         assert_eq!((p.meta, p.storage), (4, 4));

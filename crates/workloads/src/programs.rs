@@ -5,7 +5,7 @@ use crate::params::Params;
 use h5sim::{H5File, H5Spec, NcFile};
 use mpiio::MpiIo;
 use paracrash::Stack;
-use pfs::{Placement, PfsCall};
+use pfs::{PfsCall, Placement};
 
 /// One test program from §6.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -84,7 +84,10 @@ impl Program {
 
     /// `true` for programs going through the I/O library layer.
     pub fn uses_iolib(&self) -> bool {
-        !matches!(self, Program::Arvr | Program::Cr | Program::Rc | Program::Wal)
+        !matches!(
+            self,
+            Program::Arvr | Program::Cr | Program::Rc | Program::Wal
+        )
     }
 
     /// Placement variants to test (the paper's "different distribution
@@ -131,7 +134,12 @@ fn run_arvr(fs: FsKind, params: &Params) -> Stack {
     let mut stack = Stack::new(fs.build(params));
     let old: Vec<u8> = b"old-version-of-the-checkpoint".to_vec();
     let new: Vec<u8> = b"NEW-VERSION-OF-THE-CHECKPOINT!!!".to_vec();
-    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/file".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -140,9 +148,19 @@ fn run_arvr(fs: FsKind, params: &Params) -> Stack {
             data: old,
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/file".into(),
+        },
+    );
     stack.seal_preamble();
-    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -151,7 +169,12 @@ fn run_arvr(fs: FsKind, params: &Params) -> Stack {
             data: new,
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Rename {
@@ -167,7 +190,12 @@ fn run_cr(fs: FsKind, params: &Params) -> Stack {
     stack.posix(0, PfsCall::Mkdir { path: "/A".into() });
     stack.posix(0, PfsCall::Mkdir { path: "/B".into() });
     stack.seal_preamble();
-    stack.posix(0, PfsCall::Creat { path: "/A/foo".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/A/foo".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Rename {
@@ -189,7 +217,12 @@ fn run_rc(fs: FsKind, params: &Params) -> Stack {
             dst: "/B".into(),
         },
     );
-    stack.posix(0, PfsCall::Creat { path: "/B/foo".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/B/foo".into(),
+        },
+    );
     stack
 }
 
@@ -197,7 +230,12 @@ fn run_wal(fs: FsKind, params: &Params) -> Stack {
     let mut stack = Stack::new(fs.build(params));
     let page = params.wal_page_size() as usize;
     let pages = params.wal_pages as usize;
-    stack.posix(0, PfsCall::Creat { path: "/foo".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/foo".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -206,10 +244,20 @@ fn run_wal(fs: FsKind, params: &Params) -> Stack {
             data: vec![b'o'; page * pages],
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/foo".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/foo".into(),
+        },
+    );
     stack.seal_preamble();
     // Write the log describing the modification…
-    stack.posix(0, PfsCall::Creat { path: "/log".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/log".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -218,7 +266,12 @@ fn run_wal(fs: FsKind, params: &Params) -> Stack {
             data: b"REDO foo pages".to_vec(),
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/log".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/log".into(),
+        },
+    );
     // …overwrite the pages…
     for p in 0..pages {
         stack.posix(
@@ -231,7 +284,12 @@ fn run_wal(fs: FsKind, params: &Params) -> Stack {
         );
     }
     // …and retire the log.
-    stack.posix(0, PfsCall::Unlink { path: "/log".into() });
+    stack.posix(
+        0,
+        PfsCall::Unlink {
+            path: "/log".into(),
+        },
+    );
     stack
 }
 
@@ -242,7 +300,10 @@ fn run_h5(program: Program, fs: FsKind, params: &Params) -> Stack {
     let mut stack = Stack::new(fs.build(params));
     stack.h5_path = Some("/file.h5".into());
     stack.h5_ranks = params.ranks();
-    stack.h5_spec = H5Spec { elem: 8, seg: params.h5_seg };
+    stack.h5_spec = H5Spec {
+        elem: 8,
+        seg: params.h5_seg,
+    };
     let ranks = params.ranks();
     let dims = params.dims;
 
@@ -253,7 +314,15 @@ fn run_h5(program: Program, fs: FsKind, params: &Params) -> Stack {
         f.create_group(&mut mpi, &mut stack.h5, ranks[0], "g1");
         f.create_group(&mut mpi, &mut stack.h5, ranks[0], "g2");
         for i in 1..=params.datasets_per_group {
-            f.create_dataset(&mut mpi, &mut stack.h5, ranks[0], "g1", &format!("d{i}"), dims, dims);
+            f.create_dataset(
+                &mut mpi,
+                &mut stack.h5,
+                ranks[0],
+                "g1",
+                &format!("d{i}"),
+                dims,
+                dims,
+            );
         }
         f.close(&mut mpi, &mut stack.h5, &ranks);
         f
@@ -268,7 +337,15 @@ fn run_h5(program: Program, fs: FsKind, params: &Params) -> Stack {
         let new_name = format!("d{}", params.datasets_per_group + 1);
         match program {
             Program::H5Create => {
-                file.create_dataset(&mut mpi, &mut stack.h5, ranks[0], "g1", &new_name, dims, dims);
+                file.create_dataset(
+                    &mut mpi,
+                    &mut stack.h5,
+                    ranks[0],
+                    "g1",
+                    &new_name,
+                    dims,
+                    dims,
+                );
             }
             Program::H5Delete => {
                 let victim = format!("d{}", params.datasets_per_group);
@@ -276,7 +353,15 @@ fn run_h5(program: Program, fs: FsKind, params: &Params) -> Stack {
             }
             Program::H5Rename => {
                 let victim = format!("d{}", params.datasets_per_group);
-                file.rename_dataset(&mut mpi, &mut stack.h5, ranks[0], "g1", &victim, "g2", &victim);
+                file.rename_dataset(
+                    &mut mpi,
+                    &mut stack.h5,
+                    ranks[0],
+                    "g1",
+                    &victim,
+                    "g2",
+                    &victim,
+                );
             }
             Program::H5Resize => {
                 // Resize the last dataset: its chunk B-tree sits beyond
@@ -285,17 +370,37 @@ fn run_h5(program: Program, fs: FsKind, params: &Params) -> Stack {
                 // Table 3 bug 13 — the first dataset's B-tree shares the
                 // superblock's stripe and is journal-ordered with it).
                 let target = format!("d{}", params.datasets_per_group);
-                file.resize_dataset(&mut mpi, &mut stack.h5, ranks[0], "g1", &target, dims * 2, dims * 2);
+                file.resize_dataset(
+                    &mut mpi,
+                    &mut stack.h5,
+                    ranks[0],
+                    "g1",
+                    &target,
+                    dims * 2,
+                    dims * 2,
+                );
             }
             Program::H5ParallelCreate => {
                 file.create_dataset_parallel(
-                    &mut mpi, &mut stack.h5, &ranks, "g1", &new_name, dims, dims,
+                    &mut mpi,
+                    &mut stack.h5,
+                    &ranks,
+                    "g1",
+                    &new_name,
+                    dims,
+                    dims,
                 );
             }
             Program::H5ParallelResize => {
                 let target = format!("d{}", params.datasets_per_group);
                 file.resize_dataset_parallel(
-                    &mut mpi, &mut stack.h5, &ranks, "g1", &target, dims * 2, dims * 2,
+                    &mut mpi,
+                    &mut stack.h5,
+                    &ranks,
+                    "g1",
+                    &target,
+                    dims * 2,
+                    dims * 2,
                 );
             }
             _ => unreachable!("run_h5 only handles HDF5 programs"),

@@ -18,7 +18,12 @@ use workloads::{FsKind, Params};
 fn run_checkpoint(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::CheckOutcome {
     let mut stack = Stack::new(fs.build(params));
     // Preamble: an existing checkpoint.
-    stack.posix(0, PfsCall::Creat { path: "/ckpt".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/ckpt".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -27,10 +32,20 @@ fn run_checkpoint(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::C
             data: b"checkpoint-generation-1".to_vec(),
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/ckpt".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/ckpt".into(),
+        },
+    );
     stack.seal_preamble();
     // Test: write the next generation and atomically replace.
-    stack.posix(0, PfsCall::Creat { path: "/ckpt.tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/ckpt.tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -40,9 +55,19 @@ fn run_checkpoint(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::C
         },
     );
     if with_fsync {
-        stack.posix(0, PfsCall::Fsync { path: "/ckpt.tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Fsync {
+                path: "/ckpt.tmp".into(),
+            },
+        );
     }
-    stack.posix(0, PfsCall::Close { path: "/ckpt.tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/ckpt.tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Rename {
@@ -70,14 +95,15 @@ fn main() {
             synced.bugs.len()
         );
         for bug in &plain.bugs {
-            let fixed = !synced
-                .bugs
-                .iter()
-                .any(|b| b.signature == bug.signature);
+            let fixed = !synced.bugs.iter().any(|b| b.signature == bug.signature);
             println!(
                 "             - {} {}",
                 bug.signature,
-                if fixed { "(fixed by fsync)" } else { "(NOT fixed by fsync)" }
+                if fixed {
+                    "(fixed by fsync)"
+                } else {
+                    "(NOT fixed by fsync)"
+                }
             );
         }
     }

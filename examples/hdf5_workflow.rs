@@ -20,7 +20,10 @@ fn main() {
     let stack = Program::H5Create.run(fs, &params);
     let view = stack.pfs.client_view(stack.pfs.baseline());
     let bytes = view.read("/file.h5").expect("baseline file");
-    println!("h5inspect of the initial file (stripe = {} B):", params.stripe);
+    println!(
+        "h5inspect of the initial file (stripe = {} B):",
+        params.stripe
+    );
     for obj in h5sim::h5inspect(bytes).expect("valid file") {
         let server = obj.addr / params.stripe % u64::from(params.meta + params.storage);
         println!(

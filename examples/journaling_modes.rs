@@ -26,7 +26,12 @@ fn run(mode: JournalMode) -> paracrash::CheckOutcome {
         ))
     };
     let mut stack = Stack::new(make());
-    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/file".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -35,9 +40,19 @@ fn run(mode: JournalMode) -> paracrash::CheckOutcome {
             data: b"old-contents".to_vec(),
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/file".into(),
+        },
+    );
     stack.seal_preamble();
-    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -46,7 +61,12 @@ fn run(mode: JournalMode) -> paracrash::CheckOutcome {
             data: b"new-contents".to_vec(),
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Rename {

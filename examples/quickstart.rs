@@ -48,7 +48,10 @@ fn main() {
             LayerVerdict::IoLibBug => "I/O library",
         };
         println!("[{layer}] {}", bug.signature);
-        println!("   violates {} crash consistency", bug.violated_model.as_str());
+        println!(
+            "   violates {} crash consistency",
+            bug.violated_model.as_str()
+        );
         println!("   witness operations:");
         for w in &bug.witness {
             println!("     - {w}");

@@ -43,7 +43,11 @@ fn main() {
         stack.rec.lowermost_events().len()
     );
     for layer in [Layer::IoLib, Layer::MpiIo, Layer::PfsClient, Layer::LocalFs] {
-        println!("  {:>12} layer events: {}", layer.to_string(), stack.rec.layer_events(layer).len());
+        println!(
+            "  {:>12} layer events: {}",
+            layer.to_string(),
+            stack.rec.layer_events(layer).len()
+        );
     }
 
     // How many of the lowermost operation pairs are concurrent — i.e.

@@ -9,6 +9,11 @@
 #   2. Tier-1 — `cargo build --release` and `cargo test -q`, both fully
 #      offline (CARGO_NET_OFFLINE=true + --offline), so a cold, empty
 #      ~/.cargo/registry is sufficient.
+#   3. Hygiene — `cargo fmt --check` and a warning-free build
+#      (RUSTFLAGS="-D warnings").
+#   4. Engine equivalence — the COW replay engine and the
+#      `PC_NAIVE_SNAPSHOTS=1` oracle must report identically, checked
+#      once sequentially (PC_THREADS=1) and once with the thread pool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,4 +49,13 @@ echo "== gate 2: tier-1 build + tests, offline =="
 export CARGO_NET_OFFLINE=true
 cargo build --release --offline
 cargo test -q --offline
+
+echo "== gate 3: formatting + warning-free build =="
+cargo fmt --check
+RUSTFLAGS="-D warnings" cargo build --offline --workspace
+
+echo "== gate 4: snapshot-engine equivalence, sequential and parallel =="
+PC_THREADS=1 cargo test -q --offline --test snapshot_equivalence
+cargo test -q --offline --test snapshot_equivalence
+
 echo "verify: OK"

@@ -8,7 +8,12 @@ use workloads::{FsKind, Params};
 
 fn arvr(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::CheckOutcome {
     let mut stack = Stack::new(fs.build(params));
-    stack.posix(0, PfsCall::Creat { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/file".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -17,9 +22,19 @@ fn arvr(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::CheckOutcom
             data: b"old".to_vec(),
         },
     );
-    stack.posix(0, PfsCall::Close { path: "/file".into() });
+    stack.posix(
+        0,
+        PfsCall::Close {
+            path: "/file".into(),
+        },
+    );
     stack.seal_preamble();
-    stack.posix(0, PfsCall::Creat { path: "/tmp".into() });
+    stack.posix(
+        0,
+        PfsCall::Creat {
+            path: "/tmp".into(),
+        },
+    );
     stack.posix(
         0,
         PfsCall::Pwrite {
@@ -29,7 +44,12 @@ fn arvr(fs: FsKind, params: &Params, with_fsync: bool) -> paracrash::CheckOutcom
         },
     );
     if with_fsync {
-        stack.posix(0, PfsCall::Fsync { path: "/tmp".into() });
+        stack.posix(
+            0,
+            PfsCall::Fsync {
+                path: "/tmp".into(),
+            },
+        );
     }
     stack.posix(
         0,
@@ -48,7 +68,9 @@ fn fsync_removes_bug1_but_not_bug2_on_beegfs() {
     let plain = arvr(FsKind::BeeGfs, &params, false);
     let synced = arvr(FsKind::BeeGfs, &params, true);
     let sig = |o: &paracrash::CheckOutcome, needle: &str| {
-        o.bugs.iter().any(|b| b.signature.to_string().contains(needle))
+        o.bugs
+            .iter()
+            .any(|b| b.signature.to_string().contains(needle))
     };
     // Bug 1 (data vs rename) present only without the fsync.
     assert!(sig(&plain, "append(file chunk)@storage ->"));
@@ -70,7 +92,11 @@ fn fsync_makes_orangefs_arvr_clean() {
     assert!(
         synced.bugs.is_empty(),
         "fsync should clean OrangeFS ARVR: {:?}",
-        synced.bugs.iter().map(|b| b.signature.to_string()).collect::<Vec<_>>()
+        synced
+            .bugs
+            .iter()
+            .map(|b| b.signature.to_string())
+            .collect::<Vec<_>>()
     );
 }
 

@@ -12,7 +12,10 @@ fn h5_delete_blames_the_library_even_on_safe_lustre() {
     // HDF5 — the "deep consistency bug" a single-layer tool would
     // misattribute.
     let outcome = check_quick(Program::H5Delete, FsKind::Lustre);
-    assert!(outcome.bugs.iter().any(|b| b.layer == LayerVerdict::IoLibBug));
+    assert!(outcome
+        .bugs
+        .iter()
+        .any(|b| b.layer == LayerVerdict::IoLibBug));
     assert!(outcome.h5_bad_pfs_ok_states > 0);
 }
 
@@ -26,10 +29,7 @@ fn h5_create_blames_the_pfs_underneath() {
 fn posix_bugs_are_always_pfs_bugs() {
     for program in Program::posix() {
         let outcome = check_quick(program, FsKind::BeeGfs);
-        assert!(outcome
-            .bugs
-            .iter()
-            .all(|b| b.layer == LayerVerdict::PfsBug));
+        assert!(outcome.bugs.iter().all(|b| b.layer == LayerVerdict::PfsBug));
     }
 }
 
@@ -42,7 +42,10 @@ fn violated_model_distinguishes_baseline_from_causal() {
     };
     let outcome = check_with(Program::H5Delete, FsKind::BeeGfs, &Params::quick(), &cfg);
     assert!(
-        outcome.bugs.iter().any(|b| b.violated_model == Model::Baseline),
+        outcome
+            .bugs
+            .iter()
+            .any(|b| b.violated_model == Model::Baseline),
         "delete must violate even baseline consistency"
     );
 
@@ -78,8 +81,16 @@ fn weaker_pfs_model_reclassifies_bugs_toward_the_library() {
             ..CheckConfig::paper_default()
         },
     );
-    let causal_iolib = causal.bugs.iter().filter(|b| b.layer == LayerVerdict::IoLibBug).count();
-    let weaker_iolib = weaker.bugs.iter().filter(|b| b.layer == LayerVerdict::IoLibBug).count();
+    let causal_iolib = causal
+        .bugs
+        .iter()
+        .filter(|b| b.layer == LayerVerdict::IoLibBug)
+        .count();
+    let weaker_iolib = weaker
+        .bugs
+        .iter()
+        .filter(|b| b.layer == LayerVerdict::IoLibBug)
+        .count();
     assert!(
         weaker_iolib >= causal_iolib,
         "a weaker PFS contract shifts blame to the library ({causal_iolib} -> {weaker_iolib})"

@@ -16,8 +16,14 @@ const EXPECTED: &[(Program, [bool; 6])] = &[
     (Program::H5Delete, [true, true, true, true, true, true]),
     (Program::H5Rename, [true, true, true, true, true, true]),
     (Program::H5Resize, [true, true, true, true, true, true]),
-    (Program::H5ParallelCreate, [true, true, true, true, true, true]),
-    (Program::H5ParallelResize, [true, true, true, true, true, true]),
+    (
+        Program::H5ParallelCreate,
+        [true, true, true, true, true, true],
+    ),
+    (
+        Program::H5ParallelResize,
+        [true, true, true, true, true, true],
+    ),
 ];
 
 #[test]

@@ -4,10 +4,10 @@
 //! (Hosted on the vendored `pc-rt` property harness.)
 
 use h5sim::{check, h5clear, h5inspect, h5replay_with, ClearOpts, H5Call, H5Spec};
+use pc_rt::prop_assert;
+use pc_rt::prop_assert_eq;
 use pc_rt::proptest::{gen_vec, run, Config};
 use pc_rt::rng::Rng;
-use pc_rt::prop_assert_eq;
-use pc_rt::prop_assert;
 use workloads::FsKind;
 use workloads::Params;
 
@@ -157,7 +157,12 @@ fn random_sequences_produce_valid_files() {
                     H5Call::DeleteDataset { group, name } => {
                         live.remove(&format!("{group}/{name}"));
                     }
-                    H5Call::RenameDataset { src_group, src_name, dst_group, dst_name } => {
+                    H5Call::RenameDataset {
+                        src_group,
+                        src_name,
+                        dst_group,
+                        dst_name,
+                    } => {
                         live.remove(&format!("{src_group}/{src_name}"));
                         live.insert(format!("{dst_group}/{dst_name}"));
                     }

@@ -43,13 +43,15 @@ fn optimizations_do_not_lose_bugs() {
         let (pruned, pruned_checked, _) = sigs(program, fs, ExploreMode::Pruning);
         let (optim, optim_checked, optim_time) = sigs(program, fs, ExploreMode::Optimized);
         assert_eq!(
-            brute, pruned,
+            brute,
+            pruned,
             "pruning changed the bugs for {} on {}",
             program.name(),
             fs.name()
         );
         assert_eq!(
-            brute, optim,
+            brute,
+            optim,
             "optimized exploration changed the bugs for {} on {}",
             program.name(),
             fs.name()

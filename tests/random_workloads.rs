@@ -43,7 +43,9 @@ fn lower(ops: &[GenOp]) -> Vec<PfsCall> {
                 let f = (*f % 4) as usize;
                 if !exists[f] {
                     exists[f] = true;
-                    out.push(PfsCall::Creat { path: file_name(f as u8) });
+                    out.push(PfsCall::Creat {
+                        path: file_name(f as u8),
+                    });
                 }
             }
             GenOp::Write(f, len) => {
@@ -71,19 +73,25 @@ fn lower(ops: &[GenOp]) -> Vec<PfsCall> {
                 let f = (*f % 4) as usize;
                 if exists[f] {
                     exists[f] = false;
-                    out.push(PfsCall::Unlink { path: file_name(f as u8) });
+                    out.push(PfsCall::Unlink {
+                        path: file_name(f as u8),
+                    });
                 }
             }
             GenOp::Fsync(f) => {
                 let f = (*f % 4) as usize;
                 if exists[f] {
-                    out.push(PfsCall::Fsync { path: file_name(f as u8) });
+                    out.push(PfsCall::Fsync {
+                        path: file_name(f as u8),
+                    });
                 }
             }
             GenOp::Close(f) => {
                 let f = (*f % 4) as usize;
                 if exists[f] {
-                    out.push(PfsCall::Close { path: file_name(f as u8) });
+                    out.push(PfsCall::Close {
+                        path: file_name(f as u8),
+                    });
                 }
             }
         }

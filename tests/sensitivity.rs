@@ -50,12 +50,7 @@ fn bug9_needs_multiple_clients() {
 #[test]
 fn bug14_needs_the_btree_split_dimension() {
     // Small resize: no node split, no child/parent hazard.
-    let small = check_with(
-        Program::H5Resize,
-        FsKind::BeeGfs,
-        &Params::quick(),
-        &cfg(),
-    );
+    let small = check_with(Program::H5Resize, FsKind::BeeGfs, &Params::quick(), &cfg());
     assert!(
         !signatures(&small)
             .iter()
@@ -86,12 +81,7 @@ fn bug13_sensitivity_to_h5clear_options() {
     // With --increase-eof, h5clear repairs the addr-overflow states the
     // superblock reordering leaves behind, so fewer states stay
     // inconsistent (Table 3: sensitivity "h5clear options").
-    let default_opts = check_with(
-        Program::H5Resize,
-        FsKind::BeeGfs,
-        &Params::quick(),
-        &cfg(),
-    );
+    let default_opts = check_with(Program::H5Resize, FsKind::BeeGfs, &Params::quick(), &cfg());
     let with_repair = check_with(
         Program::H5Resize,
         FsKind::BeeGfs,
@@ -117,7 +107,10 @@ fn rc_on_beegfs_needs_split_directories() {
     // metadata server the rename and the create are journal-ordered.
     let colocated = {
         let placement = pfs::Placement::new().pin_dir("/", 0).pin_dir("/A", 0);
-        let stack = Program::Rc.run(FsKind::BeeGfs, &Params::quick().with_placement(placement.clone()));
+        let stack = Program::Rc.run(
+            FsKind::BeeGfs,
+            &Params::quick().with_placement(placement.clone()),
+        );
         let factory = FsKind::BeeGfs.factory(&Params::quick().with_placement(placement));
         paracrash::check_stack(&stack, &factory, &cfg())
     };
@@ -132,7 +125,10 @@ fn rc_on_beegfs_needs_split_directories() {
     );
     let split = {
         let placement = pfs::Placement::new().pin_dir("/", 0).pin_dir("/A", 1);
-        let stack = Program::Rc.run(FsKind::BeeGfs, &Params::quick().with_placement(placement.clone()));
+        let stack = Program::Rc.run(
+            FsKind::BeeGfs,
+            &Params::quick().with_placement(placement.clone()),
+        );
         let factory = FsKind::BeeGfs.factory(&Params::quick().with_placement(placement));
         paracrash::check_stack(&stack, &factory, &cfg())
     };
@@ -175,7 +171,12 @@ fn writeback_journaling_is_strictly_worse() {
             ))
         };
         let mut stack = paracrash::Stack::new(make());
-        stack.posix(0, pfs::PfsCall::Creat { path: "/file".into() });
+        stack.posix(
+            0,
+            pfs::PfsCall::Creat {
+                path: "/file".into(),
+            },
+        );
         stack.posix(
             0,
             pfs::PfsCall::Pwrite {
@@ -185,7 +186,12 @@ fn writeback_journaling_is_strictly_worse() {
             },
         );
         stack.seal_preamble();
-        stack.posix(0, pfs::PfsCall::Creat { path: "/tmp".into() });
+        stack.posix(
+            0,
+            pfs::PfsCall::Creat {
+                path: "/tmp".into(),
+            },
+        );
         stack.posix(
             0,
             pfs::PfsCall::Pwrite {

@@ -1,0 +1,142 @@
+//! The COW prefix-sharing replay engine and the clone-everything oracle
+//! (`PC_NAIVE_SNAPSHOTS=1`) must be observationally identical: same bug
+//! reports, same state counts, same simulated cost model. The engines
+//! differ only in *how* crash states are materialized — the COW engine
+//! forks shared prefixes, the oracle deep-clones and replays from
+//! scratch — never in *what* they materialize.
+//!
+//! `scripts/verify.sh` runs this suite once with `PC_THREADS=1` and once
+//! parallel, so the guarantee is also checked against the thread pool.
+
+use paracrash::{CheckConfig, CheckOutcome, ExploreMode};
+use paracrash_suite::check_with;
+use pc_rt::proptest::{gen_vec, run, Config};
+use pc_rt::rng::Rng;
+use pc_rt::{prop_assert, prop_assert_eq};
+use simfs::{FsOp, FsState};
+use workloads::{FsKind, Params, Program};
+
+/// Everything an engine is allowed to influence, rendered for comparison.
+/// `wall_seconds` is deliberately excluded — it is the one field that
+/// *should* differ between the engines.
+fn observable(outcome: &CheckOutcome) -> String {
+    let mut bugs: Vec<String> = outcome.bugs.iter().map(|b| format!("{b:?}")).collect();
+    bugs.sort();
+    format!(
+        "pfs={} bugs={:?} raw={} h5_bad_pfs_ok={} total={} checked={} pruned={} \
+         rebuilds={} sim={} replays={}",
+        outcome.pfs_name,
+        bugs,
+        outcome.raw_inconsistent_states,
+        outcome.h5_bad_pfs_ok_states,
+        outcome.stats.states_total,
+        outcome.stats.states_checked,
+        outcome.stats.states_pruned,
+        outcome.stats.server_rebuilds,
+        outcome.stats.sim_seconds,
+        outcome.stats.legal_replays,
+    )
+}
+
+/// Representative workloads, one per PFS model plus the ext4 control,
+/// under both engines. A single `#[test]` because `PC_NAIVE_SNAPSHOTS`
+/// is process-global and the harness runs tests on threads.
+#[test]
+fn engines_report_identical_outcomes() {
+    let cells: [(Program, FsKind, ExploreMode); 7] = [
+        (Program::Arvr, FsKind::BeeGfs, ExploreMode::BruteForce),
+        (Program::Arvr, FsKind::BeeGfs, ExploreMode::Optimized),
+        (Program::Arvr, FsKind::OrangeFs, ExploreMode::Optimized),
+        (Program::Wal, FsKind::GlusterFs, ExploreMode::Optimized),
+        (Program::Cr, FsKind::Gpfs, ExploreMode::Optimized),
+        (Program::CdfCreate, FsKind::Lustre, ExploreMode::Optimized),
+        (Program::Arvr, FsKind::Ext4, ExploreMode::BruteForce),
+    ];
+    let params = Params::quick();
+    for (program, fs, mode) in cells {
+        let cfg = CheckConfig {
+            mode,
+            ..CheckConfig::paper_default()
+        };
+        std::env::remove_var("PC_NAIVE_SNAPSHOTS");
+        let cow = check_with(program, fs, &params, &cfg);
+        std::env::set_var("PC_NAIVE_SNAPSHOTS", "1");
+        let naive = check_with(program, fs, &params, &cfg);
+        std::env::remove_var("PC_NAIVE_SNAPSHOTS");
+        assert_eq!(
+            observable(&cow),
+            observable(&naive),
+            "engines diverged for {} on {} ({})",
+            program.name(),
+            fs.name(),
+            mode.as_str()
+        );
+        assert!(cow.stats.states_total > 0);
+    }
+}
+
+/// Random op sequence over a small path universe; lenient application
+/// skips ops whose prerequisites are missing, mirroring crash replay.
+fn arb_ops(rng: &mut Rng, size: usize) -> (Vec<FsOp>, Vec<FsOp>) {
+    let gen_seq = |r: &mut Rng| {
+        gen_vec(r, size.min(12), |r| {
+            let f = format!("/f{}", r.next_u32() % 4);
+            let g = format!("/d/f{}", r.next_u32() % 3);
+            match r.next_u32() % 10 {
+                0 => FsOp::Creat { path: f },
+                1 => FsOp::Mkdir { path: "/d".into() },
+                2 => FsOp::Creat { path: g },
+                3 => FsOp::Pwrite {
+                    path: f,
+                    offset: u64::from(r.next_u32() % 8),
+                    data: vec![r.next_u32() as u8; 1 + (r.next_u32() % 4) as usize],
+                },
+                4 => FsOp::Append {
+                    path: f,
+                    data: vec![r.next_u32() as u8],
+                },
+                5 => FsOp::Truncate {
+                    path: f,
+                    size: u64::from(r.next_u32() % 6),
+                },
+                6 => FsOp::Rename { src: f, dst: g },
+                7 => FsOp::Link { src: f, dst: g },
+                8 => FsOp::SetXattr {
+                    path: f,
+                    key: "user.k".into(),
+                    value: vec![r.next_u32() as u8],
+                },
+                _ => FsOp::Unlink { path: f },
+            }
+        })
+    };
+    (gen_seq(rng), gen_seq(rng))
+}
+
+/// COW fork + mutate + hash must equal naive deep-clone + mutate + hash
+/// for arbitrary `FsOp` sequences, and the shared parent must be
+/// unaffected by the fork's mutations.
+#[test]
+fn cow_fork_equals_naive_clone_under_random_ops() {
+    run(
+        "cow_fork_equals_naive_clone_under_random_ops",
+        &Config::with_cases(128),
+        arb_ops,
+        |(base_ops, suffix)| {
+            let mut base = FsState::new();
+            base.apply_lenient(base_ops.iter());
+            let base_digest = base.digest();
+            let mut fork = base.fork();
+            let mut deep = base.deep_clone();
+            prop_assert_eq!(&fork, &deep);
+            let fork_failures = fork.apply_lenient(suffix.iter()).len();
+            let deep_failures = deep.apply_lenient(suffix.iter()).len();
+            prop_assert_eq!(fork_failures, deep_failures);
+            prop_assert_eq!(&fork, &deep);
+            prop_assert_eq!(fork.digest(), deep.digest());
+            prop_assert!(fork.same_tree(&deep));
+            prop_assert_eq!(base.digest(), base_digest);
+            Ok(())
+        },
+    );
+}

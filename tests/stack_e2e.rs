@@ -34,7 +34,12 @@ fn full_crash_state_equals_live_state() {
     // Applying every recorded lowermost op onto the baseline snapshot
     // must reproduce the live server state — materialization is lossless.
     let params = Params::quick();
-    for program in [Program::Arvr, Program::Wal, Program::H5Create, Program::CdfCreate] {
+    for program in [
+        Program::Arvr,
+        Program::Wal,
+        Program::H5Create,
+        Program::CdfCreate,
+    ] {
         for fs in FsKind::all() {
             let stack = program.run(fs, &params);
             let mut states = stack.pfs.baseline().clone();

@@ -34,7 +34,9 @@ fn bug1_arvr_on_orangefs_but_not_bug2() {
     // Bug 2 is suppressed by the per-update fdatasync: no signature may
     // pair metadata-before-storage-cleanup.
     assert!(
-        !sigs.iter().any(|s| s.contains("-> unlink(bstream)") || s.contains("-> rename(bstream)")),
+        !sigs
+            .iter()
+            .any(|s| s.contains("-> unlink(bstream)") || s.contains("-> rename(bstream)")),
         "bug 2 must be suppressed on OrangeFS: {sigs:?}"
     );
 }
@@ -66,7 +68,12 @@ fn bug5_rc_on_beegfs_and_gpfs_but_not_others() {
         let outcome = check_quick(Program::Rc, fs);
         assert!(!outcome.bugs.is_empty(), "RC bug missing on {}", fs.name());
     }
-    for fs in [FsKind::GlusterFs, FsKind::OrangeFs, FsKind::Lustre, FsKind::Ext4] {
+    for fs in [
+        FsKind::GlusterFs,
+        FsKind::OrangeFs,
+        FsKind::Lustre,
+        FsKind::Ext4,
+    ] {
         let outcome = check_quick(Program::Rc, fs);
         assert!(
             outcome.bugs.is_empty(),
@@ -89,7 +96,8 @@ fn bugs_6_7_8_wal_on_beegfs() {
     );
     // bug 7: log creation metadata vs foo overwrite.
     assert!(
-        sigs.iter().any(|s| s.starts_with("link(idfile)@metadata ->")),
+        sigs.iter()
+            .any(|s| s.starts_with("link(idfile)@metadata ->")),
         "bug 7 missing: {sigs:?}"
     );
     // bug 8: foo overwrite vs log dentry removal.
@@ -135,7 +143,8 @@ fn bug10_h5_create_is_pfs_rooted_everywhere() {
             fs.name()
         );
         assert_eq!(
-            outcome.h5_bad_pfs_ok_states, 0,
+            outcome.h5_bad_pfs_ok_states,
+            0,
             "H5-create inconsistencies coincide with PFS violations on {}",
             fs.name()
         );

@@ -13,9 +13,8 @@ fn every_program_trace_roundtrips() {
         for fs in [FsKind::BeeGfs, FsKind::Gpfs] {
             let stack = program.run(fs, &params);
             let text = save_trace(&stack.rec);
-            let back = load_trace(&text).unwrap_or_else(|e| {
-                panic!("{} on {}: {e}", program.name(), fs.name())
-            });
+            let back = load_trace(&text)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", program.name(), fs.name()));
             assert_eq!(stack.rec.events(), back.events());
             assert_eq!(stack.rec.extra_edges(), back.extra_edges());
         }

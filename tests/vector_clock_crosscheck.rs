@@ -17,8 +17,10 @@ fn clocks_of(rec: &Recorder) -> Vec<VectorClock> {
     let pidx = |p: Process| procs.iter().position(|&q| q == p).unwrap();
 
     let mut clocks: Vec<VectorClock> = Vec::with_capacity(rec.len());
-    let mut proc_state: Vec<VectorClock> =
-        procs.iter().map(|_| VectorClock::new(procs.len())).collect();
+    let mut proc_state: Vec<VectorClock> = procs
+        .iter()
+        .map(|_| VectorClock::new(procs.len()))
+        .collect();
     let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); rec.len()];
     for &(from, to) in rec.extra_edges() {
         incoming[to].push(from);
