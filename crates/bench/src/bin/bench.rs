@@ -23,11 +23,12 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 4] = [
+const SUITES: [(&str, fn(&mut Bench)); 5] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
     ("ablation", benches::ablation::register),
+    ("telemetry", benches::telemetry::register),
 ];
 
 fn main() {
@@ -49,12 +50,12 @@ fn main() {
                 _ => json_per_group = true,
             },
             flag if flag.starts_with('-') => {
-                eprintln!("error: unknown flag {flag} (usage: bench [FILTER] [--json [PATH]])");
+                pc_rt::pc_error!("unknown flag {flag} (usage: bench [FILTER] [--json [PATH]])");
                 std::process::exit(2);
             }
             name => {
                 if filter.is_some() {
-                    eprintln!("error: more than one filter given ({name})");
+                    pc_rt::pc_error!("more than one filter given ({name})");
                     std::process::exit(2);
                 }
                 filter = Some(name.to_string());
@@ -77,14 +78,14 @@ fn main() {
 
     print!("{}", b.report());
     if b.samples().is_empty() {
-        eprintln!("no benchmark matched the filter");
+        pc_rt::pc_error!("no benchmark matched the filter");
         std::process::exit(1);
     }
 
     if let Some(path) = json_combined {
         let doc = bench_samples_json(b.samples());
         std::fs::write(&path, doc.pretty() + "\n").expect("write bench JSON");
-        eprintln!("wrote {path}");
+        pc_rt::pc_info!("wrote {path}");
     } else if json_per_group {
         // The binary lives in crates/bench; BENCH_*.json go to the repo
         // root so harness runs always land in the same place.
@@ -96,7 +97,7 @@ fn main() {
             let path = format!("{root}/BENCH_{name}.json");
             let doc = bench_samples_json(&b.samples()[start..end]);
             std::fs::write(&path, doc.pretty() + "\n").expect("write bench JSON");
-            eprintln!("wrote BENCH_{name}.json");
+            pc_rt::pc_info!("wrote BENCH_{name}.json");
         }
     }
 }

@@ -11,8 +11,17 @@
 //! paracrash --fs BeeGFS --program ARVR [--config paracrash.conf] [--paper]
 //! paracrash --fs all --program all          # the full evaluation matrix
 //! paracrash --fs GPFS --program WAL --dump-trace wal.trace
+//! paracrash --fs BeeGFS --program ARVR --telemetry-out trace.json \
+//!           --telemetry-format chrome      # Perfetto-loadable timeline
 //! ```
+//!
+//! `--telemetry-out` enables the `pc_rt::obs` layer for the run and
+//! writes the collected spans/counters to the given path on exit —
+//! plain structured JSON by default, Chrome trace-event format with
+//! `--telemetry-format chrome`. `PC_TRACE=summary` additionally prints
+//! a per-check stage table to stderr.
 
+use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
 use pc_bench::{render_bug, run_program_swept};
 use workloads::{FsKind, Params, Program};
@@ -21,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: paracrash --fs <BeeGFS|OrangeFS|GlusterFS|GPFS|Lustre|ext4|all>\n\
          \x20                --program <ARVR|CR|RC|WAL|H5-create|...|all>\n\
-         \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\n\
+         \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\
+         \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\n\
          The configuration file uses `key = value` lines:\n{}",
         CheckConfig::paper_default().render()
     );
@@ -35,6 +45,8 @@ fn main() {
     let mut config_path = None;
     let mut dump_trace = None;
     let mut paper = false;
+    let mut telemetry_out = None;
+    let mut telemetry_format = "json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,9 +55,17 @@ fn main() {
             "--config" => config_path = it.next().cloned(),
             "--dump-trace" => dump_trace = it.next().cloned(),
             "--paper" => paper = true,
+            "--telemetry-out" => telemetry_out = it.next().cloned(),
+            "--telemetry-format" => {
+                telemetry_format = it.next().cloned().unwrap_or_default();
+                if !matches!(telemetry_format.as_str(), "json" | "chrome") {
+                    pc_rt::pc_error!("unknown telemetry format: {telemetry_format}");
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument: {other}");
+                pc_rt::pc_error!("unknown argument: {other}");
                 usage();
             }
         }
@@ -53,15 +73,21 @@ fn main() {
     let (Some(fs_arg), Some(program_arg)) = (fs_arg, program_arg) else {
         usage();
     };
+    if telemetry_out.is_some() {
+        pc_rt::obs::set_enabled(true);
+    }
+    // Outermost span: everything from configuration to the last verdict
+    // lands under it, so the emitted timeline covers the full run.
+    let cli_span = pc_rt::obs::span_cat("cli.run", "cli");
 
     let mut cfg = CheckConfig::paper_default();
     if let Some(path) = config_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
+            pc_rt::pc_error!("cannot read {path}: {e}");
             std::process::exit(1);
         });
         cfg = CheckConfig::parse(&text).unwrap_or_else(|e| {
-            eprintln!("bad configuration: {e}");
+            pc_rt::pc_error!("bad configuration: {e}");
             std::process::exit(1);
         });
     }
@@ -83,7 +109,7 @@ fn main() {
         match FsKind::parse(&fs_arg) {
             Some(f) => vec![f],
             None => {
-                eprintln!("unknown file system: {fs_arg}");
+                pc_rt::pc_error!("unknown file system: {fs_arg}");
                 usage();
             }
         }
@@ -98,7 +124,7 @@ fn main() {
         {
             Some(p) => vec![p],
             None => {
-                eprintln!("unknown program: {program_arg}");
+                pc_rt::pc_error!("unknown program: {program_arg}");
                 usage();
             }
         }
@@ -109,7 +135,7 @@ fn main() {
         // and write its per-process trace files next to `path`.
         let stack = programs[0].run(systems[0], &params);
         std::fs::write(path, tracer::save_trace(&stack.rec)).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
+            pc_rt::pc_error!("cannot write {path}: {e}");
             std::process::exit(1);
         });
         println!(
@@ -146,6 +172,26 @@ fn main() {
         }
     }
     println!("\n{total_bugs} unique crash-consistency bug(s) reported.");
+    drop(cli_span);
+    if let Some(path) = &telemetry_out {
+        let snap = pc_rt::obs::snapshot();
+        let json = if telemetry_format == "chrome" {
+            chrome_trace(&snap)
+        } else {
+            telemetry_json(&snap)
+        };
+        let mut text = json.pretty();
+        text.push('\n');
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            pc_rt::pc_error!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        pc_rt::pc_info!(
+            "telemetry ({telemetry_format}) written to {path}: {} spans, {} counters",
+            snap.spans.len(),
+            snap.counters.len()
+        );
+    }
     let exit = i32::from(
         programs.len() == 1
             && systems.len() == 1

@@ -1,0 +1,107 @@
+//! Validates a telemetry file emitted by `paracrash --telemetry-out`
+//! (verify gate 5): the file must re-parse with the vendored
+//! `h5sim::json` reader and carry the documented shape.
+//!
+//! ```sh
+//! telemetry-check trace.json          # plain or Chrome format, sniffed
+//! ```
+//!
+//! Chrome trace-event files (`--telemetry-format chrome`) are checked
+//! for the Perfetto-required event fields and a nondecreasing `ts`
+//! order; plain files for the `spans`/`counters`/`ops` document keys.
+//! Exits 0 when valid, 1 with a diagnostic otherwise.
+
+use h5sim::json::Json;
+
+fn fail(msg: &str) -> ! {
+    // Deliberately eprintln, not pc_error!: the verdict is this tool's
+    // user-facing output and must print regardless of PC_LOG.
+    eprintln!("telemetry-check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Check one Chrome trace event object for the Perfetto-required fields
+/// and return its `ts` for the monotonicity check.
+fn check_event(ev: &Json, idx: usize) -> u64 {
+    let name = ev.get("name").and_then(Json::as_str);
+    if name.is_none_or(str::is_empty) {
+        fail(&format!("traceEvents[{idx}] has no name"));
+    }
+    if ev.get("ph").and_then(Json::as_str) != Some("X") {
+        fail(&format!(
+            "traceEvents[{idx}] is not a complete (ph=X) event"
+        ));
+    }
+    if ev.get("pid").and_then(Json::as_int).is_none() {
+        fail(&format!("traceEvents[{idx}] has no pid"));
+    }
+    if ev.get("tid").and_then(Json::as_int).is_none() {
+        fail(&format!("traceEvents[{idx}] has no tid"));
+    }
+    if ev.get("dur").and_then(Json::as_int).is_none() {
+        fail(&format!("traceEvents[{idx}] has no dur"));
+    }
+    match ev.get("ts").and_then(Json::as_int) {
+        Some(ts) => ts,
+        None => fail(&format!("traceEvents[{idx}] has no ts")),
+    }
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry-check <telemetry.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not JSON: {e}")));
+
+    if let Some(events) = doc.get("traceEvents") {
+        // Chrome trace-event format.
+        let Some(events) = events.as_arr() else {
+            fail("traceEvents is not an array");
+        };
+        if events.is_empty() {
+            fail("traceEvents is empty — no spans were recorded");
+        }
+        let mut prev_ts = 0u64;
+        for (idx, ev) in events.iter().enumerate() {
+            let ts = check_event(ev, idx);
+            if ts < prev_ts {
+                fail(&format!(
+                    "traceEvents[{idx}] ts {ts} goes backwards (prev {prev_ts})"
+                ));
+            }
+            prev_ts = ts;
+        }
+        if doc.get("otherData").is_none() {
+            fail("missing otherData (counters/gauges/histograms)");
+        }
+        println!(
+            "telemetry-check: OK — {path}: chrome trace, {} events, ts monotonic",
+            events.len()
+        );
+    } else {
+        // Plain `paracrash::telemetry::telemetry_json` format.
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| fail("missing spans array"));
+        for key in ["counters", "gauges", "histograms", "dropped_spans", "ops"] {
+            if doc.get(key).is_none() {
+                fail(&format!("missing {key}"));
+            }
+        }
+        for (idx, span) in spans.iter().enumerate() {
+            for key in ["name", "cat", "tid", "depth", "start_ns", "dur_ns"] {
+                if span.get(key).is_none() {
+                    fail(&format!("spans[{idx}] has no {key}"));
+                }
+            }
+        }
+        println!(
+            "telemetry-check: OK — {path}: plain telemetry, {} spans",
+            spans.len()
+        );
+    }
+}

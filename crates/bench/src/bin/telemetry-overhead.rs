@@ -1,0 +1,87 @@
+//! Asserts the telemetry layer's *disabled* overhead budget (§ verify
+//! gate 5): when `PC_TRACE` is unset, every instrumentation site must
+//! reduce to one relaxed atomic load, so a fully instrumented check run
+//! may not be measurably slower than an uninstrumented build.
+//!
+//! We cannot diff against an uninstrumented build (there isn't one), so
+//! the bound is computed instead of measured directly:
+//!
+//! 1. measure the per-call cost `c` of a disabled span + counter site
+//!    over ~1M iterations;
+//! 2. measure the median wall time `t_off` of the snapshot-engine
+//!    microbench (ARVR on BeeGFS, the verify gate's workload) with
+//!    telemetry off;
+//! 3. count the telemetry operations `K` the same workload records when
+//!    telemetry is *on* (`TelemetrySnapshot::ops`);
+//! 4. assert `K * c / t_off < 3%` — the worst-case share of the
+//!    workload's runtime spent in disabled telemetry checks.
+//!
+//! Exits 0 when the bound holds, 1 with a diagnostic when it does not.
+
+use paracrash::{crash_states, prepare_states, PersistAnalysis};
+use std::hint::black_box;
+use std::time::Instant;
+use tracer::CausalityGraph;
+use workloads::{FsKind, Params, Program};
+
+/// Maximum tolerated disabled-telemetry share of the workload runtime.
+const BUDGET: f64 = 0.03;
+
+fn main() {
+    pc_rt::obs::set_enabled(false);
+
+    // (1) per-call disabled cost, amortized over span + counter pairs.
+    const PAIRS: u64 = 500_000;
+    let t = Instant::now();
+    for i in 0..PAIRS {
+        let _s = black_box(pc_rt::obs::span("overhead.span"));
+        pc_rt::obs::count("overhead.ctr", black_box(i & 1));
+    }
+    let per_op_ns = t.elapsed().as_nanos() as f64 / (PAIRS * 2) as f64;
+
+    // Shared workload: the snapshot-engine materialization microbench.
+    let params = Params::quick();
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let graph = CausalityGraph::build(&stack.rec);
+    let pa = PersistAnalysis::build(&stack.rec, &graph, |s| stack.journal_of(s));
+    let states = crash_states(&stack.rec, &graph, &pa, 1, None);
+    assert!(!states.is_empty(), "no crash states to materialize");
+
+    // (2) median off-time over several runs (first run also warms up).
+    let mut runs: Vec<u64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(prepare_states(&stack.rec, stack.pfs.baseline(), &states).prepared);
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let t_off_ns = runs[runs.len() / 2] as f64;
+
+    // (3) operation count of the same workload with telemetry on.
+    pc_rt::obs::reset();
+    pc_rt::obs::set_enabled(true);
+    black_box(prepare_states(&stack.rec, stack.pfs.baseline(), &states).prepared);
+    let snap = pc_rt::obs::snapshot();
+    pc_rt::obs::set_enabled(false);
+    pc_rt::obs::reset();
+    let ops = snap.ops + snap.dropped_spans;
+
+    // (4) the bound.
+    let overhead = ops as f64 * per_op_ns / t_off_ns;
+    println!(
+        "telemetry-overhead: {ops} ops x {per_op_ns:.2} ns disabled cost \
+         / {:.2} ms workload = {:.4}% (budget {:.0}%)",
+        t_off_ns / 1e6,
+        overhead * 100.0,
+        BUDGET * 100.0,
+    );
+    if overhead >= BUDGET {
+        pc_rt::pc_error!(
+            "disabled telemetry overhead {:.3}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,7 @@ pub mod benches {
     pub mod explore;
     pub mod scalability;
     pub mod substrate;
+    pub mod telemetry;
 }
 
 /// One evaluated cell of the matrix.
@@ -57,7 +58,9 @@ pub fn run_cell(
     params: &Params,
     cfg: &CheckConfig,
 ) -> MatrixCell {
+    let trace_span = pc_rt::obs::span_cat("trace.generate", "trace");
     let stack = program.run(fs, params);
+    drop(trace_span);
     let factory = fs.factory(params);
     let outcome = check_stack(&stack, &factory, cfg);
     MatrixCell {
@@ -66,6 +69,14 @@ pub fn run_cell(
         placement: placement_name,
         outcome,
     }
+}
+
+/// Sum one replay cache's traffic into an accumulator (placement /
+/// dims-sweep merging).
+fn merge_cache(acc: &mut paracrash::explore::CacheStats, cell: &paracrash::explore::CacheStats) {
+    acc.hits += cell.hits;
+    acc.misses += cell.misses;
+    acc.evictions += cell.evictions;
 }
 
 /// Run a program on a file system across its placement variants and
@@ -86,6 +97,16 @@ pub fn run_program(program: Program, fs: FsKind, params: &Params, cfg: &CheckCon
                 acc.outcome.stats.states_pruned += cell.outcome.stats.states_pruned;
                 acc.outcome.stats.sim_seconds += cell.outcome.stats.sim_seconds;
                 acc.outcome.stats.wall_seconds += cell.outcome.stats.wall_seconds;
+                acc.outcome.stats.server_rebuilds += cell.outcome.stats.server_rebuilds;
+                acc.outcome.stats.legal_replays += cell.outcome.stats.legal_replays;
+                merge_cache(
+                    &mut acc.outcome.stats.pfs_cache,
+                    &cell.outcome.stats.pfs_cache,
+                );
+                merge_cache(
+                    &mut acc.outcome.stats.h5_cache,
+                    &cell.outcome.stats.h5_cache,
+                );
                 for bug in cell.outcome.bugs {
                     if let Some(existing) = acc
                         .outcome

@@ -167,9 +167,13 @@ type LegalStates = (Arc<Vec<PfsView>>, Arc<Vec<H5Logical>>);
 /// Run the full ParaCrash check for one traced program.
 pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> CheckOutcome {
     let started = Instant::now();
+    let check_span = pc_rt::obs::span_cat("check_stack", "check");
+    let tl_mark = pc_rt::obs::mark();
     let rec = &stack.rec;
+    let stage = pc_rt::obs::span_cat("check.analyze", "check");
     let graph = CausalityGraph::build(rec);
     let pa = PersistAnalysis::build(rec, &graph, |s| stack.journal_of(s));
+    drop(stage);
     let topo = stack.pfs.topology().clone();
     let n_servers = topo.server_count();
 
@@ -177,7 +181,10 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     // I/O-library programs (the object map comes from h5inspect).
     let semantic = cfg.mode.prunes() && stack.h5_path.is_some();
     let filter = |e: EventId| !(semantic && is_data_chunk(rec, e));
+    let stage = pc_rt::obs::span_cat("check.enumerate", "check");
     let states = crash_states(rec, &graph, &pa, cfg.k, Some(&filter));
+    drop(stage);
+    pc_rt::obs::count("check.crash_states", states.len() as u64);
 
     // Checking order: minimal-damage states first, so classification
     // sees the single-fault witnesses before the compound ones and the
@@ -259,11 +266,13 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     // Both apply the exact same events in the exact same order, so the
     // materialized states — and every verdict derived from them — are
     // bit-identical (asserted by `tests/snapshot_equivalence.rs`).
+    let stage = pc_rt::obs::span_cat("check.materialize", "check");
     let plan: Option<SnapshotPlan> = if naive_snapshots() {
         None
     } else {
         Some(prepare_states(rec, stack.pfs.baseline(), &states))
     };
+    drop(stage);
 
     // The per-state verdict, shared by the sequential and parallel paths.
     let verdict_of = |i: usize,
@@ -317,14 +326,19 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     // exploration. The pool honours `PC_THREADS` (1 = the sequential
     // reference run used by determinism tests).
     let mut legal_of: Vec<Option<LegalStates>> = vec![None; states.len()];
+    let stage = pc_rt::obs::span_cat("check.legal_states", "check");
     for &idx in &order {
         legal_of[idx] = Some(evaluate(&states[idx], &mut pfs_cache, &mut h5_cache));
     }
+    drop(stage);
+    let stage = pc_rt::obs::span_cat("check.verdicts", "check");
     let computed: Vec<(bool, Option<(LayerVerdict, Model)>)> =
         pc_rt::pool::par_map_indices(states.len(), |i| {
             let (legal_views, legal_h5) = legal_of[i].as_ref().expect("prefilled");
             verdict_of(i, legal_views, legal_h5)
         });
+    drop(stage);
+    let stage = pc_rt::obs::span_cat("check.prune", "check");
     for &idx in &order {
         let state = &states[idx];
         if cfg.mode.prunes() && pruner_skips(&pruner, rec, &topo, &pa, state) {
@@ -359,10 +373,12 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
             );
         }
     }
+    drop(stage);
 
     // Reconstruction cost over the mode's visiting order: the optimized
     // mode rebuilds incrementally along a greedy-TSP route; the others
     // restart per state.
+    let stage = pc_rt::obs::span_cat("check.cost_model", "check");
     let fingerprints: Vec<Vec<u64>> = states
         .iter()
         .map(|s| server_fingerprints(rec, n_servers, s))
@@ -392,9 +408,27 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         stats.server_rebuilds += rebuilds;
         prev_fp = Some(&fingerprints[idx]);
     }
+    drop(stage);
 
-    stats.legal_replays = pfs_cache.misses + h5_cache.misses;
+    stats.pfs_cache = pfs_cache.stats();
+    stats.h5_cache = h5_cache.stats();
+    stats.legal_replays = stats.pfs_cache.misses + stats.h5_cache.misses;
     stats.wall_seconds = started.elapsed().as_secs_f64();
+    pc_rt::obs::count("cache.pfs.hits", stats.pfs_cache.hits as u64);
+    pc_rt::obs::count("cache.pfs.misses", stats.pfs_cache.misses as u64);
+    pc_rt::obs::count("cache.pfs.evictions", stats.pfs_cache.evictions as u64);
+    pc_rt::obs::count("cache.h5.hits", stats.h5_cache.hits as u64);
+    pc_rt::obs::count("cache.h5.misses", stats.h5_cache.misses as u64);
+    pc_rt::obs::count("cache.h5.evictions", stats.h5_cache.evictions as u64);
+    pc_rt::obs::count("check.states_checked", stats.states_checked as u64);
+    pc_rt::obs::count("check.states_pruned", stats.states_pruned as u64);
+    drop(check_span);
+    if pc_rt::obs::summary_enabled() {
+        eprintln!(
+            "{}",
+            pc_rt::obs::render_summary(&tl_mark, &format!("check_stack/{}", stack.pfs.name()))
+        );
+    }
     CheckOutcome {
         pfs_name: stack.pfs.name().to_string(),
         bugs: bugs.into_values().collect(),
@@ -460,7 +494,10 @@ fn aggregate_or_classify(
             legal_views.contains(&v)
         }
     };
-    let signature = classify(rec, topo, pa, state, &mut oracle);
+    let signature = {
+        let _s = pc_rt::obs::span_cat("check.classify", "check");
+        classify(rec, topo, pa, state, &mut oracle)
+    };
     if learn {
         pruner.learn(&signature);
     }

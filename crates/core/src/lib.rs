@@ -35,6 +35,7 @@ pub mod persist;
 pub mod report;
 pub mod snapshot;
 pub mod stack;
+pub mod telemetry;
 
 pub use check::{check_stack, CheckOutcome, Inconsistency, LayerVerdict};
 pub use classify::{BugKind, BugSignature};

@@ -109,7 +109,13 @@ pub fn prepare_states(
     baseline: &ServerStates,
     states: &[CrashState],
 ) -> SnapshotPlan {
+    let _span = pc_rt::obs::span_cat("snapshot.materialize", "snapshot");
     let mut stats = SnapshotStats::default();
+    // States whose storage-event sequence lands on an already-terminal
+    // trie node share a fully-materialized snapshot with an earlier
+    // state (telemetry only — not part of the equivalence-checked
+    // [`SnapshotStats`]).
+    let mut states_shared = 0u64;
 
     // Build the prefix tree of the storage-event sequences. Node count
     // is the number of distinct prefixes, i.e. exactly the replay work.
@@ -128,6 +134,9 @@ pub fn prepare_states(
                     child
                 }
             };
+        }
+        if !nodes[cur].terminals.is_empty() {
+            states_shared += 1;
         }
         nodes[cur].terminals.push(idx);
     }
@@ -160,6 +169,11 @@ pub fn prepare_states(
             stack.push((child, st));
         }
     }
+    pc_rt::obs::count("snapshot.states", states.len() as u64);
+    pc_rt::obs::count("snapshot.states_shared", states_shared);
+    pc_rt::obs::count("snapshot.forks", stats.forks as u64);
+    pc_rt::obs::count("snapshot.ops_replayed", stats.ops_replayed as u64);
+    pc_rt::obs::count("snapshot.naive_ops", stats.naive_ops as u64);
     SnapshotPlan {
         prepared: prepared
             .into_iter()

@@ -1,0 +1,205 @@
+//! Telemetry serialization: `pc_rt::obs` snapshots as machine-readable
+//! JSON, in two dialects.
+//!
+//! * [`telemetry_json`] — a plain structured dump (`spans`, `counters`,
+//!   `gauges`, `histograms`), same `h5sim::json` writer and style as the
+//!   `BENCH_*.json` files `pc-bench --json` commits;
+//! * [`chrome_trace`] — the Chrome trace-event format (the JSON Array
+//!   Format with `traceEvents`), loadable in Perfetto / `chrome://tracing`
+//!   for a flamegraph-style timeline of a full bug-finding run. Every
+//!   span becomes a complete (`"ph": "X"`) event; counters, gauges and
+//!   histogram summaries ride along under `otherData`.
+//!
+//! Both serialize with the vendored writer and round-trip through
+//! [`Json::parse`] — the `telemetry-check` gate in `scripts/verify.sh`
+//! relies on that.
+
+use h5sim::json::Json;
+use pc_rt::obs::TelemetrySnapshot;
+
+/// Serialize a snapshot as plain structured JSON (`BENCH_*.json` style).
+pub fn telemetry_json(snap: &TelemetrySnapshot) -> Json {
+    let spans = snap
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.into())),
+                ("cat".into(), Json::Str(s.cat.into())),
+                ("tid".into(), Json::Int(s.tid.into())),
+                ("depth".into(), Json::Int(s.depth.into())),
+                ("start_ns".into(), Json::Int(s.start_ns)),
+                ("dur_ns".into(), Json::Int(s.dur_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("spans".into(), Json::Arr(spans)),
+        ("counters".into(), named_ints(&snap.counters)),
+        ("gauges".into(), named_ints(&snap.gauges)),
+        ("histograms".into(), hists(snap)),
+        ("dropped_spans".into(), Json::Int(snap.dropped_spans)),
+        ("ops".into(), Json::Int(snap.ops)),
+    ])
+}
+
+/// Serialize a snapshot in Chrome trace-event format. Spans arrive
+/// sorted by start time, so the emitted `ts` fields are monotonically
+/// nondecreasing (asserted by `tests/telemetry.rs`). Timestamps are
+/// microseconds, as the format requires; sub-microsecond precision is
+/// kept in `args.start_ns` / `args.dur_ns`.
+pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
+    let events = snap
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.into())),
+                (
+                    "cat".into(),
+                    Json::Str(if s.cat.is_empty() { "pc" } else { s.cat }.into()),
+                ),
+                ("ph".into(), Json::Str("X".into())),
+                ("pid".into(), Json::Int(1)),
+                ("tid".into(), Json::Int(s.tid.into())),
+                ("ts".into(), Json::Int(s.start_ns / 1_000)),
+                ("dur".into(), Json::Int(s.dur_ns.div_ceil(1_000))),
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("depth".into(), Json::Int(s.depth.into())),
+                        ("start_ns".into(), Json::Int(s.start_ns)),
+                        ("dur_ns".into(), Json::Int(s.dur_ns)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        (
+            "otherData".into(),
+            Json::Obj(vec![
+                ("counters".into(), named_ints(&snap.counters)),
+                ("gauges".into(), named_ints(&snap.gauges)),
+                ("histograms".into(), hists(snap)),
+                ("dropped_spans".into(), Json::Int(snap.dropped_spans)),
+            ]),
+        ),
+    ])
+}
+
+fn named_ints(pairs: &[(String, u64)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v)))
+            .collect(),
+    )
+}
+
+fn hists(snap: &TelemetrySnapshot) -> Json {
+    Json::Obj(
+        snap.hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(h.count)),
+                        ("sum_ns".into(), Json::Int(h.sum_ns)),
+                        ("min_ns".into(), Json::Int(h.min_ns)),
+                        ("max_ns".into(), Json::Int(h.max_ns)),
+                        ("mean_ns".into(), Json::Int(h.mean_ns)),
+                        ("p50_ns".into(), Json::Int(h.p50_ns)),
+                        ("p95_ns".into(), Json::Int(h.p95_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_rt::obs::{HistSummary, SpanRec};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            spans: vec![
+                SpanRec {
+                    name: "check_stack",
+                    cat: "check",
+                    tid: 1,
+                    depth: 0,
+                    start_ns: 500,
+                    dur_ns: 9_000,
+                },
+                SpanRec {
+                    name: "check.enumerate",
+                    cat: "check",
+                    tid: 1,
+                    depth: 1,
+                    start_ns: 1_000,
+                    dur_ns: 2_000,
+                },
+            ],
+            counters: vec![("cache.pfs.hits".into(), 12)],
+            gauges: vec![("pool.workers".into(), 4)],
+            hists: vec![(
+                "pool.task_ns".into(),
+                HistSummary {
+                    count: 3,
+                    sum_ns: 600,
+                    min_ns: 100,
+                    max_ns: 300,
+                    mean_ns: 200,
+                    p50_ns: 255,
+                    p95_ns: 300,
+                },
+            )],
+            dropped_spans: 0,
+            ops: 7,
+        }
+    }
+
+    #[test]
+    fn plain_json_round_trips() {
+        let j = telemetry_json(&sample_snapshot());
+        let parsed = Json::parse(&j.pretty()).unwrap();
+        assert_eq!(parsed, j);
+        assert_eq!(parsed.get("spans").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("cache.pfs.hits"))
+                .and_then(Json::as_int),
+            Some(12)
+        );
+        assert_eq!(parsed.get("ops").and_then(Json::as_int), Some(7));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let j = chrome_trace(&sample_snapshot());
+        let parsed = Json::parse(&j.pretty()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(e.get("pid").and_then(Json::as_int), Some(1));
+            assert!(e.get("ts").and_then(Json::as_int).is_some());
+            assert!(e.get("dur").and_then(Json::as_int).is_some());
+        }
+        // ts is microseconds and monotonic.
+        assert_eq!(events[0].get("ts").and_then(Json::as_int), Some(0));
+        assert_eq!(events[1].get("ts").and_then(Json::as_int), Some(1));
+        // Sub-microsecond durations round *up*, so no span renders as
+        // zero-width.
+        assert_eq!(events[0].get("dur").and_then(Json::as_int), Some(9));
+        assert_eq!(events[1].get("dur").and_then(Json::as_int), Some(2));
+        assert!(parsed.get("otherData").unwrap().get("counters").is_some());
+    }
+}

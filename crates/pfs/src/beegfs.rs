@@ -987,6 +987,7 @@ impl Pfs for BeeGfs {
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        let _span = pc_rt::obs::span_cat("recover/BeeGFS", "pfs");
         let mut report = RecoveryReport::clean("beegfs-fsck");
         // Pass 1: dentries pointing at idfiles with no attributes, or
         // directories with no dentries object → report; drop directory

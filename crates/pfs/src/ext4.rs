@@ -150,6 +150,7 @@ impl Pfs for Ext4Direct {
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        let _span = pc_rt::obs::span_cat("recover/ext4", "pfs");
         let mut report = RecoveryReport::clean("e2fsck");
         for issue in Fsck::check(states.server(0).as_fs()) {
             report.finding(issue.to_string());

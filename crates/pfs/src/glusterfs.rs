@@ -566,6 +566,7 @@ impl Pfs for GlusterFs {
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
+        let _span = pc_rt::obs::span_cat("recover/GlusterFS", "pfs");
         let mut report = RecoveryReport::clean("glusterfs-heal");
         // Duplicate entries for one path across bricks → keep the highest
         // generation (self-heal), drop the rest.

@@ -789,6 +789,7 @@ impl Pfs for Gpfs {
         // (missing or deleted inode) are removed; orphan inodes are
         // freed. Data lost by those fixes stays lost (Table 3 bug 3's
         // consequence).
+        let _span = pc_rt::obs::span_cat("recover/GPFS", "pfs");
         let mut report = RecoveryReport::clean("mmfsck");
         let (dirs, inodes, _contents) = self.collect(states);
         let mut fixed_dirs: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();

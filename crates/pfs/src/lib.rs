@@ -105,7 +105,9 @@ pub trait Pfs: Send + Sync {
 /// one step, as the checking workflow of Figure 6 does.
 pub fn recover_and_mount(pfs: &dyn Pfs, states: &mut ServerStates) -> (RecoveryReport, PfsView) {
     let report = pfs.recover(states);
+    let mount = pc_rt::obs::span_cat("pfs.mount", "pfs");
     let view = pfs.client_view(states);
+    drop(mount);
     (report, view)
 }
 

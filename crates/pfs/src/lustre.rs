@@ -492,6 +492,7 @@ impl Pfs for Lustre {
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
         // lfsck: garbage-collect orphan objects; report missing objects.
+        let _span = pc_rt::obs::span_cat("recover/Lustre", "pfs");
         let mut report = RecoveryReport::clean("lfsck");
         let mdt_fs = states.server(self.mdt()).as_fs();
         let mut live_objs: Vec<String> = Vec::new();

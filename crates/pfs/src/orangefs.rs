@@ -747,6 +747,7 @@ impl Pfs for OrangeFs {
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
         // pvfs2-fsck: collects stranded bstreams and reports dangling
         // dentries; it cannot repair mis-ordered DB records (§6.3.1).
+        let _span = pc_rt::obs::span_cat("recover/OrangeFS", "pfs");
         let mut report = RecoveryReport::clean("pvfs2-fsck");
         let mut live_handles: Vec<String> = Vec::new();
         for &m in &self.topo.metadata_servers() {

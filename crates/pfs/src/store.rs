@@ -170,6 +170,7 @@ impl ServerStates {
     pub fn apply_events(&mut self, rec: &Recorder, ids: impl IntoIterator<Item = EventId>) {
         let mut ids: Vec<EventId> = ids.into_iter().collect();
         ids.sort_unstable();
+        pc_rt::obs::count("pfs.events_applied", ids.len() as u64);
         for id in ids {
             match &rec.event(id).payload {
                 Payload::Fs { server, op } => self.server_mut(*server).apply_fs(op),

@@ -153,7 +153,7 @@ impl Bench {
                 return;
             }
         }
-        eprintln!("bench {name} ...");
+        crate::pc_debug!("bench {name} ...");
         // Warmup doubles as the cost estimate for sizing the sample.
         let warm_start = Instant::now();
         for _ in 0..self.cfg.warmup_iters.max(1) {

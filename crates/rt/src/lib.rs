@@ -21,6 +21,10 @@
 //! * [`bench`] — a wall-clock microbenchmark harness with warmup,
 //!   median/p95 reporting and machine-readable results (replaces
 //!   `criterion` for `pc-bench`'s benches).
+//! * [`obs`] — structured telemetry (spans, counters, gauges,
+//!   histograms, a leveled logger) for the checker pipeline itself
+//!   (replaces `tracing`). Off by default; `PC_TRACE` / `PC_LOG`
+//!   or the `paracrash --telemetry-out` flag turn it on.
 //!
 //! Owning the runtime is not only an offline-build workaround: the
 //! exploration hot path (thousands of independent crash-state
@@ -45,6 +49,7 @@
 //! ```
 
 pub mod bench;
+pub mod obs;
 pub mod pool;
 pub mod proptest;
 pub mod rng;

@@ -37,6 +37,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "PC_THREADS";
@@ -113,8 +114,32 @@ impl Pool {
         F: Fn(usize) -> U + Sync,
     {
         let workers = self.threads.min(n.max(1));
+        // Telemetry (off by default: one relaxed atomic load). The
+        // sequential fast path records the *same* counters as the
+        // parallel one, so totals are deterministic across PC_THREADS.
+        let t_on = crate::obs::enabled();
+        let _span = t_on.then(|| crate::obs::span_cat("pool.par_map", "pool"));
+        if t_on {
+            crate::obs::count("pool.par_calls", 1);
+            crate::obs::count("pool.tasks_queued", n as u64);
+            crate::obs::gauge_max("pool.workers", workers as u64);
+            crate::obs::gauge_max("pool.max_queue_depth", n as u64);
+        }
+        let run_one = |i: usize| -> U {
+            if t_on {
+                let t = Instant::now();
+                let out = f(i);
+                let ns = t.elapsed().as_nanos() as u64;
+                crate::obs::count("pool.tasks_executed", 1);
+                crate::obs::count("pool.busy_ns", ns);
+                crate::obs::observe_ns("pool.task_ns", ns);
+                out
+            } else {
+                f(i)
+            }
+        };
         if workers <= 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n).map(run_one).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
@@ -131,7 +156,7 @@ impl Pool {
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(i)));
+                        done.push((i, run_one(i)));
                         if done.len() >= 32 {
                             let mut guard = slots.lock().unwrap();
                             for (j, v) in done.drain(..) {

@@ -53,6 +53,7 @@ impl Fsck {
     /// exists so property tests can assert them after arbitrary replay
     /// schedules, the same way the paper trusts but verifies ext4.
     pub fn check(fs: &FsState) -> Vec<FsckIssue> {
+        let _span = pc_rt::obs::span_cat("simfs.fsck", "simfs");
         let mut issues = Vec::new();
         // Reachability sweep.
         let mut reachable: BTreeSet<u64> = BTreeSet::new();
@@ -93,6 +94,7 @@ impl Fsck {
                 });
             }
         }
+        pc_rt::obs::count("simfs.fsck_issues", issues.len() as u64);
         issues
     }
 

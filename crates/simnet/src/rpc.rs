@@ -42,6 +42,8 @@ impl<'r> RpcNet<'r> {
             Process::Client(_) => Layer::PfsClient,
             Process::Server(_) => Layer::PfsServer,
         };
+        pc_rt::obs::count("rpc.messages", 1);
+        pc_rt::pc_debug!("rpc {from:?} -> {to:?}: {msg}");
         let send = self.rec.record(
             layer_of(from),
             from,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Two gates:
+# Five gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -14,6 +14,11 @@
 #   4. Engine equivalence — the COW replay engine and the
 #      `PC_NAIVE_SNAPSHOTS=1` oracle must report identically, checked
 #      once sequentially (PC_THREADS=1) and once with the thread pool.
+#   5. Telemetry — `paracrash --telemetry-out` must emit files that
+#      re-parse with the vendored JSON reader (both plain and Chrome
+#      trace-event formats, validated by `telemetry-check`), and the
+#      *disabled* telemetry overhead on the snapshot-engine microbench
+#      must stay under 3% (`telemetry-overhead`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,5 +62,19 @@ RUSTFLAGS="-D warnings" cargo build --offline --workspace
 echo "== gate 4: snapshot-engine equivalence, sequential and parallel =="
 PC_THREADS=1 cargo test -q --offline --test snapshot_equivalence
 cargo test -q --offline --test snapshot_equivalence
+
+echo "== gate 5: telemetry emission + disabled-overhead budget =="
+cargo build --release --offline -p pc-bench
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+# BeeGFS/ARVR finds bugs, so the single-cell run exits 1 by design.
+target/release/paracrash --fs BeeGFS --program ARVR \
+    --telemetry-out "$tmp/telemetry.json" --telemetry-format chrome \
+    > /dev/null || [ $? -eq 1 ]
+target/release/telemetry-check "$tmp/telemetry.json"
+target/release/paracrash --fs ext4 --program ARVR \
+    --telemetry-out "$tmp/telemetry-plain.json" > /dev/null
+target/release/telemetry-check "$tmp/telemetry-plain.json"
+target/release/telemetry-overhead
 
 echo "verify: OK"

@@ -1,0 +1,186 @@
+//! Integration tests for the `pc_rt::obs` telemetry layer as wired
+//! through the checker pipeline: span nesting, deterministic counter
+//! aggregation across pool widths, the Chrome-trace serialization
+//! round-trip, and cache-stats surfacing in `ExploreStats`.
+
+use h5sim::json::Json;
+use paracrash::telemetry::{chrome_trace, telemetry_json};
+use paracrash::{check_stack, CheckConfig};
+use std::sync::Mutex;
+use workloads::{FsKind, Params, Program};
+
+/// The obs registry is process-global; serialize every test that
+/// enables/resets it so parallel test threads don't interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with telemetry enabled on a fresh registry, returning the
+/// resulting snapshot; always restores the disabled default.
+fn with_telemetry<T>(f: impl FnOnce() -> T) -> (T, pc_rt::obs::TelemetrySnapshot) {
+    pc_rt::obs::reset();
+    pc_rt::obs::set_enabled(true);
+    let out = f();
+    let snap = pc_rt::obs::snapshot();
+    pc_rt::obs::set_enabled(false);
+    pc_rt::obs::reset();
+    (out, snap)
+}
+
+fn counter(snap: &pc_rt::obs::TelemetrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn spans_nest_with_increasing_depth() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let ((), snap) = with_telemetry(|| {
+        let outer = pc_rt::obs::span("outer");
+        let inner = pc_rt::obs::span("inner");
+        drop(inner);
+        drop(outer);
+    });
+    assert_eq!(snap.spans.len(), 2);
+    let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+    let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+    assert_eq!(outer.depth + 1, inner.depth);
+    assert_eq!(outer.tid, inner.tid);
+    // The inner span starts no earlier and ends no later than the outer.
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+}
+
+#[test]
+fn pool_counters_are_deterministic_across_widths() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    const TASKS: usize = 100;
+    let run = |threads: usize| {
+        let ((), snap) = with_telemetry(|| {
+            let pool = pc_rt::pool::Pool::with_threads(threads);
+            let out = pool.par_map_indices(TASKS, |i| i as u64 * 3);
+            assert_eq!(out.len(), TASKS);
+        });
+        snap
+    };
+    let seq = run(1);
+    let par = run(4);
+    for snap in [&seq, &par] {
+        assert_eq!(counter(snap, "pool.tasks_queued"), TASKS as u64);
+        assert_eq!(counter(snap, "pool.tasks_executed"), TASKS as u64);
+        assert_eq!(counter(snap, "pool.par_calls"), 1);
+    }
+    // Totals must agree bit-for-bit regardless of worker count.
+    assert_eq!(
+        counter(&seq, "pool.tasks_executed"),
+        counter(&par, "pool.tasks_executed")
+    );
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    pc_rt::obs::reset();
+    pc_rt::obs::set_enabled(false);
+    {
+        let _s = pc_rt::obs::span("ghost");
+        pc_rt::obs::count("ghost.ctr", 7);
+        pc_rt::obs::gauge_max("ghost.gauge", 7);
+        pc_rt::obs::observe_ns("ghost.hist", 7);
+    }
+    let snap = pc_rt::obs::snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.hists.is_empty());
+    assert_eq!(snap.ops, 0);
+}
+
+#[test]
+fn chrome_trace_round_trips_with_monotonic_ts() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let ((), snap) = with_telemetry(|| {
+        for _ in 0..3 {
+            let _outer = pc_rt::obs::span_cat("work", "test");
+            let _inner = pc_rt::obs::span("work.step");
+        }
+        pc_rt::obs::count("events", 3);
+    });
+    let doc = chrome_trace(&snap);
+    let text = doc.pretty();
+    let parsed = Json::parse(&text).expect("chrome trace must re-parse");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), snap.spans.len());
+    let mut prev_ts = 0;
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(ev.get("pid").and_then(Json::as_int), Some(1));
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        let ts = ev.get("ts").and_then(Json::as_int).unwrap();
+        assert!(ts >= prev_ts, "ts must be nondecreasing");
+        prev_ts = ts;
+    }
+    let other = parsed.get("otherData").expect("otherData");
+    assert_eq!(
+        other
+            .get("counters")
+            .and_then(|c| c.get("events"))
+            .and_then(Json::as_int),
+        Some(3)
+    );
+
+    // The plain format round-trips through the same reader.
+    let plain = Json::parse(&telemetry_json(&snap).pretty()).expect("plain telemetry re-parses");
+    assert_eq!(
+        plain.get("spans").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(snap.spans.len())
+    );
+    assert_eq!(plain.get("ops").and_then(Json::as_int), Some(snap.ops));
+}
+
+#[test]
+fn check_stack_surfaces_cache_stats_and_stage_spans() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let params = Params::quick();
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let factory = FsKind::BeeGfs.factory(&params);
+    let cfg = CheckConfig::paper_default();
+    let (outcome, snap) = with_telemetry(|| check_stack(&stack, &factory, &cfg));
+
+    // Satellite #2: the cache asymmetry fix — hits AND misses surface.
+    let pfs = outcome.stats.pfs_cache;
+    assert!(pfs.hits + pfs.misses > 0, "pfs replay cache saw traffic");
+    assert_eq!(
+        outcome.stats.legal_replays,
+        pfs.misses + outcome.stats.h5_cache.misses
+    );
+    assert_eq!(counter(&snap, "cache.pfs.hits"), pfs.hits as u64);
+    assert_eq!(counter(&snap, "cache.pfs.misses"), pfs.misses as u64);
+
+    // Every pipeline stage produced a span.
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name).collect();
+    for stage in [
+        "check_stack",
+        "check.analyze",
+        "check.enumerate",
+        "check.materialize",
+        "check.legal_states",
+        "check.verdicts",
+        "snapshot.materialize",
+        "pfs.mount",
+        "recover/BeeGFS",
+    ] {
+        assert!(names.contains(&stage), "missing span {stage}");
+    }
+    // Stage spans nest under the check_stack root.
+    let root = snap.spans.iter().find(|s| s.name == "check_stack").unwrap();
+    let enumerate = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "check.enumerate")
+        .unwrap();
+    assert!(enumerate.depth > root.depth);
+}
