@@ -23,12 +23,13 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 5] = [
+const SUITES: [(&str, fn(&mut Bench)); 6] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
     ("ablation", benches::ablation::register),
     ("telemetry", benches::telemetry::register),
+    ("faults", benches::faults::register),
 ];
 
 fn main() {

@@ -1,0 +1,102 @@
+//! Asserts the fault plane's *disabled* overhead budget (verify gate 6):
+//! every PFS model now routes its RPC traffic through an inactive
+//! [`simnet::FaultPlane`], so fault-free runs pay one `plane.active()`
+//! check per message. That price must stay under 3% of a traced
+//! workload run.
+//!
+//! We cannot diff against a plane-free build (there isn't one), so the
+//! bound is computed:
+//!
+//! 1. measure per-message cost of a round trip through `RpcNet::new`
+//!    (fault-free) and through `RpcNet::faulty` with a disabled plane;
+//!    the difference `d` is the per-message plane cost;
+//! 2. count the RPC messages `M` the verify workload (ARVR on BeeGFS,
+//!    quick scale) records;
+//! 3. measure the median wall time `t` of that traced run;
+//! 4. assert `M * d / t < 3%`.
+//!
+//! Exits 0 when the bound holds, 1 with a diagnostic when it does not.
+
+use simnet::{FaultPlane, RpcNet};
+use std::hint::black_box;
+use std::time::Instant;
+use tracer::{Payload, Process, Recorder};
+use workloads::{FsKind, Params, Program};
+
+/// Maximum tolerated disabled-plane share of the traced-run time.
+const BUDGET: f64 = 0.03;
+
+fn main() {
+    const MSGS: u32 = 4096;
+    const REPS: usize = 21;
+
+    // (1) per-message cost, fault-free vs disabled plane. Both loops
+    // are identical apart from the plane wiring.
+    let median = |faulty: bool| -> f64 {
+        let mut runs: Vec<u64> = (0..REPS)
+            .map(|_| {
+                let mut rec = Recorder::new();
+                let mut plane = FaultPlane::disabled();
+                let t = Instant::now();
+                let mut net = if faulty {
+                    RpcNet::faulty(&mut rec, &mut plane)
+                } else {
+                    RpcNet::new(&mut rec)
+                };
+                for i in 0..MSGS {
+                    let client = Process::Client(i % 4);
+                    let server = Process::Server(i % 2);
+                    let (_, recv) = net.request(client, server, "WRITE", None);
+                    net.reply(server, client, "OK", Some(recv));
+                }
+                drop(net);
+                black_box(rec.len());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        runs.sort_unstable();
+        runs[runs.len() / 2] as f64 / (MSGS as f64 * 2.0)
+    };
+    let clean_ns = median(false);
+    let faulty_ns = median(true);
+    let d = (faulty_ns - clean_ns).max(0.0);
+
+    // (2) messages in the verify workload's trace.
+    let params = Params::quick();
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let msgs = stack
+        .rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e.payload, Payload::Send { .. }))
+        .count();
+
+    // (3) median wall time of the traced run.
+    let mut runs: Vec<u64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(Program::Arvr.run(FsKind::BeeGfs, &params).rec.len());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let t_run_ns = runs[runs.len() / 2] as f64;
+
+    // (4) the bound.
+    let overhead = msgs as f64 * d / t_run_ns;
+    println!(
+        "faults-overhead: {msgs} msgs x {d:.2} ns plane cost ({clean_ns:.2} -> \
+         {faulty_ns:.2} ns/msg) / {:.3} ms run = {:.4}% (budget {:.0}%)",
+        t_run_ns / 1e6,
+        overhead * 100.0,
+        BUDGET * 100.0,
+    );
+    if overhead >= BUDGET {
+        pc_rt::pc_error!(
+            "disabled fault-plane overhead {:.3}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}

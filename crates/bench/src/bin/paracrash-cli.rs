@@ -24,14 +24,26 @@
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
 use pc_bench::{render_bug, run_program_swept};
+use simnet::FaultConfig;
 use workloads::{FsKind, Params, Program};
+
+/// One-line diagnostic, then the usage-error exit code (2).
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    pc_rt::pc_error!("{msg}");
+    std::process::exit(2);
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: paracrash --fs <BeeGFS|OrangeFS|GlusterFS|GPFS|Lustre|ext4|all>\n\
          \x20                --program <ARVR|CR|RC|WAL|H5-create|...|all>\n\
          \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\
+         \x20                [--faults <spec>|chaos] [--fail-fast]\n\
          \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\n\
+         `--faults` takes a comma-separated spec (seed=N,drop=R,dup=R,delay=R,\n\
+         retries=N,partition=S[:H],torn=BOOL) or the word `chaos`; the\n\
+         PC_CHAOS_SEED / PC_FAULT_RATE environment variables arm the same\n\
+         plane when the flag is absent.\n\n\
          The configuration file uses `key = value` lines:\n{}",
         CheckConfig::paper_default().render()
     );
@@ -47,6 +59,8 @@ fn main() {
     let mut paper = false;
     let mut telemetry_out = None;
     let mut telemetry_format = "json".to_string();
+    let mut faults_arg: Option<String> = None;
+    let mut fail_fast = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +69,8 @@ fn main() {
             "--config" => config_path = it.next().cloned(),
             "--dump-trace" => dump_trace = it.next().cloned(),
             "--paper" => paper = true,
+            "--faults" => faults_arg = it.next().cloned(),
+            "--fail-fast" => fail_fast = true,
             "--telemetry-out" => telemetry_out = it.next().cloned(),
             "--telemetry-format" => {
                 telemetry_format = it.next().cloned().unwrap_or_default();
@@ -82,14 +98,24 @@ fn main() {
 
     let mut cfg = CheckConfig::paper_default();
     if let Some(path) = config_path {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            pc_rt::pc_error!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        cfg = CheckConfig::parse(&text).unwrap_or_else(|e| {
-            pc_rt::pc_error!("bad configuration: {e}");
-            std::process::exit(1);
-        });
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")));
+        cfg = CheckConfig::parse(&text)
+            .unwrap_or_else(|e| die(format_args!("bad configuration {path}: {e}")));
+    }
+    cfg.fail_fast |= fail_fast;
+    // `--faults` wins over the config file; the environment is the
+    // fallback when neither names a plane.
+    match &faults_arg {
+        Some(spec) => {
+            cfg.faults = FaultConfig::parse_spec(spec)
+                .unwrap_or_else(|e| die(format_args!("bad --faults spec: {e}")));
+        }
+        None => {
+            if let Some(env_cfg) = FaultConfig::from_env() {
+                cfg.faults = env_cfg;
+            }
+        }
     }
     let mut params = if paper {
         Params::paper()
@@ -101,6 +127,9 @@ fn main() {
         .with_clients(cfg.clients);
     if paper {
         params = params.with_stripe(cfg.stripe_size);
+    }
+    if cfg.faults.enabled() {
+        params = params.with_faults(cfg.faults.clone());
     }
 
     let systems: Vec<FsKind> = if fs_arg.eq_ignore_ascii_case("all") {
@@ -168,6 +197,9 @@ fn main() {
                 for w in bug.witness.iter().take(4) {
                     println!("      witness: {w}");
                 }
+            }
+            for d in &cell.outcome.diagnostics {
+                println!("   diagnostic: {d}");
             }
         }
     }

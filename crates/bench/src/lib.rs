@@ -25,6 +25,7 @@ use workloads::{FsKind, Params, Program};
 pub mod benches {
     pub mod ablation;
     pub mod explore;
+    pub mod faults;
     pub mod scalability;
     pub mod substrate;
     pub mod telemetry;
@@ -95,6 +96,8 @@ pub fn run_program(program: Program, fs: FsKind, params: &Params, cfg: &CheckCon
                 acc.outcome.stats.states_total += cell.outcome.stats.states_total;
                 acc.outcome.stats.states_checked += cell.outcome.stats.states_checked;
                 acc.outcome.stats.states_pruned += cell.outcome.stats.states_pruned;
+                acc.outcome.stats.states_diagnostic += cell.outcome.stats.states_diagnostic;
+                acc.outcome.diagnostics.extend(cell.outcome.diagnostics);
                 acc.outcome.stats.sim_seconds += cell.outcome.stats.sim_seconds;
                 acc.outcome.stats.wall_seconds += cell.outcome.stats.wall_seconds;
                 acc.outcome.stats.server_rebuilds += cell.outcome.stats.server_rebuilds;
@@ -160,6 +163,8 @@ pub fn run_program_swept(
             Some(mut acc) => {
                 acc.outcome.raw_inconsistent_states += cell.outcome.raw_inconsistent_states;
                 acc.outcome.h5_bad_pfs_ok_states += cell.outcome.h5_bad_pfs_ok_states;
+                acc.outcome.stats.states_diagnostic += cell.outcome.stats.states_diagnostic;
+                acc.outcome.diagnostics.extend(cell.outcome.diagnostics);
                 for bug in cell.outcome.bugs {
                     if let Some(existing) = acc
                         .outcome

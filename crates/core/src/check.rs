@@ -71,6 +71,10 @@ pub struct CheckOutcome {
     pub h5_bad_pfs_ok_states: usize,
     /// Exploration accounting (Figures 10 / 11).
     pub stats: ExploreStats,
+    /// Crash states whose check itself failed (a panicking recovery
+    /// tool, a poisoned replay): one human-readable line each. The run
+    /// completes; these states are excluded from the verdict counts.
+    pub diagnostics: Vec<String>,
 }
 
 impl CheckOutcome {
@@ -88,6 +92,53 @@ impl CheckOutcome {
             .iter()
             .filter(|b| b.layer == LayerVerdict::PfsBug)
             .count()
+    }
+
+    /// Deterministic rendering of everything the checker *decided* —
+    /// bugs, state counts, diagnostics — excluding wall-clock timing
+    /// and cache traffic. Two runs with the same trace and the same
+    /// fault seed must produce byte-identical canonical reports, on any
+    /// `PC_THREADS` setting: this is the string the chaos suite
+    /// compares.
+    pub fn canonical_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "pfs = {}", self.pfs_name);
+        let _ = writeln!(
+            out,
+            "states total/checked/pruned/diagnostic = {}/{}/{}/{}",
+            self.stats.states_total,
+            self.stats.states_checked,
+            self.stats.states_pruned,
+            self.stats.states_diagnostic,
+        );
+        let _ = writeln!(
+            out,
+            "raw inconsistent = {} (h5-bad-pfs-ok {})",
+            self.raw_inconsistent_states, self.h5_bad_pfs_ok_states,
+        );
+        let mut bugs: Vec<String> = self
+            .bugs
+            .iter()
+            .map(|b| {
+                format!(
+                    "bug {} [{:?}] violates {} x{} witness={:?}",
+                    b.signature,
+                    b.layer,
+                    b.violated_model.as_str(),
+                    b.occurrences,
+                    b.witness,
+                )
+            })
+            .collect();
+        bugs.sort();
+        for b in bugs {
+            let _ = writeln!(out, "{b}");
+        }
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "diagnostic: {d}");
+        }
+        out
     }
 }
 
@@ -275,23 +326,36 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     drop(stage);
 
     // The per-state verdict, shared by the sequential and parallel paths.
+    // Torn-write widening (when `cfg.faults.torn_writes`) draws from an
+    // RNG seeded by (fault seed, state index) so the same crash state
+    // tears the same way on every run and thread count.
+    let torn = cfg.faults.torn_writes;
+    let torn_rng = |i: usize| -> pc_rt::rng::Rng {
+        pc_rt::rng::Rng::new(
+            cfg.faults
+                .seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    };
     let verdict_of = |i: usize,
                       legal_views: &[PfsView],
                       legal_h5: &[H5Logical]|
      -> (bool, Option<(LayerVerdict, Model)>) {
         let state = &states[i];
-        let view = match &plan {
-            Some(plan) => {
-                let mut st = plan.prepared[i].fork();
-                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
-                view
+        let view = {
+            let mut st = match &plan {
+                Some(plan) => plan.prepared[i].fork(),
+                None => {
+                    let mut st = stack.pfs.baseline().deep_clone();
+                    st.apply_events(rec, state.persisted.iter());
+                    st
+                }
+            };
+            if torn {
+                st.apply_torn_victims(rec, state.victims.iter().copied(), &mut torn_rng(i));
             }
-            None => {
-                let mut st = stack.pfs.baseline().deep_clone();
-                st.apply_events(rec, state.persisted.iter());
-                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
-                view
-            }
+            let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+            view
         };
         let pfs_ok = legal_views.contains(&view);
         let verdict = if let Some(path) = &stack.h5_path {
@@ -325,20 +389,33 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     // and the simulated cost model are identical to a fully sequential
     // exploration. The pool honours `PC_THREADS` (1 = the sequential
     // reference run used by determinism tests).
-    let mut legal_of: Vec<Option<LegalStates>> = vec![None; states.len()];
+    // Both the golden-state replays and the per-state verdicts run under
+    // catch_unwind: a panicking model or recovery tool poisons only its
+    // own crash state, which the prune pass below turns into a
+    // diagnostic entry instead of aborting the run.
+    let mut legal_of: Vec<Option<Result<LegalStates, String>>> =
+        (0..states.len()).map(|_| None).collect();
     let stage = pc_rt::obs::span_cat("check.legal_states", "check");
     for &idx in &order {
-        legal_of[idx] = Some(evaluate(&states[idx], &mut pfs_cache, &mut h5_cache));
+        let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluate(&states[idx], &mut pfs_cache, &mut h5_cache)
+        }))
+        .map_err(|p| pc_rt::pool::panic_message(p.as_ref()));
+        legal_of[idx] = Some(got);
     }
     drop(stage);
     let stage = pc_rt::obs::span_cat("check.verdicts", "check");
-    let computed: Vec<(bool, Option<(LayerVerdict, Model)>)> =
-        pc_rt::pool::par_map_indices(states.len(), |i| {
-            let (legal_views, legal_h5) = legal_of[i].as_ref().expect("prefilled");
-            verdict_of(i, legal_views, legal_h5)
+    let computed: Vec<Result<(bool, Option<(LayerVerdict, Model)>), String>> =
+        pc_rt::pool::par_map_indices_caught(states.len(), |i| {
+            match legal_of[i].as_ref().expect("prefilled") {
+                Ok((legal_views, legal_h5)) => verdict_of(i, legal_views, legal_h5),
+                // Funnel replay failures through the same caught path.
+                Err(e) => panic!("legal-state replay failed: {e}"),
+            }
         });
     drop(stage);
     let stage = pc_rt::obs::span_cat("check.prune", "check");
+    let mut diagnostics: Vec<String> = Vec::new();
     for &idx in &order {
         let state = &states[idx];
         if cfg.mode.prunes() && pruner_skips(&pruner, rec, &topo, &pa, state) {
@@ -347,30 +424,59 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         }
         stats.states_checked += 1;
         checked_indices.push(idx);
-        let v = computed[idx];
+        let v = match &computed[idx] {
+            Ok(v) => *v,
+            Err(msg) => {
+                stats.states_diagnostic += 1;
+                pc_rt::obs::count("recover.diagnostic", 1);
+                diagnostics.push(format!("crash state {idx}: {msg}"));
+                if cfg.fail_fast {
+                    break;
+                }
+                continue;
+            }
+        };
         if let (_, Some((layer, violated_model))) = v {
             raw_inconsistent += 1;
             if layer == LayerVerdict::IoLibBug {
                 h5_bad_pfs_ok += 1;
             }
-            let (legal_views, legal_h5) = legal_of[idx].as_ref().expect("prefilled");
-            aggregate_or_classify(
-                stack,
-                rec,
-                &topo,
-                &pa,
-                cfg,
-                state,
-                layer,
-                violated_model,
-                legal_views,
-                legal_h5,
-                baseline_h5.as_ref(),
-                &modified_keys,
-                &mut bugs,
-                &mut pruner,
-                cfg.mode.prunes(),
-            );
+            let (legal_views, legal_h5) = match legal_of[idx].as_ref().expect("prefilled") {
+                Ok(ls) => ls,
+                Err(_) => unreachable!("verdict computed implies legal states exist"),
+            };
+            // The classifier's flip oracle re-runs recovery on probe
+            // states; a panic there poisons only this state.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                aggregate_or_classify(
+                    stack,
+                    rec,
+                    &topo,
+                    &pa,
+                    cfg,
+                    state,
+                    layer,
+                    violated_model,
+                    legal_views,
+                    legal_h5,
+                    baseline_h5.as_ref(),
+                    &modified_keys,
+                    &mut bugs,
+                    &mut pruner,
+                    cfg.mode.prunes(),
+                )
+            }));
+            if let Err(p) = caught {
+                stats.states_diagnostic += 1;
+                pc_rt::obs::count("recover.diagnostic", 1);
+                diagnostics.push(format!(
+                    "crash state {idx}: classification failed: {}",
+                    pc_rt::pool::panic_message(p.as_ref())
+                ));
+            }
+            if cfg.fail_fast {
+                break;
+            }
         }
     }
     drop(stage);
@@ -435,6 +541,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         raw_inconsistent_states: raw_inconsistent,
         h5_bad_pfs_ok_states: h5_bad_pfs_ok,
         stats,
+        diagnostics,
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::explore::ExploreMode;
 use crate::model::Model;
 use h5sim::ClearOpts;
+use simnet::FaultConfig;
 
 /// Everything a check run needs besides the traced stack itself.
 #[derive(Debug, Clone)]
@@ -38,6 +39,13 @@ pub struct CheckConfig {
     /// LRU eviction (0 disables caching). Large enough that the paper's
     /// workloads never evict; a bound, not a tuning knob.
     pub replay_cache_cap: usize,
+    /// Seeded fault plane for the run: RPC delivery faults during the
+    /// traced workload plus torn-write widening of crash states. The
+    /// default injects nothing and leaves every code path untouched.
+    pub faults: FaultConfig,
+    /// Stop exploring at the first inconsistent or diagnostic crash
+    /// state instead of checking the full enumeration.
+    pub fail_fast: bool,
 }
 
 impl Default for CheckConfig {
@@ -62,6 +70,8 @@ impl CheckConfig {
             servers: (2, 2),
             clients: 2,
             replay_cache_cap: 4096,
+            faults: FaultConfig::disabled(),
+            fail_fast: false,
         }
     }
 
@@ -69,8 +79,9 @@ impl CheckConfig {
     ///
     /// Recognized keys: `pfs_model`, `h5_model`, `k`, `mode`,
     /// `h5clear_increase_eof`, `stripe_size`, `meta_servers`,
-    /// `storage_servers`, `clients`, `replay_cache_cap`. Unknown keys
-    /// are rejected.
+    /// `storage_servers`, `clients`, `replay_cache_cap`, `faults`
+    /// (a [`FaultConfig::parse_spec`] string) and `fail_fast`. Unknown
+    /// keys are rejected.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut cfg = Self::paper_default();
         for (lineno, line) in text.lines().enumerate() {
@@ -98,6 +109,11 @@ impl CheckConfig {
                 "replay_cache_cap" => {
                     cfg.replay_cache_cap = value.parse().map_err(|_| bad("count"))?
                 }
+                "faults" => {
+                    cfg.faults = FaultConfig::parse_spec(value)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?
+                }
+                "fail_fast" => cfg.fail_fast = value.parse().map_err(|_| bad("bool"))?,
                 other => return Err(format!("line {}: unknown key {other}", lineno + 1)),
             }
         }
@@ -110,7 +126,7 @@ impl CheckConfig {
             "pfs_model = {}\nh5_model = {}\nk = {}\nmode = {}\n\
              h5clear_increase_eof = {}\nstripe_size = {}\n\
              meta_servers = {}\nstorage_servers = {}\nclients = {}\n\
-             replay_cache_cap = {}\n",
+             replay_cache_cap = {}\nfaults = {}\nfail_fast = {}\n",
             self.pfs_model.as_str(),
             self.h5_model.as_str(),
             self.k,
@@ -121,6 +137,8 @@ impl CheckConfig {
             self.servers.1,
             self.clients,
             self.replay_cache_cap,
+            self.faults.render_spec(),
+            self.fail_fast,
         )
     }
 }
@@ -147,6 +165,23 @@ mod tests {
         assert_eq!(parsed.stripe_size, cfg.stripe_size);
         assert_eq!(parsed.mode, cfg.mode);
         assert_eq!(parsed.replay_cache_cap, cfg.replay_cache_cap);
+    }
+
+    #[test]
+    fn parse_faults_and_fail_fast() {
+        let cfg = CheckConfig::parse(
+            "faults = seed=7,drop=0.2,torn=true
+fail_fast = true
+",
+        )
+        .unwrap();
+        assert_eq!(cfg.faults.seed, 7);
+        assert!(cfg.faults.torn_writes && cfg.faults.enabled());
+        assert!(cfg.fail_fast);
+        let rt = CheckConfig::parse(&cfg.render()).unwrap();
+        assert_eq!(rt.faults, cfg.faults);
+        assert!(rt.fail_fast);
+        assert!(CheckConfig::parse("faults = drop=2.0").is_err());
     }
 
     #[test]

@@ -58,9 +58,13 @@ impl Stack {
 
     /// Issue one POSIX-level PFS call from `client`.
     pub fn posix(&mut self, client: u32, call: PfsCall) {
+        // The traced run drives calls the workload itself constructed; a
+        // dispatch error means the workload is malformed. The checker runs
+        // this phase under catch_unwind and surfaces the panic message.
         let ev = self
             .pfs
-            .dispatch(&mut self.rec, Process::Client(client), &call, None);
+            .dispatch(&mut self.rec, Process::Client(client), &call, None)
+            .unwrap_or_else(|e| panic!("posix dispatch of {}: {e}", call.name()));
         self.calls.push(ev, Process::Client(client), call);
     }
 
@@ -180,7 +184,10 @@ pub fn replay_pfs(
     let mut pfs = factory();
     let mut rec = Recorder::new();
     for (client, call) in &all {
-        pfs.dispatch(&mut rec, *client, call, None);
+        // A model may reject a subset `executable` admits (its own
+        // namespace bookkeeping is stricter); that subset denotes no
+        // legal state either.
+        pfs.dispatch(&mut rec, *client, call, None).ok()?;
     }
     Some(pfs.client_view(pfs.live()))
 }

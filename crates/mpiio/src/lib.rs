@@ -59,9 +59,14 @@ impl<'a> MpiIo<'a> {
     }
 
     fn dispatch(&mut self, rank: u32, call: PfsCall, parent: EventId) -> EventId {
+        // MPI-IO only issues calls against files it opened itself, so a
+        // dispatch error here is a broken replay, not bad user input. The
+        // checker runs replays under catch_unwind and reports the panic as
+        // a diagnostic.
         let ev = self
             .pfs
-            .dispatch(self.rec, Process::Client(rank), &call, Some(parent));
+            .dispatch(self.rec, Process::Client(rank), &call, Some(parent))
+            .unwrap_or_else(|e| panic!("MPI-IO dispatch of {}: {e}", call.name()));
         self.trace.push(ev, Process::Client(rank), call);
         ev
     }

@@ -25,12 +25,13 @@
 //! ```
 
 use crate::call::PfsCall;
+use crate::error::{PfsError, PfsResult};
 use crate::placement::Placement;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
 use simfs::{FsOp, FsState, JournalMode};
-use simnet::{ClusterTopology, RpcNet};
+use simnet::{ClusterTopology, FaultConfig, FaultPlane, RpcNet};
 use std::collections::BTreeMap;
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -64,6 +65,7 @@ pub struct BeeGfs {
     dirs: BTreeMap<String, DirInfo>,
     files: BTreeMap<String, FileInfo>,
     next_id: u64,
+    faults: FaultPlane,
 }
 
 impl BeeGfs {
@@ -117,6 +119,7 @@ impl BeeGfs {
             dirs,
             files: BTreeMap::new(),
             next_id: 0,
+            faults: FaultPlane::disabled(),
         }
     }
 
@@ -191,16 +194,39 @@ impl BeeGfs {
         format!("/chunks/{id}.{stripe}")
     }
 
-    fn dir_info(&self, path: &str) -> &DirInfo {
+    fn dir_info(&self, path: &str) -> PfsResult<&DirInfo> {
         self.dirs
             .get(path)
-            .unwrap_or_else(|| panic!("BeeGFS: unknown directory {path}"))
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
     }
 
-    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn file_info(&self, path: &str) -> PfsResult<&FileInfo> {
+        self.files
+            .get(path)
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_mut(&mut self, path: &str) -> &mut FileInfo {
+        self.files
+            .get_mut(path)
+            .expect("invariant: file checked present earlier in this call")
+    }
+
+    /// RPC net routed through this instance's fault plane.
+    fn net<'a>(&'a mut self, rec: &'a mut Recorder) -> RpcNet<'a> {
+        RpcNet::faulty(rec, &mut self.faults)
+    }
+
+    fn do_creat(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let parent_dir = Self::parent_of(path);
         let name = Self::name_of(path).to_string();
-        let pinfo = self.dir_info(&parent_dir).clone();
+        let pinfo = self.dir_info(&parent_dir)?.clone();
         let meta = self.meta_server(pinfo.owner);
         let id = format!("f{}", self.next_id);
         self.next_id += 1;
@@ -209,7 +235,7 @@ impl BeeGfs {
         // Figure 2: creat(idfile); link(idfile, dentries/<name>);
         // setxattr(dir_inode) on the metadata server, driven by an RPC
         // from the client.
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("CREAT {path}"),
@@ -236,7 +262,7 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             meta,
             FsOp::SetXattr {
@@ -246,7 +272,8 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
 
         self.files.insert(
             path.to_string(),
@@ -257,12 +284,19 @@ impl BeeGfs {
                 chunks: BTreeMap::new(),
             },
         );
+        Ok(())
     }
 
-    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_mkdir(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let parent_dir = Self::parent_of(path);
         let name = Self::name_of(path).to_string();
-        let pinfo = self.dir_info(&parent_dir).clone();
+        let pinfo = self.dir_info(&parent_dir)?.clone();
         let key = format!("d{}", self.next_id);
         self.next_id += 1;
         let owner = self.placement.dir_index(path, self.n_meta());
@@ -270,7 +304,7 @@ impl BeeGfs {
         let ometa = self.meta_server(owner);
 
         // Dentry on the parent's owner.
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(pmeta),
             &format!("MKDIR {path}"),
@@ -295,7 +329,7 @@ impl BeeGfs {
             },
             Some(e),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             pmeta,
             FsOp::SetXattr {
@@ -305,10 +339,11 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(pmeta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(pmeta), client, "OK", Some(w));
 
         // Dentries dir + inode on the new directory's owner.
-        let (_, recv2) = RpcNet::new(rec).request(
+        let (_, recv2) = self.net(rec).request(
             client,
             Process::Server(ometa),
             &format!("MKDIR-OBJ {key}"),
@@ -322,7 +357,7 @@ impl BeeGfs {
             },
             Some(recv2),
         );
-        self.emit(
+        let w2 = self.emit(
             rec,
             ometa,
             FsOp::Creat {
@@ -330,9 +365,11 @@ impl BeeGfs {
             },
             Some(recv2),
         );
-        RpcNet::new(rec).reply(Process::Server(ometa), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(ometa), client, "OK", Some(w2));
 
         self.dirs.insert(path.to_string(), DirInfo { key, owner });
+        Ok(())
     }
 
     fn do_pwrite(
@@ -343,15 +380,11 @@ impl BeeGfs {
         offset: u64,
         data: &[u8],
         cev: EventId,
-    ) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("BeeGFS: pwrite to unknown file {path}"))
-            .clone();
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
         let n_storage = self.n_storage();
         let parent_dir = Self::parent_of(path);
-        let meta_owner = self.dir_info(&parent_dir).owner;
+        let meta_owner = self.dir_info(&parent_dir)?.owner;
         let meta = self.meta_server(meta_owner);
 
         let mut segs = Vec::new();
@@ -372,7 +405,7 @@ impl BeeGfs {
         let mut touched_servers = Vec::new();
         for (sidx, stripe, off, len) in segs {
             let storage = self.storage_server(sidx);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(storage),
                 &format!("WRITE {path} stripe {stripe}"),
@@ -394,9 +427,9 @@ impl BeeGfs {
                     },
                     Some(recv),
                 );
-                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+                self.file_mut(path).chunks.insert(stripe, 0);
             }
-            let cur_len = self.files.get(path).unwrap().chunks[&stripe];
+            let cur_len = self.file_mut(path).chunks[&stripe];
             let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
             let op = if chunk_off == cur_len {
                 FsOp::Append {
@@ -410,31 +443,32 @@ impl BeeGfs {
                     data: buf,
                 }
             };
-            self.emit(rec, storage, op, Some(recv));
-            let f = self.files.get_mut(path).unwrap();
+            let w = self.emit(rec, storage, op, Some(recv));
+            let f = self.file_mut(path);
             let new_len = (chunk_off + len).max(cur_len);
             f.chunks.insert(stripe, new_len);
             // Ack to the client: the write call returns before the next
             // client operation runs.
-            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(storage), client, "OK", Some(w));
             touched_servers.push(storage);
         }
 
         // Size update on the metadata server, sent by the storage side
         // (Figure 2: storage `sendto(meta-node)`, meta `setxattr(idfile)`,
         // acknowledged before the write call returns).
-        let f = self.files.get_mut(path).unwrap();
+        let f = self.file_mut(path);
         f.size = f.size.max(offset + data.len() as u64);
         let new_size = f.size;
         let idf = Self::idfile_path(&info.id);
         if let Some(&storage) = touched_servers.last() {
-            let (_, recv) = RpcNet::new(rec).message(
+            let (_, recv) = self.net(rec).message(
                 Process::Server(storage),
                 Process::Server(meta),
                 &format!("SIZE {path}"),
                 Some(cev),
             );
-            self.emit(
+            let w = self.emit(
                 rec,
                 meta,
                 FsOp::SetXattr {
@@ -444,8 +478,10 @@ impl BeeGfs {
                 },
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(meta), client, "SIZE-OK");
+            self.net(rec)
+                .reply(Process::Server(meta), client, "SIZE-OK", Some(w));
         }
+        Ok(())
     }
 
     fn do_rename(
@@ -455,11 +491,11 @@ impl BeeGfs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
+    ) -> PfsResult<()> {
         if self.dirs.contains_key(src) {
-            self.rename_dir(rec, client, src, dst, cev);
+            self.rename_dir(rec, client, src, dst, cev)
         } else {
-            self.rename_file(rec, client, src, dst, cev);
+            self.rename_file(rec, client, src, dst, cev)
         }
     }
 
@@ -470,17 +506,19 @@ impl BeeGfs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
+    ) -> PfsResult<()> {
         let sparent = Self::parent_of(src);
         let dparent = Self::parent_of(dst);
-        let spinfo = self.dir_info(&sparent).clone();
-        let dpinfo = self.dir_info(&dparent).clone();
-        assert_eq!(
-            spinfo.key, dpinfo.key,
-            "BeeGFS model supports directory renames within one parent"
-        );
+        let spinfo = self.dir_info(&sparent)?.clone();
+        let dpinfo = self.dir_info(&dparent)?.clone();
+        if spinfo.key != dpinfo.key {
+            // The model only traces directory renames within one parent.
+            return Err(PfsError::BadCall(format!(
+                "directory rename across parents: {src} -> {dst}"
+            )));
+        }
         let meta = self.meta_server(spinfo.owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("RENAME {src} {dst}"),
@@ -495,7 +533,7 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             meta,
             FsOp::SetXattr {
@@ -505,7 +543,8 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
 
         // Runtime rebookkeeping: every path under src moves to dst.
         let rewrite = |map_keys: Vec<String>| -> Vec<(String, String)> {
@@ -519,13 +558,20 @@ impl BeeGfs {
                 .collect()
         };
         for (old, new) in rewrite(self.dirs.keys().cloned().collect()) {
-            let v = self.dirs.remove(&old).unwrap();
+            let v = self
+                .dirs
+                .remove(&old)
+                .expect("invariant: key came from this map");
             self.dirs.insert(new, v);
         }
         for (old, new) in rewrite(self.files.keys().cloned().collect()) {
-            let v = self.files.remove(&old).unwrap();
+            let v = self
+                .files
+                .remove(&old)
+                .expect("invariant: key came from this map");
             self.files.insert(new, v);
         }
+        Ok(())
     }
 
     fn rename_file(
@@ -535,21 +581,17 @@ impl BeeGfs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
+    ) -> PfsResult<()> {
         let sparent = Self::parent_of(src);
         let dparent = Self::parent_of(dst);
-        let spinfo = self.dir_info(&sparent).clone();
-        let dpinfo = self.dir_info(&dparent).clone();
-        let sinfo = self
-            .files
-            .get(src)
-            .unwrap_or_else(|| panic!("BeeGFS: rename of unknown file {src}"))
-            .clone();
+        let spinfo = self.dir_info(&sparent)?.clone();
+        let dpinfo = self.dir_info(&dparent)?.clone();
+        let sinfo = self.file_info(src)?.clone();
         let overwritten = self.files.get(dst).cloned();
 
         let smeta = self.meta_server(spinfo.owner);
         if spinfo.owner == dpinfo.owner {
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(smeta),
                 &format!("RENAME {src} {dst}"),
@@ -610,7 +652,7 @@ impl BeeGfs {
                     Some(recv),
                 );
             }
-            self.emit(
+            let w = self.emit(
                 rec,
                 smeta,
                 FsOp::SetXattr {
@@ -621,7 +663,8 @@ impl BeeGfs {
                 Some(recv),
             );
             let reply_parent = recv;
-            RpcNet::new(rec).reply(Process::Server(smeta), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(smeta), client, "OK", Some(w));
 
             // Asynchronous chunk cleanup of the overwritten file
             // (Figure 2: meta `sendto(storage)`, storage
@@ -633,7 +676,7 @@ impl BeeGfs {
             // Cross-metadata-server move: new idfile + dentry on the
             // destination owner, removal on the source owner.
             let dmeta = self.meta_server(dpinfo.owner);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(dmeta),
                 &format!("RENAME-IN {dst}"),
@@ -661,18 +704,20 @@ impl BeeGfs {
                 },
                 Some(e),
             );
-            self.emit(
+            let link_dst = self.dentry_path(&dpinfo.key, Self::name_of(dst));
+            let w = self.emit(
                 rec,
                 dmeta,
                 FsOp::Link {
                     src: idf,
-                    dst: self.dentry_path(&dpinfo.key, Self::name_of(dst)),
+                    dst: link_dst,
                 },
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(dmeta), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(dmeta), client, "OK", Some(w));
 
-            let (_, recv2) = RpcNet::new(rec).request(
+            let (_, recv2) = self.net(rec).request(
                 client,
                 Process::Server(smeta),
                 &format!("RENAME-OUT {src}"),
@@ -686,7 +731,7 @@ impl BeeGfs {
                 },
                 Some(recv2),
             );
-            self.emit(
+            let w2 = self.emit(
                 rec,
                 smeta,
                 FsOp::Unlink {
@@ -694,7 +739,8 @@ impl BeeGfs {
                 },
                 Some(recv2),
             );
-            RpcNet::new(rec).reply(Process::Server(smeta), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(smeta), client, "OK", Some(w2));
 
             if let Some(old) = &overwritten {
                 self.unlink_chunks(rec, dmeta, old, None);
@@ -703,6 +749,7 @@ impl BeeGfs {
 
         self.files.remove(src);
         self.files.insert(dst.to_string(), sinfo);
+        Ok(())
     }
 
     /// Asynchronous chunk removal for a deleted/overwritten file.
@@ -718,7 +765,7 @@ impl BeeGfs {
         for stripe in stripes {
             let sidx = (info.first + stripe as usize) % n_storage;
             let storage = self.storage_server(sidx);
-            let (send, recv) = RpcNet::new(rec).message(
+            let (send, recv) = self.net(rec).message(
                 Process::Server(meta),
                 Process::Server(storage),
                 &format!("UNLINK-CHUNK {}.{stripe}", info.id),
@@ -736,16 +783,18 @@ impl BeeGfs {
         }
     }
 
-    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_unlink(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let parent_dir = Self::parent_of(path);
-        let pinfo = self.dir_info(&parent_dir).clone();
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("BeeGFS: unlink of unknown file {path}"))
-            .clone();
+        let pinfo = self.dir_info(&parent_dir)?.clone();
+        let info = self.file_info(path)?.clone();
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("UNLINK {path}"),
@@ -767,7 +816,7 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             meta,
             FsOp::SetXattr {
@@ -778,27 +827,35 @@ impl BeeGfs {
             Some(recv),
         );
         let reply_parent = recv;
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
         self.unlink_chunks(rec, meta, &info, Some(reply_parent));
         self.files.remove(path);
+        Ok(())
     }
 
-    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_fsync(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         // tuneRemoteFSync: the client fsync is forwarded to every server
         // holding a piece of the file.
         let Some(info) = self.files.get(path).cloned() else {
-            return;
+            return Ok(());
         };
         let n_storage = self.n_storage();
         for &stripe in info.chunks.keys() {
             let storage = self.storage_server((info.first + stripe as usize) % n_storage);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(storage),
                 &format!("FSYNC {path} stripe {stripe}"),
                 Some(cev),
             );
-            self.emit(
+            let w = self.emit(
                 rec,
                 storage,
                 FsOp::Fsync {
@@ -806,17 +863,18 @@ impl BeeGfs {
                 },
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(storage), client, "OK", Some(w));
         }
         let parent_dir = Self::parent_of(path);
-        let meta = self.meta_server(self.dir_info(&parent_dir).owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let meta = self.meta_server(self.dir_info(&parent_dir)?.owner);
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("FSYNC-META {path}"),
             Some(cev),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             meta,
             FsOp::Fsync {
@@ -824,7 +882,9 @@ impl BeeGfs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
+        Ok(())
     }
 
     /// Walk one directory (by key/owner) of a crashed-or-live state.
@@ -925,7 +985,7 @@ impl Pfs for BeeGfs {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -936,26 +996,26 @@ impl Pfs for BeeGfs {
             parent,
         );
         match call {
-            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
-            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev)?,
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev)?,
             PfsCall::Pwrite { path, offset, data } => {
-                self.do_pwrite(rec, client, path, *offset, data, cev)
+                self.do_pwrite(rec, client, path, *offset, data, cev)?
             }
-            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
-            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev)?,
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev)?,
             PfsCall::Rmdir { path } => {
                 // Dentry removal on the parent's owner; object cleanup is
                 // lazy (not modelled — none of the test programs need it).
                 let parent_dir = Self::parent_of(path);
-                let pinfo = self.dir_info(&parent_dir).clone();
+                let pinfo = self.dir_info(&parent_dir)?.clone();
                 let meta = self.meta_server(pinfo.owner);
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(meta),
                     &format!("RMDIR {path}"),
                     Some(cev),
                 );
-                self.emit(
+                let w = self.emit(
                     rec,
                     meta,
                     FsOp::Unlink {
@@ -963,15 +1023,16 @@ impl Pfs for BeeGfs {
                     },
                     Some(recv),
                 );
-                RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(meta), client, "OK", Some(w));
                 self.dirs.remove(path);
             }
             PfsCall::Close { .. } => {
                 // Client-side handle release only; BeeGFS flushes nothing.
             }
-            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev)?,
         }
-        cev
+        Ok(cev)
     }
 
     fn seal_baseline(&mut self) {
@@ -986,8 +1047,18 @@ impl Pfs for BeeGfs {
         &self.live
     }
 
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = FaultPlane::new(cfg);
+    }
+
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
         let _span = pc_rt::obs::span_cat("recover/BeeGFS", "pfs");
+        if std::env::var_os("PC_TEST_POISON_RECOVER").is_some() {
+            // Test-only hook: a deliberately broken recovery tool, used to
+            // prove a panicking model yields a diagnostic entry instead of
+            // aborting the whole checking run.
+            panic!("poisoned recover (PC_TEST_POISON_RECOVER)");
+        }
         let mut report = RecoveryReport::clean("beegfs-fsck");
         // Pass 1: dentries pointing at idfiles with no attributes, or
         // directories with no dentries object → report; drop directory
@@ -1131,7 +1202,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1141,45 +1213,57 @@ mod tests {
                 data: b"old".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         // Test program: ARVR.
-        let mut evs = vec![fs.dispatch(
-            &mut rec,
-            c,
-            &PfsCall::Creat {
-                path: "/tmp".into(),
-            },
-            None,
-        )];
-        evs.push(fs.dispatch(
-            &mut rec,
-            c,
-            &PfsCall::Pwrite {
-                path: "/tmp".into(),
-                offset: 0,
-                data: b"new".to_vec(),
-            },
-            None,
-        ));
-        evs.push(fs.dispatch(
-            &mut rec,
-            c,
-            &PfsCall::Close {
-                path: "/tmp".into(),
-            },
-            None,
-        ));
-        evs.push(fs.dispatch(
-            &mut rec,
-            c,
-            &PfsCall::Rename {
-                src: "/tmp".into(),
-                dst: "/file".into(),
-            },
-            None,
-        ));
+        let mut evs = vec![fs
+            .dispatch(
+                &mut rec,
+                c,
+                &PfsCall::Creat {
+                    path: "/tmp".into(),
+                },
+                None,
+            )
+            .unwrap()];
+        evs.push(
+            fs.dispatch(
+                &mut rec,
+                c,
+                &PfsCall::Pwrite {
+                    path: "/tmp".into(),
+                    offset: 0,
+                    data: b"new".to_vec(),
+                },
+                None,
+            )
+            .unwrap(),
+        );
+        evs.push(
+            fs.dispatch(
+                &mut rec,
+                c,
+                &PfsCall::Close {
+                    path: "/tmp".into(),
+                },
+                None,
+            )
+            .unwrap(),
+        );
+        evs.push(
+            fs.dispatch(
+                &mut rec,
+                c,
+                &PfsCall::Rename {
+                    src: "/tmp".into(),
+                    dst: "/file".into(),
+                },
+                None,
+            )
+            .unwrap(),
+        );
         (fs, rec, evs)
     }
 
@@ -1279,7 +1363,8 @@ mod tests {
         let mut fs = BeeGfs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1287,7 +1372,8 @@ mod tests {
                 path: "/A/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1297,7 +1383,8 @@ mod tests {
                 data: b"x".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert!(view.dirs.contains("/A"));
         assert_eq!(view.read("/A/foo"), Some(&b"x"[..]));
@@ -1308,8 +1395,10 @@ mod tests {
         let mut fs = BeeGfs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1317,7 +1406,8 @@ mod tests {
                 path: "/A/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let before = rec.len();
         fs.dispatch(
             &mut rec,
@@ -1327,7 +1417,8 @@ mod tests {
                 dst: "/B/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let has_link = rec.events()[before..].iter().any(|e| {
             matches!(
                 &e.payload,
@@ -1368,7 +1459,8 @@ mod tests {
                 path: "/big".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1378,7 +1470,8 @@ mod tests {
                 data: b"0123456789".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert_eq!(view.read("/big"), Some(&b"0123456789"[..]));
         // Both storage servers hold chunks.
@@ -1416,7 +1509,8 @@ mod tests {
         let mut fs = BeeGfs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1426,8 +1520,10 @@ mod tests {
                 data: b"d".to_vec(),
             },
             None,
-        );
-        fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None);
+        )
+        .unwrap();
+        fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None)
+            .unwrap();
         let syncs = rec
             .events()
             .iter()

@@ -1,0 +1,55 @@
+//! Typed errors for PFS model dispatch.
+//!
+//! ParaCrash replays traced workloads, so a model hitting an unknown path
+//! or an out-of-namespace file is *bad input* (a malformed trace or
+//! workload), not a broken invariant. Dispatch reports such input as a
+//! [`PfsError`] instead of panicking, so the checker pipeline can turn it
+//! into a diagnostic entry and keep going.
+
+use simfs::FsError;
+
+/// Why a PFS model refused to dispatch a client call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// A path in the call does not resolve in the model's live namespace.
+    UnknownPath(String),
+    /// The call is malformed or unsupported for this model.
+    BadCall(String),
+    /// The backing local FS rejected an operation derived from the call.
+    Fs(FsError),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::UnknownPath(p) => write!(f, "unknown path {p}"),
+            PfsError::BadCall(m) => write!(f, "bad call: {m}"),
+            PfsError::Fs(e) => write!(f, "local fs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+impl From<FsError> for PfsError {
+    fn from(e: FsError) -> Self {
+        PfsError::Fs(e)
+    }
+}
+
+/// Result alias for dispatch paths.
+pub type PfsResult<T> = Result<T, PfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_from_fs_works() {
+        let e = PfsError::UnknownPath("/mnt/missing".into());
+        assert_eq!(e.to_string(), "unknown path /mnt/missing");
+        let e: PfsError = FsError::NotFound("/x".into()).into();
+        assert!(matches!(e, PfsError::Fs(_)));
+        assert!(!e.to_string().contains('\n'));
+    }
+}

@@ -8,6 +8,7 @@
 //! across servers) are the ones that break.
 
 use crate::call::PfsCall;
+use crate::error::PfsResult;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
@@ -85,7 +86,7 @@ impl Pfs for Ext4Direct {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -134,7 +135,7 @@ impl Pfs for Ext4Direct {
                 self.emit(rec, FsOp::Fsync { path: path.clone() }, Some(cev));
             }
         }
-        cev
+        Ok(cev)
     }
 
     fn seal_baseline(&mut self) {
@@ -185,7 +186,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -195,7 +197,8 @@ mod tests {
                 data: b"old".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(
@@ -205,7 +208,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -215,7 +219,8 @@ mod tests {
                 data: b"new".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -224,7 +229,8 @@ mod tests {
                 dst: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         // Every prefix of the lowermost ops yields a legal intermediate
         // view under data journaling.
         let low = rec.lowermost_events();
@@ -252,7 +258,8 @@ mod tests {
         let mut fs = Ext4Direct::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -260,7 +267,8 @@ mod tests {
                 path: "/A/f".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert!(view.dirs.contains("/A"));
         assert!(view.exists("/A/f"));

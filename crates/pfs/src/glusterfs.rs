@@ -25,12 +25,13 @@
 //! [`Placement`] pins.
 
 use crate::call::PfsCall;
+use crate::error::{PfsError, PfsResult};
 use crate::placement::Placement;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
 use simfs::{FsOp, JournalMode};
-use simnet::{ClusterTopology, RpcNet};
+use simnet::{ClusterTopology, FaultConfig, FaultPlane, RpcNet};
 use std::collections::BTreeMap;
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -58,6 +59,7 @@ pub struct GlusterFs {
     files: BTreeMap<String, FileInfo>,
     dirs: Vec<String>,
     next_id: u64,
+    faults: FaultPlane,
 }
 
 impl GlusterFs {
@@ -78,6 +80,7 @@ impl GlusterFs {
             files: BTreeMap::new(),
             dirs: vec!["/".to_string()],
             next_id: 0,
+            faults: FaultPlane::disabled(),
         }
     }
 
@@ -134,18 +137,41 @@ impl GlusterFs {
         format!("/data{path}")
     }
 
+    fn file_info(&self, path: &str) -> PfsResult<&FileInfo> {
+        self.files
+            .get(path)
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_mut(&mut self, path: &str) -> &mut FileInfo {
+        self.files
+            .get_mut(path)
+            .expect("invariant: file checked present earlier in this call")
+    }
+
+    /// RPC net routed through this instance's fault plane.
+    fn net<'a>(&'a mut self, rec: &'a mut Recorder) -> RpcNet<'a> {
+        RpcNet::faulty(rec, &mut self.faults)
+    }
+
     fn chunk_path(gfid: &str, stripe: u64) -> String {
         format!("/chunks/{gfid}.{stripe}")
     }
 
-    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_creat(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let primary = self.primary_of(path);
         let gfid = format!("g{}", self.next_id);
         let gen = self.next_id;
         self.next_id += 1;
         let brick = primary as u32;
         let overwritten = self.files.get(path).cloned();
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(brick),
             &format!("CREATE {path}"),
@@ -164,7 +190,7 @@ impl GlusterFs {
             },
             Some(e),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             brick,
             FsOp::Link {
@@ -173,7 +199,8 @@ impl GlusterFs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(brick), client, "OK", Some(w));
         if let Some(old) = overwritten {
             self.cleanup_chunks(rec, &old, recv);
         }
@@ -187,18 +214,25 @@ impl GlusterFs {
                 chunks: BTreeMap::from([(0, 0)]),
             },
         );
+        Ok(())
     }
 
-    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_mkdir(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         // Directories are replicated on every brick.
         for brick in 0..self.n_bricks() as u32 {
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(brick),
                 &format!("MKDIR {path}"),
                 Some(cev),
             );
-            self.emit(
+            let w = self.emit(
                 rec,
                 brick,
                 FsOp::Mkdir {
@@ -206,9 +240,11 @@ impl GlusterFs {
                 },
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(brick), client, "OK", Some(w));
         }
         self.dirs.push(path.to_string());
+        Ok(())
     }
 
     fn do_pwrite(
@@ -219,12 +255,8 @@ impl GlusterFs {
         offset: u64,
         data: &[u8],
         cev: EventId,
-    ) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("GlusterFS: pwrite to unknown file {path}"))
-            .clone();
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
         let n = self.n_bricks();
         let mut off = offset;
         let end = offset + data.len() as u64;
@@ -233,7 +265,7 @@ impl GlusterFs {
             let stripe_end = (stripe + 1) * self.stripe;
             let len = stripe_end.min(end) - off;
             let brick = ((info.primary + stripe as usize) % n) as u32;
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(brick),
                 &format!("WRITE {path} stripe {stripe}"),
@@ -259,9 +291,9 @@ impl GlusterFs {
                     },
                     Some(recv),
                 );
-                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+                self.file_mut(path).chunks.insert(stripe, 0);
             }
-            let cur = self.files.get(path).unwrap().chunks[&stripe];
+            let cur = self.file_mut(path).chunks[&stripe];
             let local_off = off - stripe * self.stripe;
             let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
             let op = if local_off == cur {
@@ -276,24 +308,25 @@ impl GlusterFs {
                     data: buf,
                 }
             };
-            self.emit(rec, brick, op, Some(recv));
-            let f = self.files.get_mut(path).unwrap();
+            let w = self.emit(rec, brick, op, Some(recv));
+            let f = self.file_mut(path);
             f.chunks.insert(stripe, (local_off + len).max(cur));
-            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(brick), client, "OK", Some(w));
             off += len;
         }
         // Size update on the primary brick.
-        let f = self.files.get_mut(path).unwrap();
+        let f = self.file_mut(path);
         f.size = f.size.max(end);
         let size = f.size;
         let primary = f.primary as u32;
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(primary),
             &format!("SETSIZE {path}"),
             Some(cev),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             primary,
             FsOp::SetXattr {
@@ -303,7 +336,9 @@ impl GlusterFs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(primary), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(primary), client, "OK", Some(w));
+        Ok(())
     }
 
     /// Remove the chunk files of a dead file (stripe 0 chunk link and any
@@ -330,18 +365,18 @@ impl GlusterFs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
+    ) -> PfsResult<()> {
         if self.dirs.contains(&src.to_string()) {
             // Directory rename: replicated like mkdir, one local rename
             // per brick.
             for brick in 0..self.n_bricks() as u32 {
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(brick),
                     &format!("RENAME-DIR {src} {dst}"),
                     Some(cev),
                 );
-                self.emit(
+                let w = self.emit(
                     rec,
                     brick,
                     FsOp::Rename {
@@ -350,7 +385,8 @@ impl GlusterFs {
                     },
                     Some(recv),
                 );
-                RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(brick), client, "OK", Some(w));
             }
             let moved: Vec<(String, String)> = self
                 .dirs
@@ -367,22 +403,18 @@ impl GlusterFs {
                     self.files.insert(new, v);
                 }
             }
-            return;
+            return Ok(());
         }
-        let info = self
-            .files
-            .get(src)
-            .unwrap_or_else(|| panic!("GlusterFS: rename of unknown file {src}"))
-            .clone();
+        let info = self.file_info(src)?.clone();
         let overwritten = self.files.get(dst).cloned();
         let brick = info.primary as u32;
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(brick),
             &format!("RENAME {src} {dst}"),
             Some(cev),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             brick,
             FsOp::Rename {
@@ -391,20 +423,21 @@ impl GlusterFs {
             },
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(brick), client, "OK", Some(w));
         if let Some(old) = overwritten {
             if old.primary != info.primary {
                 // The overwritten file lived on another brick: its entry
                 // must be unlinked there (cross-brick, unordered —
                 // the distribution-sensitive hazard).
                 let ob = old.primary as u32;
-                let (_, recv2) = RpcNet::new(rec).request(
+                let (_, recv2) = self.net(rec).request(
                     client,
                     Process::Server(ob),
                     &format!("UNLINK-OLD {dst}"),
                     Some(cev),
                 );
-                self.emit(
+                let w2 = self.emit(
                     rec,
                     ob,
                     FsOp::Unlink {
@@ -413,7 +446,8 @@ impl GlusterFs {
                     Some(recv2),
                 );
                 self.cleanup_chunks(rec, &old, recv2);
-                RpcNet::new(rec).reply(Process::Server(ob), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(ob), client, "OK", Some(w2));
             } else {
                 // Same brick: the rename already replaced the entry;
                 // clean up the old chunk hard links.
@@ -422,22 +456,25 @@ impl GlusterFs {
         }
         self.files.remove(src);
         self.files.insert(dst.to_string(), info);
+        Ok(())
     }
 
-    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("GlusterFS: unlink of unknown file {path}"))
-            .clone();
+    fn do_unlink(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
         let brick = info.primary as u32;
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(brick),
             &format!("UNLINK {path}"),
             Some(cev),
         );
-        self.emit(
+        let w = self.emit(
             rec,
             brick,
             FsOp::Unlink {
@@ -446,13 +483,21 @@ impl GlusterFs {
             Some(recv),
         );
         self.cleanup_chunks(rec, &info, recv);
-        RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(brick), client, "OK", Some(w));
         self.files.remove(path);
+        Ok(())
     }
 
-    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_fsync(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let Some(info) = self.files.get(path).cloned() else {
-            return;
+            return Ok(());
         };
         let n = self.n_bricks();
         for &stripe in info.chunks.keys() {
@@ -462,15 +507,17 @@ impl GlusterFs {
             } else {
                 Self::chunk_path(&info.gfid, stripe)
             };
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(brick),
                 &format!("FSYNC {path} stripe {stripe}"),
                 Some(cev),
             );
-            self.emit(rec, brick, FsOp::Fsync { path: target }, Some(recv));
-            RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+            let w = self.emit(rec, brick, FsOp::Fsync { path: target }, Some(recv));
+            self.net(rec)
+                .reply(Process::Server(brick), client, "OK", Some(w));
         }
+        Ok(())
     }
 
     /// Parse a `user.meta` xattr.
@@ -509,7 +556,7 @@ impl Pfs for GlusterFs {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -520,22 +567,22 @@ impl Pfs for GlusterFs {
             parent,
         );
         match call {
-            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
-            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev)?,
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev)?,
             PfsCall::Pwrite { path, offset, data } => {
-                self.do_pwrite(rec, client, path, *offset, data, cev)
+                self.do_pwrite(rec, client, path, *offset, data, cev)?
             }
-            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
-            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev)?,
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev)?,
             PfsCall::Rmdir { path } => {
                 for brick in 0..self.n_bricks() as u32 {
-                    let (_, recv) = RpcNet::new(rec).request(
+                    let (_, recv) = self.net(rec).request(
                         client,
                         Process::Server(brick),
                         &format!("RMDIR {path}"),
                         Some(cev),
                     );
-                    self.emit(
+                    let w = self.emit(
                         rec,
                         brick,
                         FsOp::Rmdir {
@@ -543,14 +590,15 @@ impl Pfs for GlusterFs {
                         },
                         Some(recv),
                     );
-                    RpcNet::new(rec).reply(Process::Server(brick), client, "OK");
+                    self.net(rec)
+                        .reply(Process::Server(brick), client, "OK", Some(w));
                 }
                 self.dirs.retain(|d| d != path);
             }
             PfsCall::Close { .. } => {}
-            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev)?,
         }
-        cev
+        Ok(cev)
     }
 
     fn seal_baseline(&mut self) {
@@ -563,6 +611,10 @@ impl Pfs for GlusterFs {
 
     fn live(&self) -> &ServerStates {
         &self.live
+    }
+
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = FaultPlane::new(cfg);
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
@@ -688,7 +740,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -698,7 +751,8 @@ mod tests {
                 data: b"old".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(
@@ -708,7 +762,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -718,7 +773,8 @@ mod tests {
                 data: b"new".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -726,7 +782,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -735,7 +792,8 @@ mod tests {
                 dst: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         rec
     }
 
@@ -795,7 +853,8 @@ mod tests {
                 path: "/log".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -803,7 +862,8 @@ mod tests {
                 path: "/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(fs.files["/log"].primary, 0);
         assert_eq!(fs.files["/foo"].primary, 1);
     }
@@ -824,7 +884,8 @@ mod tests {
                 path: "/big".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -834,7 +895,8 @@ mod tests {
                 data: b"abcdefghij".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert_eq!(view.read("/big"), Some(&b"abcdefghij"[..]));
         let touched: std::collections::BTreeSet<u32> = rec
@@ -860,7 +922,8 @@ mod tests {
         );
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/b".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/b".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -870,10 +933,12 @@ mod tests {
                 data: b"OLD".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/a".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/a".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -883,7 +948,8 @@ mod tests {
                 data: b"NEW".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -892,7 +958,8 @@ mod tests {
                 dst: "/b".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         // Crash state: everything except the cross-brick unlink of the
         // old /b entry.
         let keep: Vec<EventId> = rec

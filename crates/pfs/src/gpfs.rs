@@ -22,12 +22,13 @@
 //! * `LogFile`, `AllocMap` — journal and allocation map blocks.
 
 use crate::call::PfsCall;
+use crate::error::{PfsError, PfsResult};
 use crate::placement::Placement;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
 use simfs::{BlockOp, StructTag};
-use simnet::{ClusterTopology, RpcNet};
+use simnet::{ClusterTopology, FaultConfig, FaultPlane, RpcNet};
 use std::collections::BTreeMap;
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -67,6 +68,7 @@ pub struct Gpfs {
     dirty: BTreeMap<Process, std::collections::BTreeSet<u32>>,
     next_id: u64,
     next_group: u32,
+    faults: FaultPlane,
 }
 
 impl Gpfs {
@@ -105,6 +107,7 @@ impl Gpfs {
             dirty: BTreeMap::new(),
             next_id: 0,
             next_group: 0,
+            faults: FaultPlane::disabled(),
         }
     }
 
@@ -118,9 +121,11 @@ impl Gpfs {
         };
         for server in servers {
             let (_, recv) =
-                RpcNet::new(rec).request(client, Process::Server(server), "FLUSH-DATA", Some(cev));
-            self.emit(rec, server, BlockOp::SyncCache, Some(recv));
-            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+                self.net(rec)
+                    .request(client, Process::Server(server), "FLUSH-DATA", Some(cev));
+            let w = self.emit(rec, server, BlockOp::SyncCache, Some(recv));
+            self.net(rec)
+                .reply(Process::Server(server), client, "OK", Some(w));
         }
     }
 
@@ -166,11 +171,34 @@ impl Gpfs {
     }
 
     /// Directory identity for a path (runtime lookup).
-    fn dir_id(&self, path: &str) -> String {
+    fn dir_id(&self, path: &str) -> PfsResult<String> {
         self.dirpaths
             .get(path)
-            .unwrap_or_else(|| panic!("GPFS: unknown directory {path}"))
-            .clone()
+            .cloned()
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_info(&self, path: &str) -> PfsResult<&FileInfo> {
+        self.files
+            .get(path)
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_mut(&mut self, path: &str) -> &mut FileInfo {
+        self.files
+            .get_mut(path)
+            .expect("invariant: file checked present earlier in this call")
+    }
+
+    fn dirents_mut(&mut self, dirid: &str) -> &mut BTreeMap<String, String> {
+        self.dirents
+            .get_mut(dirid)
+            .expect("invariant: resolved directory identity has an entry map")
+    }
+
+    /// RPC net routed through this instance's fault plane.
+    fn net<'a>(&'a mut self, rec: &'a mut Recorder) -> RpcNet<'a> {
+        RpcNet::faulty(rec, &mut self.faults)
     }
 
     fn id_server(&self, id: &str) -> u32 {
@@ -303,8 +331,14 @@ impl Gpfs {
         )
     }
 
-    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let pid = self.dir_id(&Self::parent_of(path));
+    fn do_creat(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let pid = self.dir_id(&Self::parent_of(path))?;
         let id = format!("i{}", self.next_id);
         self.next_id += 1;
         let group = self.next_group;
@@ -312,12 +346,10 @@ impl Gpfs {
         let first = self.placement.file_index(path, self.n());
         let dsrv = self.dir_server(&pid);
 
-        self.dirents
-            .get_mut(&pid)
-            .expect("parent directory exists")
+        self.dirents_mut(&pid)
             .insert(Self::name_of(path).to_string(), format!("F:{id}"));
 
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(dsrv),
             &format!("CREATE {path}"),
@@ -333,8 +365,9 @@ impl Gpfs {
             Some(recv),
         );
         let isrv = self.id_server(&id);
-        self.write_allocmap(rec, isrv, group, Some(recv));
-        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+        let w = self.write_allocmap(rec, isrv, group, Some(recv));
+        self.net(rec)
+            .reply(Process::Server(dsrv), client, "OK", Some(w));
 
         self.files.insert(
             path.to_string(),
@@ -345,22 +378,27 @@ impl Gpfs {
                 chunks: BTreeMap::new(),
             },
         );
+        Ok(())
     }
 
-    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let pid = self.dir_id(&Self::parent_of(path));
+    fn do_mkdir(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let pid = self.dir_id(&Self::parent_of(path))?;
         let did = format!("d{}", self.next_id);
         self.next_id += 1;
         let group = self.next_group;
         self.next_group += 1;
         let dsrv = self.dir_server(&pid);
-        self.dirents
-            .get_mut(&pid)
-            .expect("parent directory exists")
+        self.dirents_mut(&pid)
             .insert(Self::name_of(path).to_string(), format!("D:{did}"));
         self.dirents.insert(did.clone(), BTreeMap::new());
         self.dirpaths.insert(path.to_string(), did.clone());
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(dsrv),
             &format!("MKDIR {path}"),
@@ -369,14 +407,16 @@ impl Gpfs {
         self.write_log(rec, dsrv, &format!("mkdir {path}"), group, Some(recv));
         self.write_dirent_block(rec, &pid, group, Some(recv));
         self.write_dirent_block(rec, &did, group, Some(recv));
-        self.write_inode(
+        let w = self.write_inode(
             rec,
             &format!("dir:{did}"),
             "dir".into(),
             Some(group),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(dsrv), client, "OK", Some(w));
+        Ok(())
     }
 
     fn do_pwrite(
@@ -387,12 +427,8 @@ impl Gpfs {
         offset: u64,
         data: &[u8],
         cev: EventId,
-    ) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("GPFS: pwrite to unknown file {path}"))
-            .clone();
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
         let n = self.n();
         let mut off = offset;
         let end = offset + data.len() as u64;
@@ -403,9 +439,10 @@ impl Gpfs {
             let server = ((info.first + stripe as usize) % n) as u32;
             // Compose the whole chunk payload (block writes replace the
             // entire block).
-            let f = self.files.get_mut(path).unwrap();
+            let stripe_sz = self.stripe;
+            let f = self.file_mut(path);
             let chunk = f.chunks.entry(stripe).or_default();
-            let local = (off - stripe * self.stripe) as usize;
+            let local = (off - stripe * stripe_sz) as usize;
             if chunk.len() < local + len as usize {
                 chunk.resize(local + len as usize, 0);
             }
@@ -413,13 +450,13 @@ impl Gpfs {
                 .copy_from_slice(&data[(off - offset) as usize..(off - offset + len) as usize]);
             let payload = chunk.clone();
             let id = f.id.clone();
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(server),
                 &format!("WRITE {path} stripe {stripe}"),
                 Some(cev),
             );
-            self.emit(
+            let w = self.emit(
                 rec,
                 server,
                 BlockOp::write(
@@ -429,28 +466,31 @@ impl Gpfs {
                 ),
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(server), client, "OK", Some(w));
             self.dirty.entry(client).or_default().insert(server);
             off += len;
         }
-        let f = self.files.get_mut(path).unwrap();
+        let f = self.file_mut(path);
         f.size = f.size.max(end);
         let (id, first, size) = (f.id.clone(), f.first, f.size);
         let isrv = self.id_server(&id);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(isrv),
             &format!("SETATTR {path}"),
             Some(cev),
         );
-        self.write_inode(
+        let w = self.write_inode(
             rec,
             &id,
             format!("size={size};first={first}"),
             None,
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(isrv), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(isrv), client, "OK", Some(w));
+        Ok(())
     }
 
     fn do_rename(
@@ -460,9 +500,9 @@ impl Gpfs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
-        let spid = self.dir_id(&Self::parent_of(src));
-        let dpid = self.dir_id(&Self::parent_of(dst));
+    ) -> PfsResult<()> {
+        let spid = self.dir_id(&Self::parent_of(src))?;
+        let dpid = self.dir_id(&Self::parent_of(dst))?;
         let group = self.next_group;
         self.next_group += 1;
 
@@ -470,14 +510,11 @@ impl Gpfs {
             // Directory rename: only the parent's entry block changes —
             // the directory's own (identity-keyed) block does not.
             let rec_entry = self
-                .dirents
-                .get_mut(&spid)
-                .unwrap()
-                .remove(Self::name_of(src));
-            self.dirents.get_mut(&dpid).unwrap().insert(
-                Self::name_of(dst).to_string(),
-                rec_entry.expect("dir entry"),
-            );
+                .dirents_mut(&spid)
+                .remove(Self::name_of(src))
+                .ok_or_else(|| PfsError::UnknownPath(src.to_string()))?;
+            self.dirents_mut(&dpid)
+                .insert(Self::name_of(dst).to_string(), rec_entry);
             let moved: Vec<(String, String)> = self
                 .dirpaths
                 .keys()
@@ -494,7 +531,7 @@ impl Gpfs {
                 }
             }
             let dsrv = self.dir_server(&spid);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(dsrv),
                 &format!("RENAME {src} {dst}"),
@@ -502,39 +539,31 @@ impl Gpfs {
             );
             self.write_log(rec, dsrv, &format!("rename {src} {dst}"), group, Some(recv));
             self.write_dirent_block(rec, &spid, group, Some(recv));
-            self.write_inode(
+            let w = self.write_inode(
                 rec,
                 &format!("dir:{spid}"),
                 "dir".into(),
                 Some(group),
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
-            return;
+            self.net(rec)
+                .reply(Process::Server(dsrv), client, "OK", Some(w));
+            return Ok(());
         }
 
-        let info = self
-            .files
-            .get(src)
-            .unwrap_or_else(|| panic!("GPFS: rename of unknown file {src}"))
-            .clone();
+        let info = self.file_info(src)?.clone();
         let overwritten = self.files.get(dst).cloned();
-        let entry = self
-            .dirents
-            .get_mut(&spid)
-            .unwrap()
-            .remove(Self::name_of(src));
-        self.dirents.get_mut(&dpid).unwrap().insert(
-            Self::name_of(dst).to_string(),
-            entry.unwrap_or(format!("F:{}", info.id)),
-        );
+        let entry = self.dirents_mut(&spid).remove(Self::name_of(src));
+        let entry = entry.unwrap_or(format!("F:{}", info.id));
+        self.dirents_mut(&dpid)
+            .insert(Self::name_of(dst).to_string(), entry);
 
         // Figure 9(d) / bug 3: the atomic group of the ARVR rename —
         // log + parent dir block (+ source dir block if different) on the
         // coordinating server, inode of the overwritten file elsewhere,
         // parent dir inode.
         let dsrv = self.dir_server(&dpid);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(dsrv),
             &format!("RENAME {src} {dst}"),
@@ -561,34 +590,35 @@ impl Gpfs {
                 Some(recv),
             );
         }
-        self.write_inode(
+        let w = self.write_inode(
             rec,
             &format!("dir:{dpid}"),
             "dir".into(),
             Some(group),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(dsrv), client, "OK", Some(w));
 
         self.files.remove(src);
         self.files.insert(dst.to_string(), info);
+        Ok(())
     }
 
-    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let pid = self.dir_id(&Self::parent_of(path));
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("GPFS: unlink of unknown file {path}"))
-            .clone();
+    fn do_unlink(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let pid = self.dir_id(&Self::parent_of(path))?;
+        let info = self.file_info(path)?.clone();
         let group = self.next_group;
         self.next_group += 1;
-        self.dirents
-            .get_mut(&pid)
-            .unwrap()
-            .remove(Self::name_of(path));
+        self.dirents_mut(&pid).remove(Self::name_of(path));
         let dsrv = self.dir_server(&pid);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(dsrv),
             &format!("UNLINK {path}"),
@@ -604,14 +634,22 @@ impl Gpfs {
             Some(recv),
         );
         let isrv = self.id_server(&info.id);
-        self.write_allocmap(rec, isrv, group, Some(recv));
-        RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+        let w = self.write_allocmap(rec, isrv, group, Some(recv));
+        self.net(rec)
+            .reply(Process::Server(dsrv), client, "OK", Some(w));
         self.files.remove(path);
+        Ok(())
     }
 
-    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_fsync(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let Some(info) = self.files.get(path).cloned() else {
-            return;
+            return Ok(());
         };
         // Barrier on every device holding a piece of the file.
         let n = self.n();
@@ -624,15 +662,17 @@ impl Gpfs {
         servers.sort_unstable();
         servers.dedup();
         for server in servers {
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(server),
                 &format!("SYNC {path}"),
                 Some(cev),
             );
-            self.emit(rec, server, BlockOp::SyncCache, Some(recv));
-            RpcNet::new(rec).reply(Process::Server(server), client, "OK");
+            let w = self.emit(rec, server, BlockOp::SyncCache, Some(recv));
+            self.net(rec)
+                .reply(Process::Server(server), client, "OK", Some(w));
         }
+        Ok(())
     }
 
     /// Collect all blocks by tag across servers.
@@ -723,7 +763,7 @@ impl Pfs for Gpfs {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -737,39 +777,37 @@ impl Pfs for Gpfs {
             self.flush_dirty(rec, client, cev);
         }
         match call {
-            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
-            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev)?,
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev)?,
             PfsCall::Pwrite { path, offset, data } => {
-                self.do_pwrite(rec, client, path, *offset, data, cev)
+                self.do_pwrite(rec, client, path, *offset, data, cev)?
             }
-            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
-            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev)?,
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev)?,
             PfsCall::Rmdir { path } => {
-                let pid = self.dir_id(&Self::parent_of(path));
+                let pid = self.dir_id(&Self::parent_of(path))?;
                 let group = self.next_group;
                 self.next_group += 1;
-                self.dirents
-                    .get_mut(&pid)
-                    .unwrap()
-                    .remove(Self::name_of(path));
+                self.dirents_mut(&pid).remove(Self::name_of(path));
                 if let Some(did) = self.dirpaths.remove(path) {
                     self.dirents.remove(&did);
                 }
                 let dsrv = self.dir_server(&pid);
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(dsrv),
                     &format!("RMDIR {path}"),
                     Some(cev),
                 );
                 self.write_log(rec, dsrv, &format!("rmdir {path}"), group, Some(recv));
-                self.write_dirent_block(rec, &pid, group, Some(recv));
-                RpcNet::new(rec).reply(Process::Server(dsrv), client, "OK");
+                let w = self.write_dirent_block(rec, &pid, group, Some(recv));
+                self.net(rec)
+                    .reply(Process::Server(dsrv), client, "OK", Some(w));
             }
             PfsCall::Close { .. } => {}
-            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev)?,
         }
-        cev
+        Ok(cev)
     }
 
     fn seal_baseline(&mut self) {
@@ -782,6 +820,10 @@ impl Pfs for Gpfs {
 
     fn live(&self) -> &ServerStates {
         &self.live
+    }
+
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = FaultPlane::new(cfg);
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
@@ -861,7 +903,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -871,7 +914,8 @@ mod tests {
                 data: b"old".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(
@@ -881,7 +925,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -891,7 +936,8 @@ mod tests {
                 data: b"new".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -900,7 +946,8 @@ mod tests {
                 dst: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         rec
     }
 
@@ -990,7 +1037,8 @@ mod tests {
         let mut fs = Gpfs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1000,8 +1048,10 @@ mod tests {
                 data: b"d".to_vec(),
             },
             None,
-        );
-        fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None);
+        )
+        .unwrap();
+        fs.dispatch(&mut rec, c, &PfsCall::Fsync { path: "/f".into() }, None)
+            .unwrap();
         assert!(rec.events().iter().any(|e| matches!(
             &e.payload,
             Payload::Block {
@@ -1016,7 +1066,8 @@ mod tests {
         let mut fs = Gpfs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1024,7 +1075,8 @@ mod tests {
                 path: "/A/x".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -1034,7 +1086,8 @@ mod tests {
                 data: b"1".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert!(view.dirs.contains("/A"));
         assert_eq!(view.read("/A/x"), Some(&b"1"[..]));

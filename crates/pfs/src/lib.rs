@@ -26,6 +26,7 @@
 
 pub mod beegfs;
 pub mod call;
+pub mod error;
 pub mod ext4;
 pub mod glusterfs;
 pub mod gpfs;
@@ -36,11 +37,12 @@ pub mod store;
 pub mod view;
 
 pub use call::{ClientTrace, PfsCall};
+pub use error::{PfsError, PfsResult};
 pub use placement::Placement;
 pub use store::{ServerStates, Store};
 pub use view::{PfsView, RecoveryReport};
 
-use simnet::ClusterTopology;
+use simnet::{ClusterTopology, FaultConfig};
 use tracer::{EventId, Process, Recorder};
 
 /// A parallel file system model.
@@ -65,14 +67,21 @@ pub trait Pfs: Send + Sync {
 
     /// Execute one client call: update live server state, record the
     /// client-level trace event plus every RPC and lowermost-level server
-    /// event (with causal links). Returns the id of the client-call event.
+    /// event (with causal links). Returns the id of the client-call event,
+    /// or a [`PfsError`] when the call references paths outside the
+    /// model's live namespace (malformed workload/trace input).
     fn dispatch(
         &mut self,
         rec: &mut Recorder,
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId;
+    ) -> PfsResult<EventId>;
+
+    /// Arm the model's RPC fault plane. Models that simulate client↔server
+    /// messaging route every RPC through it; the default is a no-op for
+    /// models with no network (e.g. the ext4 baseline).
+    fn install_faults(&mut self, _cfg: FaultConfig) {}
 
     /// Snapshot the current live state as the pre-test baseline. Crash
     /// states are materialized on clones of this snapshot (the paper's

@@ -25,12 +25,13 @@
 //! ```
 
 use crate::call::PfsCall;
+use crate::error::{PfsError, PfsResult};
 use crate::placement::Placement;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
 use simfs::{FsOp, JournalMode};
-use simnet::{ClusterTopology, RpcNet};
+use simnet::{ClusterTopology, FaultConfig, FaultPlane, RpcNet};
 use std::collections::{BTreeMap, BTreeSet};
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -53,6 +54,7 @@ pub struct Lustre {
     /// Files with unflushed OST data, per client.
     dirty: BTreeMap<Process, BTreeSet<String>>,
     next_id: u64,
+    faults: FaultPlane,
 }
 
 impl Lustre {
@@ -77,6 +79,7 @@ impl Lustre {
             files: BTreeMap::new(),
             dirty: BTreeMap::new(),
             next_id: 0,
+            faults: FaultPlane::disabled(),
         }
     }
 
@@ -117,6 +120,23 @@ impl Lustre {
         )
     }
 
+    fn file_info(&self, path: &str) -> PfsResult<&FileInfo> {
+        self.files
+            .get(path)
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_mut(&mut self, path: &str) -> &mut FileInfo {
+        self.files
+            .get_mut(path)
+            .expect("invariant: file checked present earlier in this call")
+    }
+
+    /// RPC net routed through this instance's fault plane.
+    fn net<'a>(&'a mut self, rec: &'a mut Recorder) -> RpcNet<'a> {
+        RpcNet::faulty(rec, &mut self.faults)
+    }
+
     fn mdt_path(path: &str) -> String {
         format!("/mdt{path}")
     }
@@ -141,13 +161,13 @@ impl Lustre {
             let n = self.n_ost();
             for &stripe in info.chunks.keys() {
                 let ost = self.ost((info.first + stripe as usize) % n);
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(ost),
                     &format!("OST-COMMIT {path} stripe {stripe}"),
                     Some(cev),
                 );
-                self.emit(
+                let w = self.emit(
                     rec,
                     ost,
                     FsOp::Fsync {
@@ -155,7 +175,8 @@ impl Lustre {
                     },
                     Some(recv),
                 );
-                RpcNet::new(rec).reply(Process::Server(ost), client, "COMMITTED");
+                self.net(rec)
+                    .reply(Process::Server(ost), client, "COMMITTED", Some(w));
             }
         }
         self.dirty.remove(&client);
@@ -209,7 +230,7 @@ impl Pfs for Lustre {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -236,7 +257,7 @@ impl Pfs for Lustre {
                     chunks: BTreeMap::new(),
                 };
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-CREATE {path}"),
@@ -252,12 +273,13 @@ impl Pfs for Lustre {
                 );
                 let e2 = self.update_entry(rec, path, &info, e);
                 self.mdt_commit(rec, e2);
-                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(e2));
                 self.files.insert(path.to_string(), info);
             }
             PfsCall::Mkdir { path } => {
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-MKDIR {path}"),
@@ -272,14 +294,11 @@ impl Pfs for Lustre {
                     Some(recv),
                 );
                 self.mdt_commit(rec, e);
-                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(e));
             }
             PfsCall::Pwrite { path, offset, data } => {
-                let info = self
-                    .files
-                    .get(path)
-                    .unwrap_or_else(|| panic!("Lustre: pwrite to unknown file {path}"))
-                    .clone();
+                let info = self.file_info(path)?.clone();
                 let n = self.n_ost();
                 let mut off = *offset;
                 let end = offset + data.len() as u64;
@@ -288,7 +307,7 @@ impl Pfs for Lustre {
                     let stripe_end = (stripe + 1) * self.stripe;
                     let len = stripe_end.min(end) - off;
                     let ost = self.ost((info.first + stripe as usize) % n);
-                    let (_, recv) = RpcNet::new(rec).request(
+                    let (_, recv) = self.net(rec).request(
                         client,
                         Process::Server(ost),
                         &format!("OST-WRITE {path} stripe {stripe}"),
@@ -309,9 +328,9 @@ impl Pfs for Lustre {
                             },
                             Some(recv),
                         );
-                        self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+                        self.file_mut(path).chunks.insert(stripe, 0);
                     }
-                    let cur = self.files.get(path).unwrap().chunks[&stripe];
+                    let cur = self.file_info(path)?.chunks[&stripe];
                     let local = off - stripe * self.stripe;
                     let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
                     let op = if local == cur {
@@ -326,35 +345,35 @@ impl Pfs for Lustre {
                             data: buf,
                         }
                     };
-                    self.emit(rec, ost, op, Some(recv));
-                    self.files
-                        .get_mut(path)
-                        .unwrap()
+                    let w = self.emit(rec, ost, op, Some(recv));
+                    self.file_mut(path)
                         .chunks
                         .insert(stripe, (local + len).max(cur));
-                    RpcNet::new(rec).reply(Process::Server(ost), client, "OK");
+                    self.net(rec)
+                        .reply(Process::Server(ost), client, "OK", Some(w));
                     off += len;
                 }
                 // Size update on the MDT (journal-committed lazily with
                 // the next namespace op; size here is piggybacked).
-                let f = self.files.get_mut(path).unwrap();
+                let f = self.file_mut(path);
                 f.size = f.size.max(end);
                 let info = f.clone();
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-SETATTR {path}"),
                     Some(cev),
                 );
-                self.update_entry(rec, path, &info, recv);
-                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                let w = self.update_entry(rec, path, &info, recv);
+                self.net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(w));
                 self.dirty.entry(client).or_default().insert(path.clone());
             }
             PfsCall::Rename { src, dst } => {
                 let overwritten = self.files.get(dst).cloned();
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-RENAME {src} {dst}"),
@@ -370,14 +389,17 @@ impl Pfs for Lustre {
                     Some(recv),
                 );
                 self.mdt_commit(rec, e);
-                let reply = RpcNet::new(rec).reply(Process::Server(mdt), client, "OK").0;
+                let reply = self
+                    .net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(e))
+                    .0;
                 // Destroy the overwritten file's objects (after the
                 // committed rename, so never "before" it on disk).
                 if let Some(old) = overwritten {
                     let n = self.n_ost();
                     for &stripe in old.chunks.keys() {
                         let ost = self.ost((old.first + stripe as usize) % n);
-                        let (_, r2) = RpcNet::new(rec).message(
+                        let (_, r2) = self.net(rec).message(
                             Process::Server(mdt),
                             Process::Server(ost),
                             &format!("OST-DESTROY {}.{stripe}", old.obj),
@@ -405,13 +427,9 @@ impl Pfs for Lustre {
                 }
             }
             PfsCall::Unlink { path } => {
-                let info = self
-                    .files
-                    .get(path)
-                    .unwrap_or_else(|| panic!("Lustre: unlink of unknown file {path}"))
-                    .clone();
+                let info = self.file_info(path)?.clone();
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-UNLINK {path}"),
@@ -426,11 +444,14 @@ impl Pfs for Lustre {
                     Some(recv),
                 );
                 self.mdt_commit(rec, e);
-                let reply = RpcNet::new(rec).reply(Process::Server(mdt), client, "OK").0;
+                let reply = self
+                    .net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(e))
+                    .0;
                 let n = self.n_ost();
                 for &stripe in info.chunks.keys() {
                     let ost = self.ost((info.first + stripe as usize) % n);
-                    let (_, r2) = RpcNet::new(rec).message(
+                    let (_, r2) = self.net(rec).message(
                         Process::Server(mdt),
                         Process::Server(ost),
                         &format!("OST-DESTROY {}.{stripe}", info.obj),
@@ -449,7 +470,7 @@ impl Pfs for Lustre {
             }
             PfsCall::Rmdir { path } => {
                 let mdt = self.mdt();
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(mdt),
                     &format!("MDS-RMDIR {path}"),
@@ -464,7 +485,8 @@ impl Pfs for Lustre {
                     Some(recv),
                 );
                 self.mdt_commit(rec, e);
-                RpcNet::new(rec).reply(Process::Server(mdt), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(mdt), client, "OK", Some(e));
             }
             PfsCall::Close { .. } => {
                 // flush_dirty already ran (close is a namespace op here).
@@ -475,7 +497,11 @@ impl Pfs for Lustre {
                 self.flush_dirty(rec, client, cev);
             }
         }
-        cev
+        Ok(cev)
+    }
+
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = FaultPlane::new(cfg);
     }
 
     fn seal_baseline(&mut self) {
@@ -596,7 +622,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -606,7 +633,8 @@ mod tests {
                 data: b"old".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -614,7 +642,8 @@ mod tests {
                 path: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(
@@ -624,7 +653,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -634,7 +664,8 @@ mod tests {
                 data: b"new".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -642,7 +673,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -651,7 +683,8 @@ mod tests {
                 dst: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         rec
     }
 
@@ -699,7 +732,8 @@ mod tests {
             Process::Client(0),
             &PfsCall::Creat { path: "/f".into() },
             None,
-        );
+        )
+        .unwrap();
         assert!(rec.events().iter().any(|e| matches!(
             &e.payload,
             Payload::Fs {
@@ -735,7 +769,8 @@ mod tests {
                 path: "/d.h5".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let start = rec.len();
         fs.dispatch(
             &mut rec,
@@ -746,7 +781,8 @@ mod tests {
                 data: vec![1; 8],
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -756,7 +792,8 @@ mod tests {
                 data: vec![2; 8],
             },
             None,
-        );
+        )
+        .unwrap();
         let syncs = rec.events()[start..]
             .iter()
             .filter(|e| e.payload.is_storage_sync())
@@ -769,7 +806,8 @@ mod tests {
         let mut fs = Lustre::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -779,10 +817,12 @@ mod tests {
                 data: b"data".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec2 = Recorder::new();
-        fs.dispatch(&mut rec2, c, &PfsCall::Unlink { path: "/f".into() }, None);
+        fs.dispatch(&mut rec2, c, &PfsCall::Unlink { path: "/f".into() }, None)
+            .unwrap();
         // Crash: MDT unlink persisted, OST destroy not.
         let keep: Vec<EventId> = rec2
             .lowermost_events()

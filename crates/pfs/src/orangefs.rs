@@ -28,12 +28,13 @@
 //! `A <handle> size=<n>;first=<idx>` / `R <handle>` in `attrs.db`.
 
 use crate::call::PfsCall;
+use crate::error::{PfsError, PfsResult};
 use crate::placement::Placement;
 use crate::store::ServerStates;
 use crate::view::{PfsView, RecoveryReport};
 use crate::Pfs;
 use simfs::{FsOp, FsState, JournalMode};
-use simnet::{ClusterTopology, RpcNet};
+use simnet::{ClusterTopology, FaultConfig, FaultPlane, RpcNet};
 use std::collections::BTreeMap;
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
@@ -61,6 +62,7 @@ pub struct OrangeFs {
     dirs: BTreeMap<String, DirInfo>,
     files: BTreeMap<String, FileInfo>,
     next_id: u64,
+    faults: FaultPlane,
 }
 
 impl OrangeFs {
@@ -97,6 +99,7 @@ impl OrangeFs {
             dirs,
             files: BTreeMap::new(),
             next_id: 0,
+            faults: FaultPlane::disabled(),
         }
     }
 
@@ -177,19 +180,42 @@ impl OrangeFs {
         format!("/bstreams/{handle}.{stripe}")
     }
 
-    fn dir_info(&self, path: &str) -> &DirInfo {
+    fn dir_info(&self, path: &str) -> PfsResult<&DirInfo> {
         self.dirs
             .get(path)
-            .unwrap_or_else(|| panic!("OrangeFS: unknown directory {path}"))
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
     }
 
-    fn do_creat(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+    fn file_info(&self, path: &str) -> PfsResult<&FileInfo> {
+        self.files
+            .get(path)
+            .ok_or_else(|| PfsError::UnknownPath(path.to_string()))
+    }
+
+    fn file_mut(&mut self, path: &str) -> &mut FileInfo {
+        self.files
+            .get_mut(path)
+            .expect("invariant: file checked present earlier in this call")
+    }
+
+    /// RPC net routed through this instance's fault plane.
+    fn net<'a>(&'a mut self, rec: &'a mut Recorder) -> RpcNet<'a> {
+        RpcNet::faulty(rec, &mut self.faults)
+    }
+
+    fn do_creat(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let pinfo = self.dir_info(&Self::parent_of(path))?.clone();
         let meta = self.meta_server(pinfo.owner);
         let handle = format!("h{}", self.next_id);
         self.next_id += 1;
         let first = self.placement.file_index(path, self.n_storage());
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("CREATE {path}"),
@@ -202,14 +228,15 @@ impl OrangeFs {
             format!("I {} {} F {handle}", pinfo.key, Self::name_of(path)),
             Some(recv),
         );
-        self.db_update(
+        let w = self.db_update(
             rec,
             meta,
             "attrs.db",
             format!("A {handle} size=0;first={first}"),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
         self.files.insert(
             path.to_string(),
             FileInfo {
@@ -219,31 +246,40 @@ impl OrangeFs {
                 chunks: BTreeMap::new(),
             },
         );
+        Ok(())
     }
 
-    fn do_mkdir(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+    fn do_mkdir(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let pinfo = self.dir_info(&Self::parent_of(path))?.clone();
         let key = format!("d{}", self.next_id);
         self.next_id += 1;
         let owner = self
             .placement
             .dir_index(path, self.topo.metadata_servers().len());
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("MKDIR {path}"),
             Some(cev),
         );
-        self.db_update(
+        let w = self.db_update(
             rec,
             meta,
             "keyval.db",
             format!("I {} {} D {key}:{owner}", pinfo.key, Self::name_of(path)),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
         self.dirs.insert(path.to_string(), DirInfo { key, owner });
+        Ok(())
     }
 
     fn do_pwrite(
@@ -254,12 +290,8 @@ impl OrangeFs {
         offset: u64,
         data: &[u8],
         cev: EventId,
-    ) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("OrangeFS: pwrite to unknown file {path}"))
-            .clone();
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
         let n = self.n_storage();
         let mut off = offset;
         let end = offset + data.len() as u64;
@@ -268,7 +300,7 @@ impl OrangeFs {
             let stripe_end = (stripe + 1) * self.stripe;
             let len = stripe_end.min(end) - off;
             let storage = self.storage_server((info.first + stripe as usize) % n);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(storage),
                 &format!("WRITE {path} stripe {stripe}"),
@@ -282,9 +314,9 @@ impl OrangeFs {
                 .copied();
             if cur.is_none() {
                 self.emit(rec, storage, FsOp::Creat { path: bs.clone() }, Some(recv));
-                self.files.get_mut(path).unwrap().chunks.insert(stripe, 0);
+                self.file_mut(path).chunks.insert(stripe, 0);
             }
-            let cur = self.files.get(path).unwrap().chunks[&stripe];
+            let cur = self.file_mut(path).chunks[&stripe];
             let local = off - stripe * self.stripe;
             let buf = data[(off - offset) as usize..(off - offset + len) as usize].to_vec();
             // bstream writes are NOT followed by fdatasync: only the
@@ -302,35 +334,36 @@ impl OrangeFs {
                     data: buf,
                 }
             };
-            self.emit(rec, storage, op, Some(recv));
-            self.files
-                .get_mut(path)
-                .unwrap()
+            let w = self.emit(rec, storage, op, Some(recv));
+            self.file_mut(path)
                 .chunks
                 .insert(stripe, (local + len).max(cur));
-            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(storage), client, "OK", Some(w));
             off += len;
         }
         // Durable size update in attrs.db on the metadata server.
-        let f = self.files.get_mut(path).unwrap();
+        let f = self.file_mut(path);
         f.size = f.size.max(end);
         let (handle, first, size) = (f.handle.clone(), f.first, f.size);
-        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+        let pinfo = self.dir_info(&Self::parent_of(path))?.clone();
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("SETATTR {path}"),
             Some(cev),
         );
-        self.db_update(
+        let w = self.db_update(
             rec,
             meta,
             "attrs.db",
             format!("A {handle} size={size};first={first}"),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
+        Ok(())
     }
 
     fn do_rename(
@@ -340,19 +373,19 @@ impl OrangeFs {
         src: &str,
         dst: &str,
         cev: EventId,
-    ) {
+    ) -> PfsResult<()> {
         if self.dirs.contains_key(src) {
             // Directory rename within one parent: a single keyval record
             // (one atomic DB page update).
-            let pinfo = self.dir_info(&Self::parent_of(src)).clone();
+            let pinfo = self.dir_info(&Self::parent_of(src))?.clone();
             let meta = self.meta_server(pinfo.owner);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(meta),
                 &format!("RENAME {src} {dst}"),
                 Some(cev),
             );
-            self.db_update(
+            let w = self.db_update(
                 rec,
                 meta,
                 "keyval.db",
@@ -364,7 +397,8 @@ impl OrangeFs {
                 ),
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(meta), client, "OK", Some(w));
             let moved: Vec<(String, String)> = self
                 .dirs
                 .keys()
@@ -380,16 +414,12 @@ impl OrangeFs {
                     self.files.insert(new, v);
                 }
             }
-            return;
+            return Ok(());
         }
-        let info = self
-            .files
-            .get(src)
-            .unwrap_or_else(|| panic!("OrangeFS: rename of unknown file {src}"))
-            .clone();
+        let info = self.file_info(src)?.clone();
         let overwritten = self.files.get(dst).cloned();
-        let spinfo = self.dir_info(&Self::parent_of(src)).clone();
-        let dpinfo = self.dir_info(&Self::parent_of(dst)).clone();
+        let spinfo = self.dir_info(&Self::parent_of(src))?.clone();
+        let dpinfo = self.dir_info(&Self::parent_of(dst))?.clone();
         let smeta = self.meta_server(spinfo.owner);
         let dmeta = self.meta_server(dpinfo.owner);
 
@@ -400,14 +430,15 @@ impl OrangeFs {
         // *insert before the delete* — the "updates … not issued in the
         // correct order" of §6.3.1 — leaving a durable window in which
         // the file exists in both directories (bug 4).
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(dmeta),
             &format!("RENAME {src} {dst}"),
             Some(cev),
         );
+        let mut last_meta_work;
         if spinfo.key == dpinfo.key {
-            self.db_update(
+            last_meta_work = self.db_update(
                 rec,
                 smeta,
                 "keyval.db",
@@ -420,30 +451,31 @@ impl OrangeFs {
                 Some(recv),
             );
         } else {
-            self.db_update(
+            last_meta_work = self.db_update(
                 rec,
                 dmeta,
                 "keyval.db",
                 format!("I {} {} F {}", dpinfo.key, Self::name_of(dst), info.handle),
                 Some(recv),
             );
-            let (_, recv2) = RpcNet::new(rec).request(
+            let (_, recv2) = self.net(rec).request(
                 client,
                 Process::Server(smeta),
                 &format!("RENAME-OUT {src}"),
                 Some(cev),
             );
-            self.db_update(
+            let w = self.db_update(
                 rec,
                 smeta,
                 "keyval.db",
                 format!("D {} {}", spinfo.key, Self::name_of(src)),
                 Some(recv2),
             );
-            RpcNet::new(rec).reply(Process::Server(smeta), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(smeta), client, "OK", Some(w));
         }
         if let Some(old) = &overwritten {
-            self.db_update(
+            last_meta_work = self.db_update(
                 rec,
                 dmeta,
                 "attrs.db",
@@ -451,10 +483,8 @@ impl OrangeFs {
                 Some(recv),
             );
         }
-        let reply_recv = RpcNet::new(rec)
-            .reply(Process::Server(dmeta), client, "OK")
-            .1;
-        let _ = reply_recv;
+        self.net(rec)
+            .reply(Process::Server(dmeta), client, "OK", Some(last_meta_work));
 
         // Storage-side cleanup of the overwritten file's bstreams:
         // rename to `stranded`, then unlink (Figure 9(b)).
@@ -463,13 +493,14 @@ impl OrangeFs {
         }
         self.files.remove(src);
         self.files.insert(dst.to_string(), info);
+        Ok(())
     }
 
     fn strand_bstreams(&mut self, rec: &mut Recorder, meta: u32, info: &FileInfo) {
         let n = self.n_storage();
         for &stripe in info.chunks.keys() {
             let storage = self.storage_server((info.first + stripe as usize) % n);
-            let (_, recv) = RpcNet::new(rec).message(
+            let (_, recv) = self.net(rec).message(
                 Process::Server(meta),
                 Process::Server(storage),
                 &format!("REMOVE-BSTREAM {}.{stripe}", info.handle),
@@ -490,15 +521,17 @@ impl OrangeFs {
         }
     }
 
-    fn do_unlink(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
-        let info = self
-            .files
-            .get(path)
-            .unwrap_or_else(|| panic!("OrangeFS: unlink of unknown file {path}"))
-            .clone();
-        let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+    fn do_unlink(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
+        let info = self.file_info(path)?.clone();
+        let pinfo = self.dir_info(&Self::parent_of(path))?.clone();
         let meta = self.meta_server(pinfo.owner);
-        let (_, recv) = RpcNet::new(rec).request(
+        let (_, recv) = self.net(rec).request(
             client,
             Process::Server(meta),
             &format!("UNLINK {path}"),
@@ -511,32 +544,40 @@ impl OrangeFs {
             format!("D {} {}", pinfo.key, Self::name_of(path)),
             Some(recv),
         );
-        self.db_update(
+        let w = self.db_update(
             rec,
             meta,
             "attrs.db",
             format!("R {}", info.handle),
             Some(recv),
         );
-        RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+        self.net(rec)
+            .reply(Process::Server(meta), client, "OK", Some(w));
         self.strand_bstreams(rec, meta, &info);
         self.files.remove(path);
+        Ok(())
     }
 
-    fn do_fsync(&mut self, rec: &mut Recorder, client: Process, path: &str, cev: EventId) {
+    fn do_fsync(
+        &mut self,
+        rec: &mut Recorder,
+        client: Process,
+        path: &str,
+        cev: EventId,
+    ) -> PfsResult<()> {
         let Some(info) = self.files.get(path).cloned() else {
-            return;
+            return Ok(());
         };
         let n = self.n_storage();
         for &stripe in info.chunks.keys() {
             let storage = self.storage_server((info.first + stripe as usize) % n);
-            let (_, recv) = RpcNet::new(rec).request(
+            let (_, recv) = self.net(rec).request(
                 client,
                 Process::Server(storage),
                 &format!("FLUSH {path} stripe {stripe}"),
                 Some(cev),
             );
-            self.emit(
+            let w = self.emit(
                 rec,
                 storage,
                 FsOp::Fdatasync {
@@ -544,8 +585,10 @@ impl OrangeFs {
                 },
                 Some(recv),
             );
-            RpcNet::new(rec).reply(Process::Server(storage), client, "OK");
+            self.net(rec)
+                .reply(Process::Server(storage), client, "OK", Some(w));
         }
+        Ok(())
     }
 
     /// Replay a keyval.db file into `dirkey → name → record` maps.
@@ -689,7 +732,7 @@ impl Pfs for OrangeFs {
         client: Process,
         call: &PfsCall,
         parent: Option<EventId>,
-    ) -> EventId {
+    ) -> PfsResult<EventId> {
         let cev = rec.record(
             Layer::PfsClient,
             client,
@@ -700,36 +743,37 @@ impl Pfs for OrangeFs {
             parent,
         );
         match call {
-            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev),
-            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev),
+            PfsCall::Creat { path } => self.do_creat(rec, client, path, cev)?,
+            PfsCall::Mkdir { path } => self.do_mkdir(rec, client, path, cev)?,
             PfsCall::Pwrite { path, offset, data } => {
-                self.do_pwrite(rec, client, path, *offset, data, cev)
+                self.do_pwrite(rec, client, path, *offset, data, cev)?
             }
-            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev),
-            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev),
+            PfsCall::Rename { src, dst } => self.do_rename(rec, client, src, dst, cev)?,
+            PfsCall::Unlink { path } => self.do_unlink(rec, client, path, cev)?,
             PfsCall::Rmdir { path } => {
-                let pinfo = self.dir_info(&Self::parent_of(path)).clone();
+                let pinfo = self.dir_info(&Self::parent_of(path))?.clone();
                 let meta = self.meta_server(pinfo.owner);
-                let (_, recv) = RpcNet::new(rec).request(
+                let (_, recv) = self.net(rec).request(
                     client,
                     Process::Server(meta),
                     &format!("RMDIR {path}"),
                     Some(cev),
                 );
-                self.db_update(
+                let w = self.db_update(
                     rec,
                     meta,
                     "keyval.db",
                     format!("D {} {}", pinfo.key, Self::name_of(path)),
                     Some(recv),
                 );
-                RpcNet::new(rec).reply(Process::Server(meta), client, "OK");
+                self.net(rec)
+                    .reply(Process::Server(meta), client, "OK", Some(w));
                 self.dirs.remove(path);
             }
             PfsCall::Close { .. } => {}
-            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev),
+            PfsCall::Fsync { path } => self.do_fsync(rec, client, path, cev)?,
         }
-        cev
+        Ok(cev)
     }
 
     fn seal_baseline(&mut self) {
@@ -742,6 +786,10 @@ impl Pfs for OrangeFs {
 
     fn live(&self) -> &ServerStates {
         &self.live
+    }
+
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = FaultPlane::new(cfg);
     }
 
     fn recover(&self, states: &mut ServerStates) -> RecoveryReport {
@@ -822,7 +870,8 @@ mod tests {
                 path: "/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let ops: Vec<&FsOp> = rec
             .lowermost_events()
             .into_iter()
@@ -849,7 +898,8 @@ mod tests {
         let mut fs = OrangeFs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -857,7 +907,8 @@ mod tests {
                 path: "/A/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -867,7 +918,8 @@ mod tests {
                 data: b"orange".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         let view = fs.client_view(fs.live());
         assert!(view.dirs.contains("/A"));
         assert_eq!(view.read("/A/foo"), Some(&b"orange"[..]));
@@ -885,7 +937,8 @@ mod tests {
                 path: "/tmp".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let before = rec.len();
         fs.dispatch(
             &mut rec,
@@ -895,7 +948,8 @@ mod tests {
                 dst: "/file".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         let records: Vec<String> = rec.events()[before..]
             .iter()
             .filter_map(|e| match &e.payload {
@@ -917,8 +971,10 @@ mod tests {
         let mut fs = OrangeFs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None);
-        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/A".into() }, None)
+            .unwrap();
+        fs.dispatch(&mut rec, c, &PfsCall::Mkdir { path: "/B".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -926,7 +982,8 @@ mod tests {
                 path: "/A/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
         fs.dispatch(
@@ -937,7 +994,8 @@ mod tests {
                 dst: "/B/foo".into(),
             },
             None,
-        );
+        )
+        .unwrap();
         // Crash after the insert but before the delete: foo in BOTH dirs.
         let low = rec.lowermost_events();
         // Insert record + its fdatasync are the first two lowermost ops.
@@ -957,7 +1015,8 @@ mod tests {
         let mut fs = OrangeFs::paper_default();
         let mut rec = Recorder::new();
         let c = Process::Client(0);
-        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Creat { path: "/f".into() }, None)
+            .unwrap();
         fs.dispatch(
             &mut rec,
             c,
@@ -967,10 +1026,12 @@ mod tests {
                 data: b"x".to_vec(),
             },
             None,
-        );
+        )
+        .unwrap();
         fs.seal_baseline();
         let mut rec = Recorder::new();
-        fs.dispatch(&mut rec, c, &PfsCall::Unlink { path: "/f".into() }, None);
+        fs.dispatch(&mut rec, c, &PfsCall::Unlink { path: "/f".into() }, None)
+            .unwrap();
         // Crash state: rename-to-stranded persisted, final unlink not.
         let keep: Vec<EventId> = rec
             .lowermost_events()

@@ -40,37 +40,61 @@ impl Store {
         }
     }
 
-    /// Borrow the FS state (panics on block stores — callers know their
-    /// PFS kind).
-    pub fn as_fs(&self) -> &FsState {
+    /// Borrow the FS state if this is a local-FS store.
+    pub fn try_as_fs(&self) -> Option<&FsState> {
         match self {
-            Store::Fs { state, .. } => state,
-            Store::Block(_) => panic!("expected a local-FS store"),
+            Store::Fs { state, .. } => Some(state),
+            Store::Block(_) => None,
         }
+    }
+
+    /// Mutable FS state if this is a local-FS store.
+    pub fn try_as_fs_mut(&mut self) -> Option<&mut FsState> {
+        match self {
+            Store::Fs { state, .. } => Some(state),
+            Store::Block(_) => None,
+        }
+    }
+
+    /// Borrow the block device if this is a block store.
+    pub fn try_as_block(&self) -> Option<&BlockDev> {
+        match self {
+            Store::Block(dev) => Some(dev),
+            Store::Fs { .. } => None,
+        }
+    }
+
+    /// Mutable block device if this is a block store.
+    pub fn try_as_block_mut(&mut self) -> Option<&mut BlockDev> {
+        match self {
+            Store::Block(dev) => Some(dev),
+            Store::Fs { .. } => None,
+        }
+    }
+
+    /// Borrow the FS state. A PFS model only ever calls this on its own
+    /// stores, whose kind it chose at construction.
+    pub fn as_fs(&self) -> &FsState {
+        self.try_as_fs()
+            .expect("invariant: model addresses its own local-FS store")
     }
 
     /// Mutable FS state.
     pub fn as_fs_mut(&mut self) -> &mut FsState {
-        match self {
-            Store::Fs { state, .. } => state,
-            Store::Block(_) => panic!("expected a local-FS store"),
-        }
+        self.try_as_fs_mut()
+            .expect("invariant: model addresses its own local-FS store")
     }
 
     /// Borrow the block device.
     pub fn as_block(&self) -> &BlockDev {
-        match self {
-            Store::Block(dev) => dev,
-            Store::Fs { .. } => panic!("expected a block store"),
-        }
+        self.try_as_block()
+            .expect("invariant: model addresses its own block store")
     }
 
     /// Mutable block device.
     pub fn as_block_mut(&mut self) -> &mut BlockDev {
-        match self {
-            Store::Block(dev) => dev,
-            Store::Fs { .. } => panic!("expected a block store"),
-        }
+        self.try_as_block_mut()
+            .expect("invariant: model addresses its own block store")
     }
 
     /// Apply one local-FS op (lenient: a crash state may contain an op
@@ -178,6 +202,60 @@ impl ServerStates {
                 _ => {}
             }
         }
+    }
+
+    /// Disk-fault widening of a crash state: ops *in flight* at the crash
+    /// (the enumeration's victims) may persist partially instead of not at
+    /// all. Each eligible victim — a multi-byte file write or multi-byte
+    /// block write — tears with probability ½ at an RNG-chosen split point
+    /// and its surviving prefix is applied. Under data journaling the torn
+    /// transaction's commit record fails its checksum and the whole op is
+    /// discarded ([`simfs::torn_write`]), so data-journaled stores never
+    /// widen. Returns the number of torn prefixes applied.
+    pub fn apply_torn_victims(
+        &mut self,
+        rec: &Recorder,
+        victims: impl IntoIterator<Item = EventId>,
+        rng: &mut pc_rt::rng::Rng,
+    ) -> usize {
+        let mut ids: Vec<EventId> = victims.into_iter().collect();
+        ids.sort_unstable();
+        let mut applied = 0;
+        for id in ids {
+            match &rec.event(id).payload {
+                Payload::Fs { server, op } => {
+                    let Some(mode) = self.server(*server).journal() else {
+                        continue;
+                    };
+                    let len = match op {
+                        FsOp::Pwrite { data, .. } | FsOp::Append { data, .. } => data.len(),
+                        _ => continue,
+                    };
+                    if len < 2 || !rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let keep = rng.gen_range(1..len as u64) as usize;
+                    if let Some(torn) = simfs::torn_write(mode, op, keep) {
+                        self.server_mut(*server).apply_fs(&torn);
+                        applied += 1;
+                    }
+                }
+                Payload::Block { server, op } => {
+                    let len = op.payload_len();
+                    if len < 2 || !rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let keep = rng.gen_range(1..len as u64) as usize;
+                    if let Some(torn) = op.torn(keep) {
+                        self.server_mut(*server).apply_block(&torn);
+                        applied += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        pc_rt::obs::count("faults.torn", applied as u64);
+        applied
     }
 
     /// Digest over all servers, for crash-state dedup and for the

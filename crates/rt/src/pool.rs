@@ -179,6 +179,25 @@ impl Pool {
             .collect()
     }
 
+    /// Like [`Pool::par_map_indices`], but a panicking task yields
+    /// `Err(panic message)` for its own index instead of propagating and
+    /// aborting the whole map — the harness-survives-hostile-states
+    /// primitive the checker's verdict fan-out runs on (one poisoned
+    /// crash state becomes a diagnostic entry, not a dead run).
+    ///
+    /// The caught panic still goes through the process's panic hook
+    /// (its message may print to stderr); only the unwind is contained.
+    pub fn par_map_indices_caught<U, F>(&self, n: usize, f: F) -> Vec<Result<U, String>>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.par_map_indices(n, |i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                .map_err(|e| panic_message(e.as_ref()))
+        })
+    }
+
     /// Apply `f` to consecutive chunks of `items` (each of length
     /// `chunk` except possibly the last), in parallel, returning the
     /// per-chunk results in chunk order.
@@ -215,6 +234,26 @@ where
     F: Fn(usize) -> U + Sync,
 {
     Pool::new().par_map_indices(n, f)
+}
+
+/// [`Pool::par_map_indices_caught`] on a default-configured pool.
+pub fn par_map_indices_caught<U, F>(n: usize, f: F) -> Vec<Result<U, String>>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    Pool::new().par_map_indices_caught(n, f)
+}
+
+/// Extract a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// [`Pool::par_chunks`] on a default-configured pool.
@@ -315,5 +354,45 @@ mod tests {
     #[test]
     fn with_threads_zero_means_one() {
         assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn caught_map_turns_panics_into_errors_and_keeps_the_rest() {
+        // Quiet hook: the panics below are intentional.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 4] {
+            let out = Pool::with_threads(threads).par_map_indices_caught(20, |i| {
+                if i % 7 == 3 {
+                    panic!("poisoned state {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains(&format!("poisoned state {i}")), "{msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn caught_map_handles_non_string_panics() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = Pool::with_threads(2).par_map_indices_caught(3, |i| {
+            if i == 1 {
+                std::panic::panic_any(42usize);
+            }
+            i
+        });
+        assert!(out[1].as_ref().unwrap_err().contains("non-string"));
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        std::panic::set_hook(prev);
     }
 }

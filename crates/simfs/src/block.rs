@@ -139,6 +139,38 @@ impl BlockOp {
             BlockOp::SyncCache => None,
         }
     }
+
+    /// Payload size in bytes (0 for barriers).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            BlockOp::Write { payload, .. } => payload.len(),
+            BlockOp::SyncCache => 0,
+        }
+    }
+
+    /// Torn version of this command: the write the disk actually
+    /// completed when a crash hit after `keep` payload bytes. `None`
+    /// when nothing partial can persist (barriers; writes of < 2 bytes
+    /// are sector-atomic here).
+    pub fn torn(&self, keep: usize) -> Option<BlockOp> {
+        match self {
+            BlockOp::Write {
+                lba,
+                payload,
+                tag,
+                atomic_group,
+            } if payload.len() >= 2 => {
+                let keep = keep.clamp(1, payload.len() - 1);
+                Some(BlockOp::Write {
+                    lba: *lba,
+                    payload: payload[..keep].to_vec(),
+                    tag: tag.clone(),
+                    atomic_group: *atomic_group,
+                })
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BlockOp {

@@ -36,6 +36,6 @@ pub mod state;
 pub use block::{BlockDev, BlockOp, StructTag};
 pub use error::{FsError, FsResult};
 pub use fsck::{Fsck, FsckIssue};
-pub use journal::JournalMode;
+pub use journal::{torn_write, CommitRecord, JournalMode};
 pub use ops::{FsOp, OpClass};
 pub use state::{FsState, Ino};

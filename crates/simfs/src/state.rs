@@ -170,7 +170,7 @@ impl FsState {
         Arc::make_mut(
             self.inodes_mut()
                 .get_mut(&ino)
-                .expect("resolved ino exists"),
+                .expect("invariant: resolved ino exists"),
         )
     }
 
@@ -187,7 +187,11 @@ impl FsState {
     pub fn resolve(&self, path: &str) -> FsResult<Ino> {
         let mut cur = ROOT_INO;
         for comp in Self::components(path)? {
-            match &*self.inodes[&cur] {
+            let node = self
+                .inodes
+                .get(&cur)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            match &**node {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
                         .get(comp)
@@ -208,7 +212,11 @@ impl FsState {
             .ok_or_else(|| FsError::Invalid(format!("no final component in {path}")))?;
         let mut cur = ROOT_INO;
         for comp in dirs {
-            match &*self.inodes[&cur] {
+            let node = self
+                .inodes
+                .get(&cur)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            match &**node {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
                         .get(*comp)
@@ -223,8 +231,17 @@ impl FsState {
     fn dir_entries_mut(&mut self, ino: Ino) -> &mut BTreeMap<String, Ino> {
         match self.inode_mut(ino) {
             Inode::Dir { entries, .. } => entries,
-            Inode::File { .. } => unreachable!("parent resolution returns directories"),
+            Inode::File { .. } => unreachable!("invariant: parent resolution returns directories"),
         }
+    }
+
+    /// Immutable inode lookup for inos obtained from a successful
+    /// resolution — existence is a table invariant, so a miss is a bug
+    /// in `FsState` itself, never bad user input.
+    fn inode_ref(&self, ino: Ino) -> &Inode {
+        self.inodes
+            .get(&ino)
+            .expect("invariant: resolved ino exists")
     }
 
     /// `true` if `path` resolves to any inode.
@@ -235,14 +252,14 @@ impl FsState {
     /// `true` if `path` resolves to a directory.
     pub fn is_dir(&self, path: &str) -> bool {
         self.resolve(path)
-            .map(|i| self.inodes[&i].is_dir())
+            .map(|i| self.inode_ref(i).is_dir())
             .unwrap_or(false)
     }
 
     /// Read full file contents.
     pub fn read(&self, path: &str) -> FsResult<&[u8]> {
         let ino = self.resolve(path)?;
-        match &*self.inodes[&ino] {
+        match self.inode_ref(ino) {
             Inode::File { data, .. } => Ok(data),
             Inode::Dir { .. } => Err(FsError::IsADirectory(path.to_string())),
         }
@@ -251,7 +268,7 @@ impl FsState {
     /// Read an extended attribute.
     pub fn getxattr(&self, path: &str, key: &str) -> FsResult<&[u8]> {
         let ino = self.resolve(path)?;
-        self.inodes[&ino]
+        self.inode_ref(ino)
             .xattrs()
             .get(key)
             .map(|v| v.as_slice())
@@ -261,7 +278,7 @@ impl FsState {
     /// List directory entry names (sorted).
     pub fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
         let ino = self.resolve(path)?;
-        match &*self.inodes[&ino] {
+        match self.inode_ref(ino) {
             Inode::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
             Inode::File { .. } => Err(FsError::NotADirectory(path.to_string())),
         }
@@ -277,7 +294,7 @@ impl FsState {
     }
 
     fn walk_from(&self, ino: Ino, prefix: String, out: &mut Vec<String>) {
-        if let Inode::Dir { entries, .. } = &*self.inodes[&ino] {
+        if let Inode::Dir { entries, .. } = self.inode_ref(ino) {
             for (name, child) in entries {
                 let path = format!("{prefix}/{name}");
                 out.push(path.clone());
@@ -442,7 +459,7 @@ impl FsState {
         let dst_name = dst_name.to_string();
         if let Some(&existing) = self.dir_entries_mut(dst_parent).get(&dst_name) {
             if existing != src_ino {
-                if let Inode::Dir { entries, .. } = &*self.inodes[&existing] {
+                if let Inode::Dir { entries, .. } = self.inode_ref(existing) {
                     if !entries.is_empty() {
                         return Err(FsError::NotEmpty(dst.to_string()));
                     }
@@ -462,7 +479,7 @@ impl FsState {
     /// `link`: create a hard link `dst` to the file at `src`.
     pub fn link(&mut self, src: &str, dst: &str) -> FsResult<()> {
         let src_ino = self.resolve(src)?;
-        if self.inodes[&src_ino].is_dir() {
+        if self.inode_ref(src_ino).is_dir() {
             return Err(FsError::IsADirectory(src.to_string()));
         }
         let (dst_parent, dst_name) = self.resolve_parent(dst)?;
@@ -478,7 +495,7 @@ impl FsState {
     /// entry references it any more.
     pub fn unlink(&mut self, path: &str) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        if self.inodes[&ino].is_dir() {
+        if self.inode_ref(ino).is_dir() {
             return Err(FsError::IsADirectory(path.to_string()));
         }
         let (parent, name) = self.resolve_parent(path)?;
@@ -491,7 +508,7 @@ impl FsState {
     /// `rmdir`: remove an empty directory.
     pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        match &*self.inodes[&ino] {
+        match self.inode_ref(ino) {
             Inode::Dir { entries, .. } => {
                 if !entries.is_empty() {
                     return Err(FsError::NotEmpty(path.to_string()));
@@ -559,7 +576,7 @@ impl FsState {
         for path in self.walk() {
             path.hash(&mut h);
             if let Ok(ino) = self.resolve(&path) {
-                match &*self.inodes[&ino] {
+                match self.inode_ref(ino) {
                     Inode::File { data, xattrs } => {
                         0u8.hash(&mut h);
                         data.hash(&mut h);
@@ -587,7 +604,7 @@ impl FsState {
             let (ia, ib) = (self.resolve(path), other.resolve(path));
             match (ia, ib) {
                 (Ok(ia), Ok(ib)) => {
-                    let (na, nb) = (&*self.inodes[&ia], &*other.inodes[&ib]);
+                    let (na, nb) = (self.inode_ref(ia), other.inode_ref(ib));
                     match (na, nb) {
                         (
                             Inode::File {

@@ -16,9 +16,11 @@
 //! ordered by program logic, never by wall-clock time.
 
 pub mod clock;
+pub mod fault;
 pub mod rpc;
 pub mod topology;
 
 pub use clock::VectorClock;
+pub use fault::{Fate, FaultConfig, FaultPlane};
 pub use rpc::RpcNet;
 pub use topology::{ClusterTopology, ServerRole, ServerSpec};

@@ -5,7 +5,15 @@
 //! sender→receiver causality edge — exactly the information ParaCrash
 //! extracts from strace'd socket calls to "order the client events with
 //! respect to the server events" (§4.2).
+//!
+//! A net can carry a [`FaultPlane`]: each message then draws a
+//! [`Fate`], and drops/duplicates/delays surface as *real trace events*
+//! (lost sends, annotated retries, duplicate deliveries) while delivery
+//! stays eventual and exactly-once-effective — see the
+//! [`fault`](crate::fault) module for why that keeps live state
+//! bit-identical to a fault-free run.
 
+use crate::fault::{Fate, FaultPlane};
 use tracer::{EventId, Layer, Payload, Process, Recorder};
 
 /// Synchronous RPC recorder over a shared [`Recorder`].
@@ -14,12 +22,37 @@ use tracer::{EventId, Layer, Payload, Process, Recorder};
 /// matters for crash consistency is only the causal edge, not timing.
 pub struct RpcNet<'r> {
     rec: &'r mut Recorder,
+    plane: Option<&'r mut FaultPlane>,
+}
+
+fn layer_of(p: Process) -> Layer {
+    match p {
+        Process::Client(_) => Layer::PfsClient,
+        Process::Server(_) => Layer::PfsServer,
+    }
+}
+
+fn server_id(p: Process) -> Option<u32> {
+    match p {
+        Process::Server(s) => Some(s),
+        Process::Client(_) => None,
+    }
 }
 
 impl<'r> RpcNet<'r> {
-    /// Wrap a recorder.
+    /// Wrap a recorder (fault-free delivery).
     pub fn new(rec: &'r mut Recorder) -> Self {
-        RpcNet { rec }
+        RpcNet { rec, plane: None }
+    }
+
+    /// Wrap a recorder plus a fault plane: every message's fate is drawn
+    /// from the plane. An inactive plane behaves exactly like
+    /// [`RpcNet::new`].
+    pub fn faulty(rec: &'r mut Recorder, plane: &'r mut FaultPlane) -> Self {
+        RpcNet {
+            rec,
+            plane: Some(plane),
+        }
     }
 
     /// Access the underlying recorder.
@@ -30,7 +63,11 @@ impl<'r> RpcNet<'r> {
     /// Record a one-way message `from → to`; returns `(send_id, recv_id)`.
     ///
     /// `parent` is the upper-layer call on the sending side that issued
-    /// the message (caller–callee edge).
+    /// the message (caller–callee edge). Under an active fault plane the
+    /// message may be preceded by lost sends (`[lost]` + a `[retry n]`
+    /// resend), duplicated (`[dup]` extra delivery) or delayed
+    /// (`[delayed]` annotation); the returned `recv_id` is always the
+    /// delivery that carries the causal edge server work hangs off.
     pub fn message(
         &mut self,
         from: Process,
@@ -38,12 +75,63 @@ impl<'r> RpcNet<'r> {
         msg: &str,
         parent: Option<EventId>,
     ) -> (EventId, EventId) {
-        let layer_of = |p: Process| match p {
-            Process::Client(_) => Layer::PfsClient,
-            Process::Server(_) => Layer::PfsServer,
+        let fate = match self.plane.as_mut() {
+            Some(plane) => plane.fate(server_id(from), server_id(to)),
+            None => Fate::Deliver,
         };
         pc_rt::obs::count("rpc.messages", 1);
-        pc_rt::pc_debug!("rpc {from:?} -> {to:?}: {msg}");
+        pc_rt::pc_debug!("rpc {from:?} -> {to:?}: {msg} ({fate:?})");
+        match fate {
+            Fate::Deliver => self.record_pair(from, to, msg, parent),
+            Fate::Drop { attempts } => {
+                // The transport loses `attempts` sends; each shows up in
+                // the trace (no matching recv — the paper's strace would
+                // show the timed-out sendto), then the retry succeeds.
+                for a in 1..=attempts {
+                    pc_rt::obs::count("rpc.dropped", 1);
+                    pc_rt::obs::count("rpc.retries", 1);
+                    self.rec.record(
+                        layer_of(from),
+                        from,
+                        Payload::Send {
+                            to,
+                            msg: format!("{msg} [lost {a}]"),
+                        },
+                        parent,
+                    );
+                }
+                self.record_pair(from, to, &format!("{msg} [retry {attempts}]"), parent)
+            }
+            Fate::Duplicate => {
+                let (send, recv) = self.record_pair(from, to, msg, parent);
+                // The duplicate delivery: received again, deduplicated
+                // by the server (no second execution of the work).
+                pc_rt::obs::count("rpc.duplicates", 1);
+                self.rec.record(
+                    layer_of(to),
+                    to,
+                    Payload::Recv {
+                        from,
+                        msg: format!("{msg} [dup]"),
+                    },
+                    Some(send),
+                );
+                (send, recv)
+            }
+            Fate::Delay => {
+                pc_rt::obs::count("rpc.delayed", 1);
+                self.record_pair(from, to, &format!("{msg} [delayed]"), parent)
+            }
+        }
+    }
+
+    fn record_pair(
+        &mut self,
+        from: Process,
+        to: Process,
+        msg: &str,
+        parent: Option<EventId>,
+    ) -> (EventId, EventId) {
         let send = self.rec.record(
             layer_of(from),
             from,
@@ -70,9 +158,9 @@ impl<'r> RpcNet<'r> {
     }
 
     /// Record a request/..../reply round trip skeleton: request message
-    /// now; call [`RpcNet::message`] again for the reply after recording
-    /// the server-side work so the reply's send happens after it in
-    /// program order.
+    /// now; call [`RpcNet::reply`] for the reply after recording the
+    /// server-side work so the reply's send happens after it both in
+    /// program order and via the caller edge.
     pub fn request(
         &mut self,
         client: Process,
@@ -83,15 +171,24 @@ impl<'r> RpcNet<'r> {
         self.message(client, server, msg, parent)
     }
 
-    /// Record the reply leg of a round trip.
-    pub fn reply(&mut self, server: Process, client: Process, msg: &str) -> (EventId, EventId) {
-        self.message(server, client, msg, None)
+    /// Record the reply leg of a round trip. `parent` is the server-side
+    /// work event that produced the reply, so the reply send is causally
+    /// ordered after it (not just by same-process program order).
+    pub fn reply(
+        &mut self,
+        server: Process,
+        client: Process,
+        msg: &str,
+        parent: Option<EventId>,
+    ) -> (EventId, EventId) {
+        self.message(server, client, msg, parent)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use tracer::CausalityGraph;
 
     #[test]
@@ -123,7 +220,7 @@ mod tests {
             Some(recv),
         );
         let mut net = RpcNet::new(&mut rec);
-        let (_, ack) = net.reply(server, client, "OK");
+        let (_, ack) = net.reply(server, client, "OK", Some(work));
         // Client continues after the ack.
         let after = rec.record(
             Layer::PfsClient,
@@ -138,6 +235,43 @@ mod tests {
         assert!(g.happens_before(call, work));
         assert!(g.happens_before(work, ack));
         assert!(g.happens_before(work, after));
+    }
+
+    /// Regression: `reply` must thread the server-side work's event id
+    /// as the reply send's parent. Historically it hardcoded `None`, so
+    /// the work→ack ordering held only through same-process program
+    /// order — which evaporates for work recorded on a *different*
+    /// server process than the replying one (e.g. a metadata server
+    /// acking on behalf of forwarded storage work).
+    #[test]
+    fn reply_carries_the_causal_parent_across_processes() {
+        let mut rec = Recorder::new();
+        let client = Process::Client(0);
+        let meta = Process::Server(0);
+        let storage = Process::Server(1);
+        let mut net = RpcNet::new(&mut rec);
+        let (_, recv) = net.request(client, meta, "WRITE", None);
+        let (_, fwd_recv) = net.message(meta, storage, "FWD WRITE", Some(recv));
+        let work = net.recorder().record(
+            Layer::LocalFs,
+            storage,
+            Payload::Fs {
+                server: 1,
+                op: simfs::FsOp::Creat {
+                    path: "/chunk".into(),
+                },
+            },
+            Some(fwd_recv),
+        );
+        // The *metadata* server replies after the storage-side work.
+        let mut net = RpcNet::new(&mut rec);
+        let (ack_send, _) = net.reply(meta, client, "OK", Some(work));
+        assert_eq!(rec.event(ack_send).parent, Some(work));
+        let g = CausalityGraph::build(&rec);
+        assert!(
+            g.happens_before(work, ack_send),
+            "reply must be ordered after the work that produced it"
+        );
     }
 
     #[test]
@@ -163,5 +297,76 @@ mod tests {
         );
         let g = CausalityGraph::build(&rec);
         assert!(g.concurrent(a, b));
+    }
+
+    #[test]
+    fn inactive_plane_records_the_same_trace_as_no_plane() {
+        let mut clean = Recorder::new();
+        RpcNet::new(&mut clean).message(Process::Client(0), Process::Server(0), "PING", None);
+        let mut plane = FaultPlane::disabled();
+        let mut faulted = Recorder::new();
+        RpcNet::faulty(&mut faulted, &mut plane).message(
+            Process::Client(0),
+            Process::Server(0),
+            "PING",
+            None,
+        );
+        assert_eq!(clean.len(), faulted.len());
+    }
+
+    #[test]
+    fn dropped_message_leaves_lost_sends_then_a_delivered_retry() {
+        let cfg = FaultConfig {
+            drop_rate: 1.0,
+            max_retries: 2,
+            ..FaultConfig::disabled()
+        };
+        let mut plane = FaultPlane::new(cfg);
+        let mut rec = Recorder::new();
+        let (send, recv) = RpcNet::faulty(&mut rec, &mut plane).message(
+            Process::Client(0),
+            Process::Server(0),
+            "CREAT",
+            None,
+        );
+        // Lost sends precede the successful retry pair.
+        assert!(rec.len() > 2, "lost sends must appear in the trace");
+        let send_ev = rec.event(send);
+        match &send_ev.payload {
+            Payload::Send { msg, .. } => assert!(msg.contains("[retry"), "got {msg}"),
+            other => panic!("expected a send, got {other:?}"),
+        }
+        // The returned recv still carries the causal edge.
+        assert_eq!(rec.event(recv).parent, Some(send));
+        let lost = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(&e.payload, Payload::Send { msg, .. } if msg.contains("[lost")))
+            .count();
+        assert!(lost >= 1);
+    }
+
+    #[test]
+    fn duplicate_message_adds_a_deduplicated_second_delivery() {
+        let cfg = FaultConfig {
+            dup_rate: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let mut plane = FaultPlane::new(cfg);
+        let mut rec = Recorder::new();
+        let (send, recv) = RpcNet::faulty(&mut rec, &mut plane).message(
+            Process::Client(0),
+            Process::Server(0),
+            "CREAT",
+            None,
+        );
+        assert_eq!(rec.len(), 3, "send + recv + duplicate recv");
+        assert_eq!(rec.event(recv).parent, Some(send));
+        let dups = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(&e.payload, Payload::Recv { msg, .. } if msg.contains("[dup]")))
+            .count();
+        assert_eq!(dups, 1);
     }
 }

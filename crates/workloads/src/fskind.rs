@@ -85,10 +85,12 @@ impl FsKind {
         matches!(self, FsKind::BeeGfs | FsKind::OrangeFs | FsKind::Lustre)
     }
 
-    /// Build a fresh formatted instance for the given parameters.
+    /// Build a fresh formatted instance for the given parameters. When
+    /// [`Params::faults`] is set the instance's RPC fault plane is armed
+    /// (the ext4 control has no network and ignores it).
     pub fn build(&self, params: &Params) -> Box<dyn Pfs> {
         let placement = params.placement.clone();
-        match self {
+        let mut pfs: Box<dyn Pfs> = match self {
             FsKind::BeeGfs => Box::new(BeeGfs::new(
                 ClusterTopology::dedicated(params.meta, params.storage, params.clients),
                 placement,
@@ -115,14 +117,21 @@ impl FsKind {
                 params.stripe,
             )),
             FsKind::Ext4 => Box::new(Ext4Direct::paper_default()),
+        };
+        if let Some(faults) = &params.faults {
+            pfs.install_faults(faults.clone());
         }
+        pfs
     }
 
     /// A factory building identical fresh instances (for golden-state
-    /// replay).
+    /// replay). Replays run fault-free: delivery faults are
+    /// state-invariant, so the legal states of a faulty trace are the
+    /// legal states of its clean replay.
     pub fn factory(&self, params: &Params) -> StackFactory {
         let kind = *self;
-        let params = params.clone();
+        let mut params = params.clone();
+        params.faults = None;
         Box::new(move || kind.build(&params))
     }
 

@@ -2,6 +2,7 @@
 //! knobs (§6.1, §6.2).
 
 use pfs::Placement;
+use simnet::FaultConfig;
 
 /// Everything that parameterizes one test-program run.
 #[derive(Debug, Clone)]
@@ -29,6 +30,10 @@ pub struct Params {
     pub h5_seg: u64,
     /// Placement pins expressing the file-distribution sensitivity.
     pub placement: Placement,
+    /// Seeded RPC fault plane armed on the *traced* instance (replay
+    /// instances stay fault-free so golden states don't move). `None`
+    /// leaves every pre-existing code path untouched.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Params {
@@ -44,6 +49,7 @@ impl Params {
             wal_pages: 2,
             h5_seg: 64 * 1024,
             placement: Placement::new(),
+            faults: None,
         }
     }
 
@@ -62,6 +68,7 @@ impl Params {
             wal_pages: 2,
             h5_seg: 1024,
             placement: Placement::new(),
+            faults: None,
         }
     }
 
@@ -104,6 +111,12 @@ impl Params {
     /// Override the stripe size.
     pub fn with_stripe(mut self, stripe: u64) -> Self {
         self.stripe = stripe;
+        self
+    }
+
+    /// Arm the RPC fault plane on the traced instance.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Five gates:
+# Six gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -19,6 +19,12 @@
 #      trace-event formats, validated by `telemetry-check`), and the
 #      *disabled* telemetry overhead on the snapshot-engine microbench
 #      must stay under 3% (`telemetry-overhead`).
+#   6. Fault plane — the seeded chaos suite must pass sequentially and
+#      parallel, the CLI must produce bit-identical reports for the
+#      same chaos seed across thread counts, a zero-fault full-matrix
+#      run must reproduce exactly the paper's fifteen Table 3 bugs,
+#      and the fault plane's *disabled* per-message overhead must stay
+#      under 3% of a traced run (`faults-overhead`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,5 +82,32 @@ target/release/paracrash --fs ext4 --program ARVR \
     --telemetry-out "$tmp/telemetry-plain.json" > /dev/null
 target/release/telemetry-check "$tmp/telemetry-plain.json"
 target/release/telemetry-overhead
+
+echo "== gate 6: fault-plane determinism + zero-fault fidelity =="
+spec="seed=7,drop=0.2,dup=0.1,delay=0.1,retries=3"
+PC_THREADS=1 cargo test -q --offline --test chaos
+cargo test -q --offline --test chaos --test torn_writes --test diagnostics
+# Same chaos seed => bit-identical CLI report, regardless of thread
+# count, via both the --faults flag and the PC_CHAOS_SEED fallback.
+# BeeGFS/ARVR finds bugs, so the cells exit 1 by design.
+target/release/paracrash --fs BeeGFS --program ARVR --faults "$spec" \
+    > "$tmp/chaos-par.txt" || [ $? -eq 1 ]
+PC_THREADS=1 target/release/paracrash --fs BeeGFS --program ARVR --faults "$spec" \
+    > "$tmp/chaos-seq.txt" || [ $? -eq 1 ]
+diff "$tmp/chaos-par.txt" "$tmp/chaos-seq.txt"
+PC_CHAOS_SEED=7 target/release/paracrash --fs BeeGFS --program ARVR \
+    > "$tmp/env-par.txt" || [ $? -eq 1 ]
+PC_CHAOS_SEED=7 PC_THREADS=1 target/release/paracrash --fs BeeGFS --program ARVR \
+    > "$tmp/env-seq.txt" || [ $? -eq 1 ]
+diff "$tmp/env-par.txt" "$tmp/env-seq.txt"
+# Zero-fault runs must still find exactly the paper's fifteen bugs.
+target/release/table3 > "$tmp/table3.txt"
+reproduced=$(grep -c "REPRODUCED" "$tmp/table3.txt")
+if [ "$reproduced" -ne 15 ] || grep -q "missing" "$tmp/table3.txt"; then
+    echo "FAIL: zero-fault matrix does not reproduce the 15 Table 3 bugs"
+    grep -E "REPRODUCED|missing" "$tmp/table3.txt"
+    exit 1
+fi
+target/release/faults-overhead
 
 echo "verify: OK"

@@ -44,6 +44,11 @@ pub fn check_with(
             Some(mut acc) => {
                 acc.raw_inconsistent_states += outcome.raw_inconsistent_states;
                 acc.h5_bad_pfs_ok_states += outcome.h5_bad_pfs_ok_states;
+                acc.stats.states_total += outcome.stats.states_total;
+                acc.stats.states_checked += outcome.stats.states_checked;
+                acc.stats.states_pruned += outcome.stats.states_pruned;
+                acc.stats.states_diagnostic += outcome.stats.states_diagnostic;
+                acc.diagnostics.extend(outcome.diagnostics);
                 for bug in outcome.bugs {
                     if let Some(existing) = acc
                         .bugs

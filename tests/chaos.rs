@@ -1,0 +1,130 @@
+//! Seeded chaos suite: the fault plane must be deterministic, and
+//! delivery faults alone (drops, duplicates, delays, retries) must never
+//! change the checker's verdicts — clients retry until acknowledged and
+//! servers deduplicate, so the persisted history is fault-invariant.
+
+use paracrash_suite::{check_with, signatures};
+use paracrash_suite::{paracrash::CheckConfig, simnet::FaultConfig, tracer::Payload};
+use pc_rt::proptest::{run, Config};
+use workloads::{FsKind, Params, Program};
+
+/// One checker cell under a given fault configuration: faults drive both
+/// the traced run (delivery faults) and the checker (torn widening).
+fn check_faulty(program: Program, fs: FsKind, faults: &FaultConfig) -> paracrash::CheckOutcome {
+    let params = Params::quick().with_faults(faults.clone());
+    let mut cfg = CheckConfig::paper_default();
+    cfg.faults = faults.clone();
+    check_with(program, fs, &params, &cfg)
+}
+
+/// Delivery-faults-only configuration (no torn writes, no partition):
+/// the trace gets noisier but the persisted state machine is untouched.
+fn retries_only(seed: u64) -> FaultConfig {
+    let mut fc = FaultConfig::chaos(seed);
+    fc.torn_writes = false;
+    fc.partition = None;
+    fc
+}
+
+#[test]
+fn same_seed_produces_bit_identical_reports() {
+    let fc = FaultConfig::chaos(0xC0FF_EE00);
+    let a = check_faulty(Program::Arvr, FsKind::BeeGfs, &fc);
+    let b = check_faulty(Program::Arvr, FsKind::BeeGfs, &fc);
+    assert_eq!(
+        a.canonical_report(),
+        b.canonical_report(),
+        "identical chaos seed must reproduce the report byte for byte"
+    );
+}
+
+#[test]
+fn different_seeds_still_find_the_same_bugs_without_torn_writes() {
+    let a = check_faulty(Program::Arvr, FsKind::BeeGfs, &retries_only(1));
+    let b = check_faulty(Program::Arvr, FsKind::BeeGfs, &retries_only(2));
+    assert_eq!(signatures(&a), signatures(&b));
+}
+
+#[test]
+fn zero_fault_reproduces_the_fault_free_report() {
+    // A disabled fault plane consumes no randomness and injects nothing,
+    // so the run must be indistinguishable from one that never heard of
+    // the fault machinery.
+    let baseline = check_with(
+        Program::Arvr,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig::paper_default(),
+    );
+    let zero = check_faulty(Program::Arvr, FsKind::BeeGfs, &FaultConfig::disabled());
+    assert_eq!(baseline.canonical_report(), zero.canonical_report());
+}
+
+#[test]
+fn retries_alone_add_no_false_positives() {
+    let fc = retries_only(0xDEAD_BEEF);
+
+    // The fault plane must actually be doing something: the traced run
+    // carries injected-fault markers as real events.
+    let params = Params::quick().with_faults(fc.clone());
+    let (_, placement) = &Program::Arvr.placements()[0];
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params.with_placement(placement.clone()));
+    let injected = stack
+        .rec
+        .events()
+        .iter()
+        .filter(|e| match &e.payload {
+            Payload::Send { msg, .. } => msg.contains("[lost") || msg.contains("[retry"),
+            Payload::Recv { msg, .. } => msg.contains("[dup]") || msg.contains("[delayed]"),
+            _ => false,
+        })
+        .count();
+    assert!(
+        injected > 0,
+        "chaos profile at drop 0.2 / dup 0.1 must inject visible faults"
+    );
+
+    // And yet the verdicts are exactly the fault-free ones.
+    let clean = check_with(
+        Program::Arvr,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig::paper_default(),
+    );
+    let faulty = check_faulty(Program::Arvr, FsKind::BeeGfs, &fc);
+    assert_eq!(signatures(&clean), signatures(&faulty));
+    assert!(faulty.diagnostics.is_empty(), "{:?}", faulty.diagnostics);
+}
+
+#[test]
+fn random_delivery_fault_configs_preserve_signatures() {
+    // Property form of the above, over randomly drawn delivery-fault
+    // configurations (torn writes off — those legitimately widen).
+    let clean = check_with(
+        Program::Cr,
+        FsKind::OrangeFs,
+        &Params::quick(),
+        &CheckConfig::paper_default(),
+    );
+    let clean_sigs = signatures(&clean);
+    let cfg = Config::with_cases(6);
+    run(
+        "delivery faults never change verdicts",
+        &cfg,
+        |rng, _size| FaultConfig {
+            seed: rng.next_u64(),
+            drop_rate: rng.gen_range(0u64..40) as f64 / 100.0,
+            dup_rate: rng.gen_range(0u64..30) as f64 / 100.0,
+            delay_rate: rng.gen_range(0u64..30) as f64 / 100.0,
+            max_retries: 1 + rng.gen_range(0u64..4) as u32,
+            partition: None,
+            partition_heal_after: 0,
+            torn_writes: false,
+        },
+        |fc| {
+            let faulty = check_faulty(Program::Cr, FsKind::OrangeFs, fc);
+            pc_rt::prop_assert_eq!(&signatures(&faulty), &clean_sigs);
+            Ok(())
+        },
+    );
+}

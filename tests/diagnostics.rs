@@ -1,0 +1,43 @@
+//! A panicking PFS model must not abort the checking run: each crash
+//! state's work runs under `catch_unwind`, and a poisoned state becomes
+//! a diagnostic entry while the rest of the run completes.
+//!
+//! This lives in its own test binary because the poison hook is a
+//! process-global environment variable.
+
+use paracrash_suite::{check_with, paracrash::CheckConfig};
+use workloads::{FsKind, Params, Program};
+
+#[test]
+fn poisoned_recover_yields_diagnostics_not_an_abort() {
+    std::env::set_var("PC_TEST_POISON_RECOVER", "1");
+    let outcome = check_with(
+        Program::Arvr,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig::paper_default(),
+    );
+    std::env::remove_var("PC_TEST_POISON_RECOVER");
+
+    // Every crash state hit the poisoned tool, so every one must have
+    // been turned into a diagnostic rather than a verdict — and the run
+    // still returned an outcome instead of unwinding.
+    assert!(!outcome.diagnostics.is_empty());
+    assert_eq!(outcome.stats.states_diagnostic, outcome.diagnostics.len());
+    assert!(outcome
+        .diagnostics
+        .iter()
+        .all(|d| d.contains("poisoned recover")));
+    // Diagnostics surface in the canonical report too.
+    assert!(outcome.canonical_report().contains("diagnostic:"));
+
+    // The hook is gone: a rerun is clean again.
+    let clean = check_with(
+        Program::Arvr,
+        FsKind::BeeGfs,
+        &Params::quick(),
+        &CheckConfig::paper_default(),
+    );
+    assert!(clean.diagnostics.is_empty());
+    assert!(!clean.bugs.is_empty(), "the seeded ARVR bugs are back");
+}
