@@ -12,7 +12,9 @@
 //! Suites: `fig10-explore` / `trace-generation` / `snapshot-engine`
 //! (exploration modes and replay engines), `fig11-scalability`
 //! (server-count scaling), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
-//! substrate micro-benches, and `ablation-victims` / `ablation-journal`.
+//! substrate micro-benches, `ablation-victims` / `ablation-journal`,
+//! `telemetry`, `faults`, and `explain` (witness-shrinking cost with
+//! and without prefix-sharing).
 //!
 //! Bare `--json` writes one `BENCH_<group>.json` per registration group
 //! (`substrate`, `explore`, `scalability`, `ablation`) at the repo root;
@@ -23,13 +25,14 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 6] = [
+const SUITES: [(&str, fn(&mut Bench)); 7] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
     ("ablation", benches::ablation::register),
     ("telemetry", benches::telemetry::register),
     ("faults", benches::faults::register),
+    ("explain", benches::explain::register),
 ];
 
 fn main() {

@@ -1,0 +1,210 @@
+//! Validates a directory of explain bundles emitted by
+//! `paracrash --explain-out DIR` (verify gate 7).
+//!
+//! ```sh
+//! explain-check reports/ [MIN_BUNDLES]
+//! ```
+//!
+//! Checks, per bundle stem:
+//!
+//! * the `.md`, `.dot` and `.json` siblings all exist (equal counts);
+//! * the `.json` re-parses with the vendored `h5sim::json` reader and
+//!   carries the documented keys, every `violated_edges`/`edges`
+//!   endpoint is a declared `nodes` entry, and every `minimal_witness`
+//!   op appears among the nodes flagged `minimal`;
+//! * the `.dot` is structurally sound: balanced braces, and every edge
+//!   endpoint (`eN -> eM`) is declared as a node (`eN [...]`).
+//!
+//! `MIN_BUNDLES` (default 15 — one per Table 3 bug) guards against a
+//! silently empty run. Exits 0 when valid, 1 with a diagnostic.
+
+use h5sim::json::Json;
+
+fn fail(msg: &str) -> ! {
+    // Deliberately eprintln, not pc_error!: the verdict is this tool's
+    // user-facing output and must print regardless of PC_LOG.
+    eprintln!("explain-check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// `eN` with a purely numeric suffix — the node-id shape `to_dot` emits.
+fn is_node_id(s: &str) -> bool {
+    s.strip_prefix('e')
+        .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Structural lint of one `.dot` file.
+fn lint_dot(name: &str, dot: &str) {
+    if dot.matches('{').count() != dot.matches('}').count() {
+        fail(&format!("{name}: unbalanced braces"));
+    }
+    if !dot.trim_start().starts_with("digraph") {
+        fail(&format!("{name}: not a digraph"));
+    }
+    for line in dot.lines() {
+        let line = line.trim();
+        let Some((from, rest)) = line.split_once(" -> ") else {
+            continue;
+        };
+        if !is_node_id(from) {
+            continue; // the graph label carries the signature's "->"
+        }
+        let to = rest.split([' ', ';']).next().unwrap_or("");
+        for id in [from, to] {
+            if !is_node_id(id) || !dot.contains(&format!("{id} [")) {
+                fail(&format!(
+                    "{name}: edge endpoint {id} not declared as a node"
+                ));
+            }
+        }
+    }
+}
+
+/// Shape check of one `.json` bundle.
+fn check_json(name: &str, doc: &Json) {
+    for key in [
+        "signature",
+        "layer",
+        "violated_model",
+        "occurrences",
+        "state_index",
+        "minimal_witness",
+        "violated_edges",
+        "frontier",
+        "nodes",
+        "edges",
+        "diff",
+        "shrink",
+    ] {
+        if doc.get(key).is_none() {
+            fail(&format!("{name}: missing {key}"));
+        }
+    }
+    let nodes = doc
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{name}: nodes is not an array")));
+    let declared: Vec<u64> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            n.get("event")
+                .and_then(Json::as_int)
+                .unwrap_or_else(|| fail(&format!("{name}: nodes[{i}] has no event")))
+        })
+        .collect();
+    for section in ["edges", "violated_edges"] {
+        let edges = doc
+            .get(section)
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| fail(&format!("{name}: {section} is not an array")));
+        for (i, edge) in edges.iter().enumerate() {
+            for end in ["from", "to"] {
+                let ev = edge
+                    .get(end)
+                    .and_then(Json::as_int)
+                    .unwrap_or_else(|| fail(&format!("{name}: {section}[{i}] has no {end}")));
+                if !declared.contains(&ev) {
+                    fail(&format!(
+                        "{name}: {section}[{i}].{end} = {ev} is not a declared node"
+                    ));
+                }
+            }
+        }
+    }
+    // Every witness op must be present among the minimal-flagged nodes.
+    let minimal: Vec<u64> = nodes
+        .iter()
+        .filter(|n| matches!(n.get("minimal"), Some(Json::Bool(true))))
+        .filter_map(|n| n.get("event").and_then(Json::as_int))
+        .collect();
+    let witness = doc.get("minimal_witness").and_then(Json::as_arr).unwrap();
+    for (i, op) in witness.iter().enumerate() {
+        let ev = op
+            .get("event")
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| fail(&format!("{name}: minimal_witness[{i}] has no event")));
+        if !minimal.contains(&ev) {
+            fail(&format!(
+                "{name}: minimal_witness[{i}] (event {ev}) not flagged minimal in nodes"
+            ));
+        }
+    }
+    let shrink = doc.get("shrink").unwrap();
+    let orig = shrink.get("original_ops").and_then(Json::as_int);
+    let min = shrink.get("minimal_ops").and_then(Json::as_int);
+    if min > orig {
+        fail(&format!(
+            "{name}: minimal_ops {min:?} > original_ops {orig:?}"
+        ));
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: explain-check <dir> [min-bundles]");
+        std::process::exit(2);
+    };
+    let min_bundles: usize = args
+        .next()
+        .map(|s| s.parse().unwrap_or_else(|_| fail("bad min-bundles")))
+        .unwrap_or(15);
+
+    let mut stems: Vec<String> = Vec::new();
+    let entries =
+        std::fs::read_dir(&dir).unwrap_or_else(|e| fail(&format!("cannot read {dir}: {e}")));
+    let (mut md, mut dot, mut json) = (0usize, 0usize, 0usize);
+    for entry in entries {
+        let path = entry
+            .unwrap_or_else(|e| fail(&format!("{dir}: {e}")))
+            .path();
+        let (Some(stem), Some(ext)) = (
+            path.file_stem().and_then(|s| s.to_str()),
+            path.extension().and_then(|s| s.to_str()),
+        ) else {
+            continue;
+        };
+        match ext {
+            "md" => md += 1,
+            "dot" => dot += 1,
+            "json" => {
+                json += 1;
+                stems.push(stem.to_string());
+            }
+            _ => {}
+        }
+    }
+    if md != dot || dot != json {
+        fail(&format!(
+            "bundle siblings out of step: {md} .md, {dot} .dot, {json} .json"
+        ));
+    }
+    if json < min_bundles {
+        fail(&format!(
+            "only {json} bundles found, expected >= {min_bundles}"
+        ));
+    }
+    stems.sort_unstable();
+
+    for stem in &stems {
+        let read = |ext: &str| -> String {
+            let path = format!("{dir}/{stem}.{ext}");
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+        };
+        let text = read("json");
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| fail(&format!("{stem}.json is not JSON: {e}")));
+        check_json(&format!("{stem}.json"), &doc);
+        lint_dot(&format!("{stem}.dot"), &read("dot"));
+        let markdown = read("md");
+        if !markdown.starts_with("# Bug: ") {
+            fail(&format!("{stem}.md does not open with the bug heading"));
+        }
+    }
+    println!(
+        "explain-check: OK — {dir}: {} bundles, JSON re-parsed, DOT lint clean",
+        stems.len()
+    );
+}

@@ -1,0 +1,90 @@
+//! Asserts the provenance engine's *disabled* overhead budget (verify
+//! gate 7): with `explain = false` (the production default) the checker
+//! pays only the witness bookkeeping the explain pass later reads — one
+//! `(signature, layer) -> state index` map insert per *unique* bug —
+//! plus one gate branch per check. That price must stay under 3% of a
+//! full check run.
+//!
+//! We cannot diff against an explain-free build (there isn't one), so
+//! the bound is computed:
+//!
+//! 1. measure the per-bug cost `c` of the bookkeeping — cloning a real
+//!    bug signature and inserting it into the witness-state map;
+//! 2. count the unique bugs `B` the verify workload (ARVR on BeeGFS,
+//!    quick scale) reports;
+//! 3. measure the median wall time `t` of that full check with explain
+//!    off;
+//! 4. assert `B * c / t < 3%`.
+//!
+//! Exits 0 when the bound holds, 1 with a diagnostic when it does not.
+
+use paracrash::{check_stack, CheckConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{FsKind, Params, Program};
+
+/// Maximum tolerated disabled-explain share of the check runtime.
+const BUDGET: f64 = 0.03;
+
+fn main() {
+    let params = Params::quick();
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let factory = FsKind::BeeGfs.factory(&params);
+    let cfg = CheckConfig::paper_default();
+    assert!(!cfg.explain, "explain must default off");
+
+    let outcome = check_stack(&stack, &factory, &cfg);
+    let bugs = outcome.bugs;
+    assert!(!bugs.is_empty(), "verify workload must report bugs");
+    assert!(
+        outcome.explanations.is_empty(),
+        "no bundles may be built when explain is off"
+    );
+
+    // (1) per-bug bookkeeping cost, amortized over many inserts of the
+    // workload's real signatures.
+    const REPS: usize = 20_000;
+    let t = Instant::now();
+    for i in 0..REPS {
+        let mut witness_state: BTreeMap<_, usize> = BTreeMap::new();
+        for (idx, bug) in bugs.iter().enumerate() {
+            witness_state.insert((bug.signature.clone(), bug.layer), black_box(i + idx));
+        }
+        black_box(&witness_state);
+    }
+    let per_bug_ns = t.elapsed().as_nanos() as f64 / (REPS * bugs.len()) as f64;
+
+    // (2) unique bugs in the verify workload.
+    let n_bugs = bugs.len();
+
+    // (3) median wall time of the full check, explain off.
+    let mut runs: Vec<u64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(check_stack(&stack, &factory, &cfg).bugs.len());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let t_check_ns = runs[runs.len() / 2] as f64;
+
+    // (4) the bound. The witness-state map holds one entry per unique
+    // bug, so the per-insert cost is the whole story.
+    let overhead = n_bugs as f64 * per_bug_ns / t_check_ns;
+    println!(
+        "explain-overhead: {n_bugs} bugs x {per_bug_ns:.2} ns bookkeeping \
+         / {:.2} ms check = {:.4}% (budget {:.0}%)",
+        t_check_ns / 1e6,
+        overhead * 100.0,
+        BUDGET * 100.0,
+    );
+    if overhead >= BUDGET {
+        pc_rt::pc_error!(
+            "disabled explain overhead {:.3}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}

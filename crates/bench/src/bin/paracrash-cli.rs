@@ -13,6 +13,7 @@
 //! paracrash --fs GPFS --program WAL --dump-trace wal.trace
 //! paracrash --fs BeeGFS --program ARVR --telemetry-out trace.json \
 //!           --telemetry-format chrome      # Perfetto-loadable timeline
+//! paracrash --fs BeeGFS --program ARVR --explain-out reports/
 //! ```
 //!
 //! `--telemetry-out` enables the `pc_rt::obs` layer for the run and
@@ -20,6 +21,12 @@
 //! plain structured JSON by default, Chrome trace-event format with
 //! `--telemetry-format chrome`. `PC_TRACE=summary` additionally prints
 //! a per-check stage table to stderr.
+//!
+//! `--explain-out DIR` turns on the provenance engine and writes one
+//! self-contained bundle per bug into `DIR`: a Markdown report, a
+//! Graphviz `.dot` causal graph, and a machine-readable `.json`
+//! (minimal witness, violated ordering edges, vector clocks, state
+//! diff).
 
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
@@ -33,13 +40,28 @@ fn die(msg: std::fmt::Arguments<'_>) -> ! {
     std::process::exit(2);
 }
 
+/// Filesystem-safe bundle-name component: lowercase, non-alphanumerics
+/// collapsed to `-` (e.g. `"H5-create"` → `"h5-create"`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: paracrash --fs <BeeGFS|OrangeFS|GlusterFS|GPFS|Lustre|ext4|all>\n\
          \x20                --program <ARVR|CR|RC|WAL|H5-create|...|all>\n\
          \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\
          \x20                [--faults <spec>|chaos] [--fail-fast]\n\
-         \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\n\
+         \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\
+         \x20                [--explain-out <dir>]\n\n\
          `--faults` takes a comma-separated spec (seed=N,drop=R,dup=R,delay=R,\n\
          retries=N,partition=S[:H],torn=BOOL) or the word `chaos`; the\n\
          PC_CHAOS_SEED / PC_FAULT_RATE environment variables arm the same\n\
@@ -61,6 +83,7 @@ fn main() {
     let mut telemetry_format = "json".to_string();
     let mut faults_arg: Option<String> = None;
     let mut fail_fast = false;
+    let mut explain_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,6 +94,7 @@ fn main() {
             "--paper" => paper = true,
             "--faults" => faults_arg = it.next().cloned(),
             "--fail-fast" => fail_fast = true,
+            "--explain-out" => explain_out = it.next().cloned(),
             "--telemetry-out" => telemetry_out = it.next().cloned(),
             "--telemetry-format" => {
                 telemetry_format = it.next().cloned().unwrap_or_default();
@@ -104,6 +128,11 @@ fn main() {
             .unwrap_or_else(|e| die(format_args!("bad configuration {path}: {e}")));
     }
     cfg.fail_fast |= fail_fast;
+    if let Some(dir) = &explain_out {
+        cfg.explain = true;
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(format_args!("cannot create {dir}: {e}")));
+    }
     // `--faults` wins over the config file; the environment is the
     // fallback when neither names a plane.
     match &faults_arg {
@@ -176,6 +205,7 @@ fn main() {
     }
 
     let mut total_bugs = 0usize;
+    let mut total_bundles = 0usize;
     for &program in &programs {
         for &fs in &systems {
             let cell = run_program_swept(program, fs, &params, &cfg);
@@ -201,9 +231,36 @@ fn main() {
             for d in &cell.outcome.diagnostics {
                 println!("   diagnostic: {d}");
             }
+            if let Some(dir) = &explain_out {
+                let context = format!("{} on {}", program.name(), fs.name());
+                for (i, e) in cell.outcome.explanations.iter().enumerate() {
+                    let stem = format!(
+                        "{}-{}-bug{:02}",
+                        sanitize(program.name()),
+                        sanitize(fs.name()),
+                        i + 1
+                    );
+                    let write = |ext: &str, text: String| {
+                        let path = format!("{dir}/{stem}.{ext}");
+                        std::fs::write(&path, text).unwrap_or_else(|err| {
+                            pc_rt::pc_error!("cannot write {path}: {err}");
+                            std::process::exit(1);
+                        });
+                    };
+                    write("md", e.to_markdown(&context));
+                    write("dot", e.to_dot());
+                    let mut json = e.to_json().pretty();
+                    json.push('\n');
+                    write("json", json);
+                    total_bundles += 1;
+                }
+            }
         }
     }
     println!("\n{total_bugs} unique crash-consistency bug(s) reported.");
+    if let Some(dir) = &explain_out {
+        println!("{total_bundles} explain bundle(s) written to {dir}/ (.md + .dot + .json each).");
+    }
     drop(cli_span);
     if let Some(path) = &telemetry_out {
         let snap = pc_rt::obs::snapshot();

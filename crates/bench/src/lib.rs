@@ -24,6 +24,7 @@ use workloads::{FsKind, Params, Program};
 /// The wall-clock benchmark suites (ported from the criterion benches).
 pub mod benches {
     pub mod ablation;
+    pub mod explain;
     pub mod explore;
     pub mod faults;
     pub mod scalability;
@@ -80,6 +81,23 @@ fn merge_cache(acc: &mut paracrash::explore::CacheStats, cell: &paracrash::explo
     acc.evictions += cell.evictions;
 }
 
+/// Merge explain bundles into an accumulator, one per `(signature,
+/// layer)`, keeping the first variant's bundle (mirrors the bug-witness
+/// policy: the first state to expose a cause is its witness).
+fn merge_explanations(
+    acc: &mut Vec<paracrash::BugExplanation>,
+    from: Vec<paracrash::BugExplanation>,
+) {
+    for expl in from {
+        if !acc
+            .iter()
+            .any(|e| e.signature == expl.signature && e.layer == expl.layer)
+        {
+            acc.push(expl);
+        }
+    }
+}
+
 /// Run a program on a file system across its placement variants and
 /// merge the outcomes (union of bugs, summed state counts — the paper
 /// tests "different distribution patterns" and reports the union).
@@ -110,6 +128,7 @@ pub fn run_program(program: Program, fs: FsKind, params: &Params, cfg: &CheckCon
                     &mut acc.outcome.stats.h5_cache,
                     &cell.outcome.stats.h5_cache,
                 );
+                merge_explanations(&mut acc.outcome.explanations, cell.outcome.explanations);
                 for bug in cell.outcome.bugs {
                     if let Some(existing) = acc
                         .outcome
@@ -165,6 +184,7 @@ pub fn run_program_swept(
                 acc.outcome.h5_bad_pfs_ok_states += cell.outcome.h5_bad_pfs_ok_states;
                 acc.outcome.stats.states_diagnostic += cell.outcome.stats.states_diagnostic;
                 acc.outcome.diagnostics.extend(cell.outcome.diagnostics);
+                merge_explanations(&mut acc.outcome.explanations, cell.outcome.explanations);
                 for bug in cell.outcome.bugs {
                     if let Some(existing) = acc
                         .outcome

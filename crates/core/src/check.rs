@@ -75,6 +75,12 @@ pub struct CheckOutcome {
     /// tool, a poisoned replay): one human-readable line each. The run
     /// completes; these states are excluded from the verdict counts.
     pub diagnostics: Vec<String>,
+    /// Provenance bundles, one per bug, in signature order — filled
+    /// only when `cfg.explain` (or `PC_TRACE=summary`) is set.
+    /// Presentation-plane output: never part of [`canonical_report`]
+    /// (CheckOutcome::canonical_report), so explain on/off runs stay
+    /// byte-identical there.
+    pub explanations: Vec<crate::explain::BugExplanation>,
 }
 
 impl CheckOutcome {
@@ -269,6 +275,10 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     let mut h5_cache: ReplayCache<Arc<Vec<H5Logical>>> =
         ReplayCache::with_cap(cfg.replay_cache_cap);
     let mut bugs: BTreeMap<(BugSignature, LayerVerdict), Inconsistency> = BTreeMap::new();
+    // Index of each bug's first (witness) crash state, for the explain
+    // pass; side table rather than an `Inconsistency` field so the
+    // canonical report stays exactly what the checker decided.
+    let mut witness_state: BTreeMap<(BugSignature, LayerVerdict), usize> = BTreeMap::new();
     let mut raw_inconsistent = 0usize;
     let mut h5_bad_pfs_ok = 0usize;
     let mut checked_indices: Vec<usize> = Vec::new();
@@ -455,6 +465,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
                     &pa,
                     cfg,
                     state,
+                    idx,
                     layer,
                     violated_model,
                     legal_views,
@@ -462,6 +473,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
                     baseline_h5.as_ref(),
                     &modified_keys,
                     &mut bugs,
+                    &mut witness_state,
                     &mut pruner,
                     cfg.mode.prunes(),
                 )
@@ -516,6 +528,47 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     }
     drop(stage);
 
+    // Provenance pass: build an explain bundle per aggregated bug. Runs
+    // after aggregation so bundles carry final occurrence counts. The
+    // pass is presentation-plane: a panic inside it is a warning, never
+    // a diagnostic, so canonical_report() is identical with explain on
+    // or off.
+    let mut explanations: Vec<crate::explain::BugExplanation> = Vec::new();
+    if (cfg.explain || pc_rt::obs::summary_enabled()) && !bugs.is_empty() {
+        let stage = pc_rt::obs::span_cat("check.explain", "check");
+        for ((sig, layer), bug) in bugs.iter() {
+            let Some(&widx) = witness_state.get(&(sig.clone(), *layer)) else {
+                continue;
+            };
+            let Some(Ok((legal_views, legal_h5))) = legal_of[widx].as_ref() else {
+                continue;
+            };
+            let ctx = crate::explain::ExplainCtx {
+                stack,
+                graph: &graph,
+                pa: &pa,
+                topo: &topo,
+                cfg,
+                legal_views: legal_views.as_slice(),
+                legal_h5: legal_h5.as_slice(),
+                baseline_h5: baseline_h5.as_ref(),
+                modified_keys: &modified_keys,
+            };
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::explain::explain_bug(&ctx, bug, &states[widx], widx)
+            }));
+            match caught {
+                Ok(e) => explanations.push(e),
+                Err(p) => pc_rt::pc_warn!(
+                    "explain failed for {sig}: {}",
+                    pc_rt::pool::panic_message(p.as_ref())
+                ),
+            }
+        }
+        pc_rt::obs::count("explain.bugs", explanations.len() as u64);
+        drop(stage);
+    }
+
     stats.pfs_cache = pfs_cache.stats();
     stats.h5_cache = h5_cache.stats();
     stats.legal_replays = stats.pfs_cache.misses + stats.h5_cache.misses;
@@ -534,6 +587,9 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
             "{}",
             pc_rt::obs::render_summary(&tl_mark, &format!("check_stack/{}", stack.pfs.name()))
         );
+        for e in &explanations {
+            eprintln!("  pinpoint: {}", e.pinpoint());
+        }
     }
     CheckOutcome {
         pfs_name: stack.pfs.name().to_string(),
@@ -542,6 +598,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         h5_bad_pfs_ok_states: h5_bad_pfs_ok,
         stats,
         diagnostics,
+        explanations,
     }
 }
 
@@ -568,6 +625,7 @@ fn aggregate_or_classify(
     pa: &PersistAnalysis,
     cfg: &CheckConfig,
     state: &crate::emulate::CrashState,
+    state_index: usize,
     layer: LayerVerdict,
     violated_model: Model,
     legal_views: &[PfsView],
@@ -575,6 +633,7 @@ fn aggregate_or_classify(
     baseline_h5: Option<&H5Logical>,
     modified_keys: &BTreeSet<String>,
     bugs: &mut BTreeMap<(BugSignature, LayerVerdict), Inconsistency>,
+    witness_state: &mut BTreeMap<(BugSignature, LayerVerdict), usize>,
     pruner: &mut Pruner,
     learn: bool,
 ) {
@@ -608,22 +667,28 @@ fn aggregate_or_classify(
     if learn {
         pruner.learn(&signature);
     }
-    let witness: Vec<String> = state
-        .unpersisted(pa)
-        .iter()
-        .chain(state.victims.iter())
-        .map(|&e| op_detail(rec, topo, e))
-        .collect::<BTreeSet<_>>()
-        .into_iter()
-        .collect();
     bugs.entry((signature.clone(), layer))
         .and_modify(|b| b.occurrences += 1)
-        .or_insert(Inconsistency {
-            signature,
-            layer,
-            violated_model,
-            witness,
-            occurrences: 1,
+        .or_insert_with(|| {
+            witness_state.insert((signature.clone(), layer), state_index);
+            // Witness ops in event-id (trace) order — the order they
+            // were issued — not lexicographic string order. Built only
+            // for the first state that exposes the bug.
+            let mut witness_events: Vec<EventId> = state.unpersisted(pa);
+            witness_events.extend(state.victims.iter().copied());
+            witness_events.sort_unstable();
+            witness_events.dedup();
+            let witness: Vec<String> = witness_events
+                .iter()
+                .map(|&e| op_detail(rec, topo, e))
+                .collect();
+            Inconsistency {
+                signature,
+                layer,
+                violated_model,
+                witness,
+                occurrences: 1,
+            }
         });
 }
 
@@ -729,7 +794,7 @@ fn modified_dataset_keys(stack: &Stack) -> BTreeSet<String> {
 /// I/O-library-layer verdict for one recovered view: `None` if
 /// consistent under `cfg.h5_model`, otherwise the weakest violated model
 /// (baseline < causal).
-fn h5_verdict(
+pub(crate) fn h5_verdict(
     cfg: &CheckConfig,
     path: &str,
     view: &PfsView,

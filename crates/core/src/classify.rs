@@ -81,20 +81,17 @@ fn call_of(rec: &Recorder, e: EventId) -> Option<EventId> {
     pfs_call
 }
 
-/// Classify one inconsistent crash state.
-///
-/// `consistent` evaluates a hypothetical persisted set through the full
-/// recover-and-compare pipeline; it is the expensive oracle, so
-/// combinations are probed lazily.
-pub fn classify(
+/// The extended probe universe for one crash state: cut updates plus the
+/// remaining updates of calls that are only partially inside the cut —
+/// so a crash that truncated a call mid-flush is explained by the
+/// not-yet-issued operation. Shared by [`classify`] and the provenance
+/// engine (`crate::explain`), which must shrink witnesses over exactly
+/// the universe the classifier probed.
+pub(crate) fn extended_universe(
     rec: &Recorder,
-    topo: &ClusterTopology,
     pa: &PersistAnalysis,
     state: &CrashState,
-    consistent: &mut dyn FnMut(&BitSet) -> bool,
-) -> BugSignature {
-    // Extended universe: cut updates + remaining updates of calls that
-    // are partially inside the cut.
+) -> BitSet {
     let mut universe = BitSet::new(state.cut.capacity());
     let in_cut_calls: BTreeSet<EventId> = pa
         .updates()
@@ -108,6 +105,22 @@ pub fn classify(
             universe.insert(u);
         }
     }
+    universe
+}
+
+/// Classify one inconsistent crash state.
+///
+/// `consistent` evaluates a hypothetical persisted set through the full
+/// recover-and-compare pipeline; it is the expensive oracle, so
+/// combinations are probed lazily.
+pub fn classify(
+    rec: &Recorder,
+    topo: &ClusterTopology,
+    pa: &PersistAnalysis,
+    state: &CrashState,
+    consistent: &mut dyn FnMut(&BitSet) -> bool,
+) -> BugSignature {
+    let universe = extended_universe(rec, pa, state);
 
     let drop = |victims: &[EventId]| -> BitSet {
         let mut p = universe.clone();

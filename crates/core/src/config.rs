@@ -7,6 +7,7 @@
 //! [`CheckConfig::parse`] reads the same key-value format, and
 //! [`paper_default`](CheckConfig::paper_default) mirrors Table 2.
 
+use crate::explain::ReplayEngine;
 use crate::explore::ExploreMode;
 use crate::model::Model;
 use h5sim::ClearOpts;
@@ -46,6 +47,15 @@ pub struct CheckConfig {
     /// Stop exploring at the first inconsistent or diagnostic crash
     /// state instead of checking the full enumeration.
     pub fail_fast: bool,
+    /// Build a provenance bundle ([`crate::explain::BugExplanation`])
+    /// for every reproduced bug: minimal witness, causal-graph export,
+    /// state diff. Off by default — the explain pass re-runs recovery
+    /// on shrinking probes, which costs real time on buggy cells.
+    pub explain: bool,
+    /// How witness-shrinking probes are materialized (prefix-shared COW
+    /// batches by default; `per-probe` is the reference engine the
+    /// explain bench compares against).
+    pub explain_engine: ReplayEngine,
 }
 
 impl Default for CheckConfig {
@@ -72,6 +82,8 @@ impl CheckConfig {
             replay_cache_cap: 4096,
             faults: FaultConfig::disabled(),
             fail_fast: false,
+            explain: false,
+            explain_engine: ReplayEngine::PrefixShared,
         }
     }
 
@@ -80,7 +92,8 @@ impl CheckConfig {
     /// Recognized keys: `pfs_model`, `h5_model`, `k`, `mode`,
     /// `h5clear_increase_eof`, `stripe_size`, `meta_servers`,
     /// `storage_servers`, `clients`, `replay_cache_cap`, `faults`
-    /// (a [`FaultConfig::parse_spec`] string) and `fail_fast`. Unknown
+    /// (a [`FaultConfig::parse_spec`] string), `fail_fast`, `explain`
+    /// and `explain_engine` (`prefix-shared` | `per-probe`). Unknown
     /// keys are rejected.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut cfg = Self::paper_default();
@@ -114,6 +127,10 @@ impl CheckConfig {
                         .map_err(|e| format!("line {}: {e}", lineno + 1))?
                 }
                 "fail_fast" => cfg.fail_fast = value.parse().map_err(|_| bad("bool"))?,
+                "explain" => cfg.explain = value.parse().map_err(|_| bad("bool"))?,
+                "explain_engine" => {
+                    cfg.explain_engine = ReplayEngine::parse(value).ok_or_else(|| bad("engine"))?
+                }
                 other => return Err(format!("line {}: unknown key {other}", lineno + 1)),
             }
         }
@@ -126,7 +143,8 @@ impl CheckConfig {
             "pfs_model = {}\nh5_model = {}\nk = {}\nmode = {}\n\
              h5clear_increase_eof = {}\nstripe_size = {}\n\
              meta_servers = {}\nstorage_servers = {}\nclients = {}\n\
-             replay_cache_cap = {}\nfaults = {}\nfail_fast = {}\n",
+             replay_cache_cap = {}\nfaults = {}\nfail_fast = {}\n\
+             explain = {}\nexplain_engine = {}\n",
             self.pfs_model.as_str(),
             self.h5_model.as_str(),
             self.k,
@@ -139,6 +157,8 @@ impl CheckConfig {
             self.replay_cache_cap,
             self.faults.render_spec(),
             self.fail_fast,
+            self.explain,
+            self.explain_engine.as_str(),
         )
     }
 }
@@ -182,6 +202,18 @@ fail_fast = true
         assert_eq!(rt.faults, cfg.faults);
         assert!(rt.fail_fast);
         assert!(CheckConfig::parse("faults = drop=2.0").is_err());
+    }
+
+    #[test]
+    fn parse_explain_knobs() {
+        let cfg = CheckConfig::parse("explain = true\nexplain_engine = per-probe\n").unwrap();
+        assert!(cfg.explain);
+        assert_eq!(cfg.explain_engine, ReplayEngine::PerProbe);
+        let rt = CheckConfig::parse(&cfg.render()).unwrap();
+        assert!(rt.explain);
+        assert_eq!(rt.explain_engine, ReplayEngine::PerProbe);
+        assert!(!CheckConfig::paper_default().explain);
+        assert!(CheckConfig::parse("explain_engine = wat").is_err());
     }
 
     #[test]

@@ -23,12 +23,17 @@
 //!    aggregates duplicates (§5.2);
 //! 5. optionally prunes and reorders the exploration (§5.3: known-bad
 //!    pattern pruning, semantic object-map pruning, incremental state
-//!    reconstruction with a greedy TSP visiting order, [`explore`]).
+//!    reconstruction with a greedy TSP visiting order, [`explore`]);
+//! 6. optionally builds a provenance bundle per reproduced bug — a
+//!    delta-debugged minimal witness, a causal-graph export with vector
+//!    clocks and violated persists-before edges, and a tree-structured
+//!    state diff ([`explain`]).
 
 pub mod check;
 pub mod classify;
 pub mod config;
 pub mod emulate;
+pub mod explain;
 pub mod explore;
 pub mod model;
 pub mod persist;
@@ -41,6 +46,7 @@ pub use check::{check_stack, CheckOutcome, Inconsistency, LayerVerdict};
 pub use classify::{BugKind, BugSignature};
 pub use config::CheckConfig;
 pub use emulate::{crash_states, CrashState};
+pub use explain::{BugExplanation, EdgeKind, ReplayEngine};
 pub use explore::{ExploreMode, ExploreStats};
 pub use model::Model;
 pub use persist::PersistAnalysis;

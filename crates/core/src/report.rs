@@ -32,31 +32,12 @@ pub fn normalize_object(label: &str) -> String {
 }
 
 /// Map a server-local path to the PFS structure kind it implements —
-/// the vocabulary of Table 3's "Details" column.
+/// the vocabulary of Table 3's "Details" column. Delegates to
+/// [`pfs::label::structure_kind`], the canonical label table for all
+/// five models (kept there so the labels stay with the models that
+/// define the namespaces).
 pub fn path_kind(path: &str) -> &'static str {
-    if path.starts_with("/chunks/") {
-        "file chunk"
-    } else if path.starts_with("/idfiles/") {
-        "idfile"
-    } else if path.starts_with("/dentries/") {
-        "d_entry"
-    } else if path.starts_with("/inodes/") {
-        "dir_inode"
-    } else if path.ends_with("keyval.db") {
-        "keyval.db"
-    } else if path.ends_with("attrs.db") {
-        "attrs.db"
-    } else if path.starts_with("/bstreams/") {
-        "bstream"
-    } else if path.starts_with("/objects/") {
-        "object"
-    } else if path.starts_with("/mdt") {
-        "mdt entry"
-    } else if path.starts_with("/data") {
-        "brick entry"
-    } else {
-        "file"
-    }
+    pfs::label::structure_kind(path)
 }
 
 /// Render the role of a server for signatures.
@@ -86,15 +67,7 @@ pub fn op_sig(rec: &Recorder, topo: &ClusterTopology, e: EventId) -> String {
             }
             match op {
                 BlockOp::Write { tag, .. } => {
-                    let kind = match tag {
-                        simfs::StructTag::LogFile => "log file".to_string(),
-                        simfs::StructTag::Inode(_) => "inode".to_string(),
-                        simfs::StructTag::DirEntry(_) => "d_entry".to_string(),
-                        simfs::StructTag::AllocMap => "alloc map".to_string(),
-                        simfs::StructTag::FileContent(_) => "file content".to_string(),
-                        simfs::StructTag::Superblock => "superblock".to_string(),
-                        simfs::StructTag::Other(s) => s.clone(),
-                    };
+                    let kind = pfs::label::block_structure(tag);
                     format!("write({kind})@{}", role_name(topo, *server))
                 }
                 BlockOp::SyncCache => format!("scsi_sync@{}", role_name(topo, *server)),

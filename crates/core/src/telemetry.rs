@@ -114,6 +114,7 @@ fn hists(snap: &TelemetrySnapshot) -> Json {
                         ("mean_ns".into(), Json::Int(h.mean_ns)),
                         ("p50_ns".into(), Json::Int(h.p50_ns)),
                         ("p95_ns".into(), Json::Int(h.p95_ns)),
+                        ("p99_ns".into(), Json::Int(h.p99_ns)),
                     ]),
                 )
             })
@@ -158,6 +159,7 @@ mod tests {
                     mean_ns: 200,
                     p50_ns: 255,
                     p95_ns: 300,
+                    p99_ns: 300,
                 },
             )],
             dropped_spans: 0,
@@ -179,6 +181,14 @@ mod tests {
             Some(12)
         );
         assert_eq!(parsed.get("ops").and_then(Json::as_int), Some(7));
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .and_then(|h| h.get("pool.task_ns"))
+                .and_then(|h| h.get("p99_ns"))
+                .and_then(Json::as_int),
+            Some(300)
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod error;
 pub mod ext4;
 pub mod glusterfs;
 pub mod gpfs;
+pub mod label;
 pub mod lustre;
 pub mod orangefs;
 pub mod placement;

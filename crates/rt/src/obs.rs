@@ -348,6 +348,8 @@ pub struct HistSummary {
     pub p50_ns: u64,
     /// Approximate 95th percentile.
     pub p95_ns: u64,
+    /// Approximate 99th percentile.
+    pub p99_ns: u64,
 }
 
 /// The process-global event store.
@@ -570,6 +572,7 @@ pub fn snapshot() -> TelemetrySnapshot {
                         mean_ns: h.mean(),
                         p50_ns: h.quantile(0.5),
                         p95_ns: h.quantile(0.95),
+                        p99_ns: h.quantile(0.99),
                     },
                 )
             })
@@ -681,17 +684,19 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
     if !reg.hists.is_empty() {
         let _ = writeln!(
             out,
-            "  {:<34} {:>8} {:>12} {:>12} {:>12}",
-            "histogram (run total)", "count", "mean", "p95", "max"
+            "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram (run total)", "count", "mean", "p50", "p95", "p99", "max"
         );
         for (name, h) in reg.hists.iter() {
             let _ = writeln!(
                 out,
-                "  {:<34} {:>8} {:>12} {:>12} {:>12}",
+                "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 h.count,
                 fmt_ns(h.mean() as f64),
+                fmt_ns(h.quantile(0.5) as f64),
                 fmt_ns(h.quantile(0.95) as f64),
+                fmt_ns(h.quantile(0.99) as f64),
                 fmt_ns(h.max as f64),
             );
         }
@@ -824,6 +829,10 @@ mod tests {
             assert_eq!(h.mean_ns, (100 + 200 + 400 + 100_000) / 4);
             assert!(h.p50_ns >= 100 && h.p50_ns <= 511, "p50 = {}", h.p50_ns);
             assert!(h.p95_ns <= 100_000);
+            // The 99th percentile sits in the top bucket: above the
+            // median and clamped to the observed max.
+            assert!(h.p99_ns >= h.p50_ns && h.p99_ns <= h.max_ns);
+            assert_eq!(h.p99_ns, 100_000);
             assert!(snap.ops >= 6);
         });
     }

@@ -41,6 +41,13 @@ impl VectorClock {
         self.ticks[p]
     }
 
+    /// All components, indexed by process (for serialization — the
+    /// explain layer exports per-event clocks into its causal-graph
+    /// JSON/DOT bundles).
+    pub fn components(&self) -> &[u64] {
+        &self.ticks
+    }
+
     /// Merge in a received clock (component-wise max), then tick `p`
     /// (message receipt).
     pub fn receive(&mut self, p: usize, other: &VectorClock) {
@@ -81,9 +88,67 @@ impl VectorClock {
     }
 }
 
+/// Assign a vector clock to every event of a trace.
+///
+/// The trace is given abstractly so callers outside `simnet` (the tracer
+/// crosscheck test, `paracrash::explain`) can use it without a dependency
+/// cycle: `events[i]` is `(process index, causal predecessor event
+/// indices)` for event `i`, with predecessors `< i` (events arrive in
+/// trace order). Program order within a process is implicit — each event
+/// starts from its process's running clock; explicit predecessors
+/// (caller, message senders) are merged on top. By the classic
+/// vector-clock theorem the returned clocks satisfy
+/// `clocks[a].happens_before(&clocks[b])` iff `a → b` in the trace's
+/// happens-before relation (cross-checked against the reachability-based
+/// causality graph in `tests/vector_clock_crosscheck.rs`).
+pub fn assign_clocks(n_procs: usize, events: &[(usize, Vec<usize>)]) -> Vec<VectorClock> {
+    let mut clocks: Vec<VectorClock> = Vec::with_capacity(events.len());
+    let mut proc_state: Vec<VectorClock> =
+        (0..n_procs).map(|_| VectorClock::new(n_procs)).collect();
+    for (i, (pi, preds)) in events.iter().enumerate() {
+        // Start from the program-order predecessor's clock…
+        let mut clock = proc_state[*pi].clone();
+        // …merge every explicit causal predecessor…
+        for &src in preds {
+            debug_assert!(src < i, "predecessor {src} of event {i} is not earlier");
+            clock.receive(*pi, &clocks[src].clone());
+        }
+        // …and tick the local component when nothing was merged
+        // (`receive` already ticked once per merge; exactly one tick per
+        // event keeps the clocks canonical).
+        if preds.is_empty() {
+            clock.tick(*pi);
+        }
+        proc_state[*pi] = clock.clone();
+        clocks.push(clock);
+    }
+    clocks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn assign_clocks_orders_chain_and_keeps_branches_concurrent() {
+        // P0: e0 → e1 (program order); e1 sends to P1's e2; e3 is an
+        // independent local event on P2.
+        let events = vec![(0, vec![]), (0, vec![]), (1, vec![1]), (2, vec![])];
+        let clocks = assign_clocks(3, &events);
+        assert!(clocks[0].happens_before(&clocks[1]));
+        assert!(clocks[1].happens_before(&clocks[2]));
+        assert!(clocks[0].happens_before(&clocks[2]));
+        assert!(clocks[3].concurrent(&clocks[2]));
+        assert!(clocks[3].concurrent(&clocks[0]));
+    }
+
+    #[test]
+    fn components_expose_ticks() {
+        let mut c = VectorClock::new(2);
+        c.tick(1);
+        c.tick(1);
+        assert_eq!(c.components(), &[0, 2]);
+    }
 
     #[test]
     fn local_events_order_within_process() {

@@ -20,7 +20,7 @@ pub mod fault;
 pub mod rpc;
 pub mod topology;
 
-pub use clock::VectorClock;
+pub use clock::{assign_clocks, VectorClock};
 pub use fault::{Fate, FaultConfig, FaultPlane};
 pub use rpc::RpcNet;
 pub use topology::{ClusterTopology, ServerRole, ServerSpec};

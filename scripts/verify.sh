@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Six gates:
+# Seven gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -25,6 +25,11 @@
 #      run must reproduce exactly the paper's fifteen Table 3 bugs,
 #      and the fault plane's *disabled* per-message overhead must stay
 #      under 3% of a traced run (`faults-overhead`).
+#   7. Provenance — a full-matrix `--explain-out` run must emit one
+#      bundle per Table 3 bug; every `.json` must re-parse with the
+#      vendored reader and every `.dot` must pass a structural lint
+#      (`explain-check`), and the engine's *disabled* overhead on a
+#      full check must stay under 3% (`explain-overhead`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,5 +114,13 @@ if [ "$reproduced" -ne 15 ] || grep -q "missing" "$tmp/table3.txt"; then
     exit 1
 fi
 target/release/faults-overhead
+
+echo "== gate 7: explain bundles + disabled-overhead budget =="
+# Full matrix: multi-cell runs always exit 0; bugs land as bundles.
+target/release/paracrash --fs all --program all \
+    --explain-out "$tmp/explain" > /dev/null
+target/release/explain-check "$tmp/explain" 15
+target/release/explain-overhead
+cargo test -q --offline --test explain
 
 echo "verify: OK"

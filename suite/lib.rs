@@ -49,6 +49,17 @@ pub fn check_with(
                 acc.stats.states_pruned += outcome.stats.states_pruned;
                 acc.stats.states_diagnostic += outcome.stats.states_diagnostic;
                 acc.diagnostics.extend(outcome.diagnostics);
+                for expl in outcome.explanations {
+                    // One bundle per (signature, layer); keep the first
+                    // placement's, matching the bug-witness policy.
+                    if !acc
+                        .explanations
+                        .iter()
+                        .any(|e| e.signature == expl.signature && e.layer == expl.layer)
+                    {
+                        acc.explanations.push(expl);
+                    }
+                }
                 for bug in outcome.bugs {
                     if let Some(existing) = acc
                         .bugs

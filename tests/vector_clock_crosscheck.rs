@@ -6,46 +6,32 @@ use simnet::VectorClock;
 use tracer::{CausalityGraph, Process, Recorder};
 use workloads::{FsKind, Params, Program};
 
-/// Simulate vector clocks over a recorded trace: each event ticks its
-/// process component and merges the clocks of every causal predecessor
-/// (program-order predecessor, caller, incoming message edges). By the
-/// classic vector-clock theorem, `clock(a) < clock(b)` iff `a → b`.
+/// Simulate vector clocks over a recorded trace via the exported
+/// `simnet::assign_clocks` engine: each event merges the clocks of every
+/// causal predecessor (program-order predecessor, caller, incoming
+/// message edges). By the classic vector-clock theorem,
+/// `clock(a) < clock(b)` iff `a → b`. The same adapter feeds
+/// `paracrash::explain`'s causal-graph exports.
 fn clocks_of(rec: &Recorder) -> Vec<VectorClock> {
     let mut procs: Vec<Process> = rec.events().iter().map(|e| e.proc).collect();
     procs.sort();
     procs.dedup();
     let pidx = |p: Process| procs.iter().position(|&q| q == p).unwrap();
 
-    let mut clocks: Vec<VectorClock> = Vec::with_capacity(rec.len());
-    let mut proc_state: Vec<VectorClock> = procs
-        .iter()
-        .map(|_| VectorClock::new(procs.len()))
-        .collect();
     let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); rec.len()];
     for &(from, to) in rec.extra_edges() {
         incoming[to].push(from);
     }
-    for e in rec.events() {
-        let pi = pidx(e.proc);
-        // Start from the program-order predecessor's clock…
-        let mut clock = proc_state[pi].clone();
-        // …merge the caller and message senders…
-        if let Some(parent) = e.parent {
-            clock.receive(pi, &clocks[parent].clone());
-        }
-        for &src in &incoming[e.id] {
-            clock.receive(pi, &clocks[src].clone());
-        }
-        // …and tick the local component (receive already ticked when a
-        // merge happened; tick once more is harmless for the ordering
-        // theorem, but keep exactly one tick for clarity).
-        if e.parent.is_none() && incoming[e.id].is_empty() {
-            clock.tick(pi);
-        }
-        proc_state[pi] = clock.clone();
-        clocks.push(clock);
-    }
-    clocks
+    let events: Vec<(usize, Vec<usize>)> = rec
+        .events()
+        .iter()
+        .map(|e| {
+            let mut preds: Vec<usize> = e.parent.into_iter().collect();
+            preds.extend(&incoming[e.id]);
+            (pidx(e.proc), preds)
+        })
+        .collect();
+    simnet::assign_clocks(procs.len(), &events)
 }
 
 #[test]
