@@ -1,0 +1,59 @@
+//! Benches for the bounded black-box fuzzer.
+//!
+//! The headline is `fuzz/campaign/pr-tier-slice`: checked generated
+//! workloads per second on the PR-tier cell shape (quick parameters,
+//! BeeGFS, data journaling). The PR crash gate sweeps ~400 cells, so
+//! per-workload cost directly bounds the gate's wall time. The other
+//! entries split that cost into its parts: pure enumeration (no I/O
+//! stack at all), trace generation (workload replay, no checking), and
+//! the full per-cell check. Committed as `BENCH_fuzz.json`.
+
+use paracrash::{check_stack, CheckConfig};
+use pc_rt::bench::{black_box, Bench};
+use workloads::generated;
+use workloads::{FsKind, Params};
+
+/// Register the fuzzer benches.
+pub fn register(b: &mut Bench) {
+    // Enumeration alone: the corpus for the nightly bound. Pure CPU,
+    // no stack construction — this is the generator's floor.
+    b.bench("fuzz/enumerate/bound-3", || {
+        black_box(generated::corpus(3).len())
+    });
+    b.bench("fuzz/enumerate/bound-2", || {
+        black_box(generated::corpus(2).len())
+    });
+
+    // Trace generation for one representative 2-op POSIX workload:
+    // preamble + replay, no crash-state exploration.
+    let params = Params::quick();
+    let sample = generated::sample(2, 42, 8);
+    b.bench("fuzz/trace/gen-workload", || {
+        let w = &sample[0];
+        black_box(w.run(FsKind::BeeGfs, &params).calls.len())
+    });
+
+    // Full per-cell check (trace + crash-state enumeration + recovery +
+    // verdict) — the unit the campaign multiplies by cells.
+    let cfg = CheckConfig::paper_default();
+    b.bench("fuzz/check/cell", || {
+        let w = &sample[0];
+        let stack = w.run(FsKind::BeeGfs, &params);
+        let factory = FsKind::BeeGfs.factory(&params);
+        black_box(check_stack(&stack, &factory, &cfg).bugs.len())
+    });
+
+    // The headline: an 8-workload slice of the PR-tier campaign,
+    // reported per-slice (divide by 8 for per-workload; the CI gate's
+    // wall time is this × corpus/8).
+    b.bench("fuzz/campaign/pr-tier-slice", || {
+        let mut corpus = paracrash::FuzzCorpus::new();
+        for w in &sample {
+            let stack = w.run(FsKind::BeeGfs, &params);
+            let factory = FsKind::BeeGfs.factory(&params);
+            let outcome = check_stack(&stack, &factory, &cfg);
+            corpus.record_cell(&w.label(), "BeeGFS", "data", &outcome);
+        }
+        black_box(corpus.finding_count())
+    });
+}

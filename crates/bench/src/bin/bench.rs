@@ -13,8 +13,9 @@
 //! (exploration modes and replay engines), `fig11-scalability`
 //! (server-count scaling), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
 //! substrate micro-benches, `ablation-victims` / `ablation-journal`,
-//! `telemetry`, `faults`, and `explain` (witness-shrinking cost with
-//! and without prefix-sharing).
+//! `telemetry`, `faults`, `explain` (witness-shrinking cost with and
+//! without prefix-sharing), and `fuzz` (generated-workload enumeration
+//! and campaign throughput).
 //!
 //! Bare `--json` writes one `BENCH_<group>.json` per registration group
 //! (`substrate`, `explore`, `scalability`, `ablation`) at the repo root;
@@ -25,7 +26,7 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 7] = [
+const SUITES: [(&str, fn(&mut Bench)); 8] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
@@ -33,6 +34,7 @@ const SUITES: [(&str, fn(&mut Bench)); 7] = [
     ("telemetry", benches::telemetry::register),
     ("faults", benches::faults::register),
     ("explain", benches::explain::register),
+    ("fuzz", benches::fuzz::register),
 ];
 
 fn main() {

@@ -27,9 +27,23 @@
 //! Graphviz `.dot` causal graph, and a machine-readable `.json`
 //! (minimal witness, violated ordering edges, vector clocks, state
 //! diff).
+//!
+//! The `fuzz` subcommand switches from the paper's eleven programs to
+//! the bounded black-box generator:
+//!
+//! ```sh
+//! paracrash fuzz --bound 2 --seed 42                 # PR-tier sweep
+//! paracrash fuzz --bound 3 --sample 400 --modes all  # nightly-style
+//! paracrash fuzz --bound 2 --findings-out findings/  # triage bundles
+//! ```
+//!
+//! Its stdout is exactly the corpus's canonical report (byte-stable
+//! across `PC_THREADS` — the CI crash gate diffs it); progress and
+//! timing go to stderr.
 
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
+use pc_bench::fuzz_driver::{fuzz_campaign, parse_modes, FuzzOptions};
 use pc_bench::{render_bug, run_program_swept};
 use simnet::FaultConfig;
 use workloads::{FsKind, Params, Program};
@@ -61,7 +75,10 @@ fn usage() -> ! {
          \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\
          \x20                [--faults <spec>|chaos] [--fail-fast]\n\
          \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\
-         \x20                [--explain-out <dir>]\n\n\
+         \x20                [--explain-out <dir>]\n\
+         \x20      paracrash fuzz [--bound <n>] [--seed <n>] [--sample <n>]\n\
+         \x20                [--fs <list|all>] [--modes <data,ordered,writeback,none|all>]\n\
+         \x20                [--findings-out <dir>] [--paper]\n\n\
          `--faults` takes a comma-separated spec (seed=N,drop=R,dup=R,delay=R,\n\
          retries=N,partition=S[:H],torn=BOOL) or the word `chaos`; the\n\
          PC_CHAOS_SEED / PC_FAULT_RATE environment variables arm the same\n\
@@ -72,8 +89,93 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// The `fuzz` subcommand: bounded black-box campaign over the
+/// generated-workload corpus. Stdout carries exactly the canonical
+/// report so CI can diff runs; everything else goes to stderr.
+fn run_fuzz(args: &[String]) -> ! {
+    let mut opts = FuzzOptions::pr_tier();
+    let mut paper = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format_args!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--bound" => {
+                opts.bound = value("--bound")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--bound must be a number")));
+                if opts.bound == 0 || opts.bound > 4 {
+                    die(format_args!(
+                        "--bound must be 1..=4 (the corpus is exponential)"
+                    ));
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--seed must be a number")));
+            }
+            "--sample" => {
+                opts.sample = Some(
+                    value("--sample")
+                        .parse()
+                        .unwrap_or_else(|_| die(format_args!("--sample must be a number"))),
+                );
+            }
+            "--fs" => {
+                let spec = value("--fs");
+                opts.file_systems = if spec.eq_ignore_ascii_case("all") {
+                    FsKind::all().to_vec()
+                } else {
+                    spec.split(',')
+                        .map(|s| {
+                            FsKind::parse(s)
+                                .unwrap_or_else(|| die(format_args!("unknown file system: {s}")))
+                        })
+                        .collect()
+                };
+            }
+            "--modes" => {
+                let spec = value("--modes");
+                opts.modes = parse_modes(&spec)
+                    .unwrap_or_else(|| die(format_args!("bad --modes spec: {spec}")));
+            }
+            "--findings-out" => opts.findings_out = Some(value("--findings-out")),
+            "--paper" => paper = true,
+            "--help" | "-h" => usage(),
+            other => {
+                pc_rt::pc_error!("unknown fuzz argument: {other}");
+                usage();
+            }
+        }
+    }
+    if paper {
+        opts.params = Params::paper();
+    }
+    let start = std::time::Instant::now();
+    let report = fuzz_campaign(&opts).unwrap_or_else(|e| die(format_args!("{e}")));
+    let secs = start.elapsed().as_secs_f64();
+    print!("{}", report.corpus.canonical_report());
+    pc_rt::pc_info!(
+        "fuzz: {} workloads, {} cells in {:.1}s ({:.1} workloads/s), {} findings, {} bundles",
+        report.workloads,
+        report.corpus.cells,
+        secs,
+        report.workloads as f64 / secs.max(1e-9),
+        report.corpus.finding_count(),
+        report.bundles,
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&args[1..]);
+    }
     let mut fs_arg = None;
     let mut program_arg = None;
     let mut config_path = None;

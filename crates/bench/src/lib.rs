@@ -21,12 +21,15 @@ use paracrash::{check_stack, CheckConfig, CheckOutcome, ExploreMode, Inconsisten
 use pc_rt::bench::Sample;
 use workloads::{FsKind, Params, Program};
 
+pub mod fuzz_driver;
+
 /// The wall-clock benchmark suites (ported from the criterion benches).
 pub mod benches {
     pub mod ablation;
     pub mod explain;
     pub mod explore;
     pub mod faults;
+    pub mod fuzz;
     pub mod scalability;
     pub mod substrate;
     pub mod telemetry;

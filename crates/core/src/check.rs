@@ -77,8 +77,8 @@ pub struct CheckOutcome {
     pub diagnostics: Vec<String>,
     /// Provenance bundles, one per bug, in signature order — filled
     /// only when `cfg.explain` (or `PC_TRACE=summary`) is set.
-    /// Presentation-plane output: never part of [`canonical_report`]
-    /// (CheckOutcome::canonical_report), so explain on/off runs stay
+    /// Presentation-plane output: never part of
+    /// [`CheckOutcome::canonical_report`], so explain on/off runs stay
     /// byte-identical there.
     pub explanations: Vec<crate::explain::BugExplanation>,
 }

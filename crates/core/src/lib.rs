@@ -27,7 +27,12 @@
 //! 6. optionally builds a provenance bundle per reproduced bug — a
 //!    delta-debugged minimal witness, a causal-graph export with vector
 //!    clocks and violated persists-before edges, and a tree-structured
-//!    state diff ([`explain`]).
+//!    state diff ([`explain`]);
+//! 7. optionally *generates* workloads instead of replaying the paper's
+//!    eleven: B3-style bounded black-box enumeration with a seeded
+//!    sampling mode and a deduplicating findings corpus ([`fuzz`]) —
+//!    the vocabularies live in `workloads::generated`, the campaign
+//!    driver and `paracrash fuzz` CLI in `pc-bench`.
 
 pub mod check;
 pub mod classify;
@@ -35,6 +40,7 @@ pub mod config;
 pub mod emulate;
 pub mod explain;
 pub mod explore;
+pub mod fuzz;
 pub mod model;
 pub mod persist;
 pub mod report;
@@ -48,6 +54,7 @@ pub use config::CheckConfig;
 pub use emulate::{crash_states, CrashState};
 pub use explain::{BugExplanation, EdgeKind, ReplayEngine};
 pub use explore::{ExploreMode, ExploreStats};
+pub use fuzz::{bounded_sequences, sample_indices, FuzzCorpus, FuzzFinding};
 pub use model::Model;
 pub use persist::PersistAnalysis;
 pub use snapshot::{naive_snapshots, prepare_states, SnapshotPlan, SnapshotStats};

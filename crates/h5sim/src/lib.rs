@@ -24,6 +24,13 @@
 //!   HDF5 format, as in the paper's NetCDF 4.7 setup;
 //! * [`call::H5Call`] — the I/O-library-level operation vocabulary whose
 //!   preserved subsets define legal golden states at this layer.
+//!
+//! Besides the paper's fixed H5/CDF programs, the library is exercised
+//! by the fuzzer's generated HDF5 call sequences
+//! (`workloads::generated`, DESIGN.md §11): bounded
+//! create/delete/rename/resize programs — serial and collective —
+//! enumerated exhaustively and replayed through the same [`H5File`]
+//! API the fixed programs use.
 
 pub mod call;
 pub mod file;

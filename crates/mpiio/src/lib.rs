@@ -14,6 +14,12 @@
 //!
 //! Every MPI call is traced at [`Layer::MpiIo`] with a caller–callee link
 //! to the I/O-library call above it and to the PFS client calls below.
+//!
+//! Besides the hand-written workloads, this layer is driven by the
+//! fuzzer's generated MPI-IO call sequences (`workloads::generated`,
+//! DESIGN.md §11): short bounded `write_at`/`sync`/`barrier`/`close`
+//! programs enumerated exhaustively and replayed through the same
+//! [`MpiIo`] adapter the fixed programs use.
 
 use pfs::{ClientTrace, Pfs, PfsCall};
 use tracer::{EventId, Layer, Payload, Process, Recorder};

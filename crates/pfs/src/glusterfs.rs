@@ -65,7 +65,19 @@ pub struct GlusterFs {
 impl GlusterFs {
     /// A formatted striped volume over `topo.server_count()` bricks.
     pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
-        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        Self::with_journal(topo, placement, stripe, JournalMode::Data)
+    }
+
+    /// Same, with an explicit local-FS journaling mode for the bricks
+    /// (the fuzzer's journaling-mode sweep; the paper's deployment runs
+    /// data journaling).
+    pub fn with_journal(
+        topo: ClusterTopology,
+        placement: Placement,
+        stripe: u64,
+        journal: JournalMode,
+    ) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), journal);
         for (id, _) in live.clone().iter() {
             let fs = live.server_mut(id).as_fs_mut();
             fs.mkdir_all("/data").unwrap();

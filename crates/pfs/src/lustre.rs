@@ -60,7 +60,19 @@ pub struct Lustre {
 impl Lustre {
     /// A formatted Lustre instance.
     pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
-        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        Self::with_journal(topo, placement, stripe, JournalMode::Data)
+    }
+
+    /// Same, with an explicit local-FS journaling mode for the MDT/OST
+    /// backing stores (the fuzzer's journaling-mode sweep; the paper's
+    /// deployment runs data journaling).
+    pub fn with_journal(
+        topo: ClusterTopology,
+        placement: Placement,
+        stripe: u64,
+        journal: JournalMode,
+    ) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), journal);
         for &m in &topo.metadata_servers() {
             live.server_mut(m).as_fs_mut().mkdir_all("/mdt").unwrap();
         }

@@ -68,7 +68,19 @@ pub struct OrangeFs {
 impl OrangeFs {
     /// A formatted OrangeFS instance.
     pub fn new(topo: ClusterTopology, placement: Placement, stripe: u64) -> Self {
-        let mut live = ServerStates::all_fs(topo.server_count(), JournalMode::Data);
+        Self::with_journal(topo, placement, stripe, JournalMode::Data)
+    }
+
+    /// Same, with an explicit local-FS journaling mode for the servers'
+    /// backing stores (the fuzzer's journaling-mode sweep; the paper's
+    /// deployment runs data journaling).
+    pub fn with_journal(
+        topo: ClusterTopology,
+        placement: Placement,
+        stripe: u64,
+        journal: JournalMode,
+    ) -> Self {
+        let mut live = ServerStates::all_fs(topo.server_count(), journal);
         for &m in &topo.metadata_servers() {
             let fs = live.server_mut(m).as_fs_mut();
             fs.mkdir_all("/db").unwrap();

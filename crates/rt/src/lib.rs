@@ -18,7 +18,7 @@
 //! * [`proptest`] — a seeded property-testing harness with
 //!   shrinking-by-halving and failure-seed reporting (replaces the
 //!   `proptest` crate for the suite's property tests).
-//! * [`bench`] — a wall-clock microbenchmark harness with warmup,
+//! * [`mod@bench`] — a wall-clock microbenchmark harness with warmup,
 //!   median/p95 reporting and machine-readable results (replaces
 //!   `criterion` for `pc-bench`'s benches).
 //! * [`obs`] — structured telemetry (spans, counters, gauges,

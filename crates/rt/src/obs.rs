@@ -11,7 +11,7 @@
 //!   [`gauge_max`] keeps a high-water mark, [`observe_ns`] feeds a
 //!   log₂-bucketed latency histogram with approximate quantiles;
 //! * **a per-run registry** — everything lands in one process-global
-//!   [`Registry`]; [`mark`] + [`render_summary`] slice out a window (one
+//!   `Registry`; [`mark`] + [`render_summary`] slice out a window (one
 //!   `check_stack` call) for the human-readable `PC_TRACE=summary` table,
 //!   [`snapshot`] exports the whole run for the machine-readable writers
 //!   (`paracrash::telemetry` serializes it as plain JSON and as Chrome

@@ -6,7 +6,7 @@
 //! three capabilities those tests actually use:
 //!
 //! 1. **Seeded case generation** — each case `i` of a run gets its own
-//!    deterministic [`Rng`](crate::rng::Rng), derived by SplitMix64
+//!    deterministic [`crate::rng::Rng`], derived by SplitMix64
 //!    from `(run seed, i)`. The run seed defaults to a fixed constant
 //!    (CI is reproducible by default) and can be overridden with the
 //!    `PC_PROPTEST_SEED` environment variable; `PC_PROPTEST_CASES`
@@ -23,7 +23,7 @@
 //!    `PC_PROPTEST_SEED=…` incantation that replays it.
 //!
 //! Properties report failure by returning `Err(String)` — usually via
-//! the [`prop_assert!`] / [`prop_assert_eq!`] macros — or by panicking
+//! the [`crate::prop_assert!`] / [`crate::prop_assert_eq!`] macros — or by panicking
 //! (panics are caught and shrunk the same way, so `expect()` deep in
 //! library code still gets minimized).
 //!
@@ -168,7 +168,7 @@ pub const REJECT_SENTINEL: &str = "\u{0}pc-rt-prop-assume-reject";
 ///
 /// * `gen` builds a case from a deterministic RNG and a `size` budget;
 /// * `prop` checks it, reporting failure as `Err` (see
-///   [`prop_assert!`]) or by panicking.
+///   [`crate::prop_assert!`]) or by panicking.
 ///
 /// On failure the case is shrunk by halving its `size` budget (the
 /// generator re-runs with the *same* per-case seed, so a smaller size
@@ -290,7 +290,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality assertion inside a property (see [`prop_assert!`]).
+/// Equality assertion inside a property (see [`crate::prop_assert!`]).
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => {{

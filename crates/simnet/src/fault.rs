@@ -29,7 +29,7 @@
 //! by the checker).
 //!
 //! Determinism is load-bearing: the plane owns its own
-//! [`Rng`](pc_rt::rng::Rng) and every fate is drawn on the (single
+//! [`pc_rt::rng::Rng`] and every fate is drawn on the (single
 //! threaded) dispatch path, so one seed yields one trace regardless of
 //! `PC_THREADS` or wall-clock time.
 

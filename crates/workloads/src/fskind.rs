@@ -90,33 +90,40 @@ impl FsKind {
     /// (the ext4 control has no network and ignores it).
     pub fn build(&self, params: &Params) -> Box<dyn Pfs> {
         let placement = params.placement.clone();
+        let journal = params.journal.unwrap_or(simfs::JournalMode::Data);
         let mut pfs: Box<dyn Pfs> = match self {
-            FsKind::BeeGfs => Box::new(BeeGfs::new(
+            FsKind::BeeGfs => Box::new(BeeGfs::with_journal(
                 ClusterTopology::dedicated(params.meta, params.storage, params.clients),
                 placement,
                 params.stripe,
+                journal,
             )),
-            FsKind::OrangeFs => Box::new(OrangeFs::new(
+            FsKind::OrangeFs => Box::new(OrangeFs::with_journal(
                 ClusterTopology::dedicated(params.meta, params.storage, params.clients),
                 placement,
                 params.stripe,
+                journal,
             )),
-            FsKind::GlusterFs => Box::new(GlusterFs::new(
+            FsKind::GlusterFs => Box::new(GlusterFs::with_journal(
                 ClusterTopology::combined(params.meta + params.storage, params.clients),
                 placement,
                 params.stripe,
+                journal,
             )),
+            // GPFS journals at the block layer (tagged scsi_write
+            // groups); the local-FS journaling knob does not apply.
             FsKind::Gpfs => Box::new(Gpfs::new(
                 ClusterTopology::combined(params.meta + params.storage, params.clients),
                 placement,
                 params.stripe,
             )),
-            FsKind::Lustre => Box::new(Lustre::new(
+            FsKind::Lustre => Box::new(Lustre::with_journal(
                 ClusterTopology::dedicated(params.meta, params.storage, params.clients),
                 placement,
                 params.stripe,
+                journal,
             )),
-            FsKind::Ext4 => Box::new(Ext4Direct::paper_default()),
+            FsKind::Ext4 => Box::new(Ext4Direct::new(journal)),
         };
         if let Some(faults) = &params.faults {
             pfs.install_faults(faults.clone());

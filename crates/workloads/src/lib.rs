@@ -21,11 +21,13 @@
 //! [`ground_truth`] encodes Table 3 for comparison harnesses and tests.
 
 pub mod fskind;
+pub mod generated;
 pub mod ground_truth;
 pub mod params;
 pub mod programs;
 
 pub use fskind::FsKind;
+pub use generated::GeneratedWorkload;
 pub use ground_truth::{table3, PaperBug};
 pub use params::Params;
 pub use programs::Program;

@@ -34,6 +34,11 @@ pub struct Params {
     /// instances stay fault-free so golden states don't move). `None`
     /// leaves every pre-existing code path untouched.
     pub faults: Option<FaultConfig>,
+    /// Local-FS journaling mode of the servers' backing stores. `None`
+    /// keeps each model's paper deployment (data journaling); the
+    /// fuzzer's journaling-mode sweep sets it explicitly. GPFS journals
+    /// at the block layer and ignores this knob.
+    pub journal: Option<simfs::JournalMode>,
 }
 
 impl Params {
@@ -50,6 +55,7 @@ impl Params {
             h5_seg: 64 * 1024,
             placement: Placement::new(),
             faults: None,
+            journal: None,
         }
     }
 
@@ -69,6 +75,7 @@ impl Params {
             h5_seg: 1024,
             placement: Placement::new(),
             faults: None,
+            journal: None,
         }
     }
 
@@ -117,6 +124,12 @@ impl Params {
     /// Arm the RPC fault plane on the traced instance.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Override the servers' local-FS journaling mode.
+    pub fn with_journal(mut self, journal: simfs::JournalMode) -> Self {
+        self.journal = Some(journal);
         self
     }
 

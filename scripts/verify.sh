@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Seven gates:
+# Ten gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -30,6 +30,18 @@
 #      vendored reader and every `.dot` must pass a structural lint
 #      (`explain-check`), and the engine's *disabled* overhead on a
 #      full check must stay under 3% (`explain-overhead`).
+#   8. Fuzz crash gate — the PR-tier generated-workload sweep
+#      (`paracrash fuzz`, exhaustive bound 2) must be byte-identical
+#      across thread counts AND match the pinned corpus in
+#      crates/bench/tests/expected_fuzz_pr_tier.txt; triage bundles
+#      must materialize. PC_FUZZ_NIGHTLY=1 additionally runs the
+#      large-bound sampled sweep (bound 3, all FSs, all journaling
+#      modes) twice and diffs the runs.
+#   9. Rustdoc — `cargo doc --no-deps` must build warning-free
+#      (RUSTDOCFLAGS="-D warnings"), keeping every public item
+#      documented.
+#  10. Flag drift — every `--flag` printed by `paracrash --help` must
+#      appear in README.md's flag table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -122,5 +134,46 @@ target/release/paracrash --fs all --program all \
 target/release/explain-check "$tmp/explain" 15
 target/release/explain-overhead
 cargo test -q --offline --test explain
+
+echo "== gate 8: fuzz crash gate (PR tier; PC_FUZZ_NIGHTLY=1 widens) =="
+# Exhaustive bound-2 sweep: thread-count invariant and pinned.
+target/release/paracrash fuzz > "$tmp/fuzz-par.txt" 2> /dev/null
+PC_THREADS=1 target/release/paracrash fuzz > "$tmp/fuzz-seq.txt" 2> /dev/null
+diff "$tmp/fuzz-par.txt" "$tmp/fuzz-seq.txt"
+if ! diff "$tmp/fuzz-par.txt" crates/bench/tests/expected_fuzz_pr_tier.txt; then
+    echo "FAIL: PR-tier fuzz findings drifted from the pinned corpus."
+    echo "If intended: regenerate with"
+    echo "  target/release/paracrash fuzz 2>/dev/null > crates/bench/tests/expected_fuzz_pr_tier.txt"
+    exit 1
+fi
+# Triage smoke: a sampled run with --findings-out must produce bundles.
+target/release/paracrash fuzz --sample 25 --fs BeeGFS \
+    --findings-out "$tmp/fuzz-findings" > /dev/null 2>&1
+if ! ls "$tmp/fuzz-findings"/*.repro > /dev/null 2>&1; then
+    echo "FAIL: fuzz --findings-out produced no .repro bundles"
+    exit 1
+fi
+if [ "${PC_FUZZ_NIGHTLY:-0}" = "1" ]; then
+    echo "-- nightly tier: bound-3 sampled sweep, all FSs, all modes --"
+    nightly="--bound 3 --sample 400 --seed 42 --fs all --modes all"
+    # shellcheck disable=SC2086
+    target/release/paracrash fuzz $nightly > "$tmp/fuzz-nightly-a.txt" 2> /dev/null
+    # shellcheck disable=SC2086
+    PC_THREADS=1 target/release/paracrash fuzz $nightly > "$tmp/fuzz-nightly-b.txt" 2> /dev/null
+    diff "$tmp/fuzz-nightly-a.txt" "$tmp/fuzz-nightly-b.txt"
+fi
+
+echo "== gate 9: rustdoc builds warning-free =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace > /dev/null
+
+echo "== gate 10: every CLI flag is documented in README.md =="
+# usage() prints to stderr and exits 2; that's the source of truth.
+target/release/paracrash --help 2> "$tmp/help.txt" || true
+for flag in $(grep -oE -- '--[a-z-]+' "$tmp/help.txt" | sort -u); do
+    if ! grep -q -- "$flag" README.md; then
+        echo "FAIL: CLI flag $flag is missing from README.md's flag table"
+        exit 1
+    fi
+done
 
 echo "verify: OK"
