@@ -11,7 +11,9 @@
 //!
 //! Suites: `fig10-explore` / `trace-generation` / `snapshot-engine`
 //! (exploration modes and replay engines), `fig11-scalability`
-//! (server-count scaling), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
+//! (server-count scaling), `scale` (batched-vs-oracle states/sec and
+//! the 64/128/256-server Figure 11 extension — the committed
+//! `BENCH_scale.json`), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
 //! substrate micro-benches, `ablation-victims` / `ablation-journal`,
 //! `telemetry`, `faults`, `explain` (witness-shrinking cost with and
 //! without prefix-sharing), and `fuzz` (generated-workload enumeration
@@ -26,10 +28,11 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 8] = [
+const SUITES: [(&str, fn(&mut Bench)); 9] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
+    ("scale", benches::scale::register),
     ("ablation", benches::ablation::register),
     ("telemetry", benches::telemetry::register),
     ("faults", benches::faults::register),

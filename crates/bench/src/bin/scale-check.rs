@@ -1,0 +1,129 @@
+//! Validates the committed `BENCH_scale.json` against the scale
+//! suite's performance invariants (verify gate 11):
+//!
+//! * the batched verdict engine sustains at least 2× the pre-refactor
+//!   oracle's states/sec at 16 servers;
+//! * per-check cost grows sub-linearly with the server count — the
+//!   256-server point stays under 2× the 64-server point while the
+//!   cluster grows 4×.
+//!
+//! With `--live`, additionally re-runs the 16-server batched engine in
+//! process and requires the measured throughput to stay within a
+//! generous 2× band of the committed number (catching engine
+//! regressions without being flaky on loaded CI machines).
+//!
+//! ```sh
+//! scale-check BENCH_scale.json          # static invariants only
+//! scale-check BENCH_scale.json --live   # + live regression band
+//! ```
+//!
+//! Exits 0 when valid, 1 with a diagnostic otherwise.
+
+use h5sim::json::Json;
+use paracrash::{crash_states, prepare_states, PersistAnalysis};
+use pfs::{recover_and_mount, PfsView};
+use tracer::CausalityGraph;
+use workloads::{FsKind, Params, Program};
+
+fn fail(msg: &str) -> ! {
+    // Deliberately eprintln, not pc_error!: the verdict is this tool's
+    // user-facing output and must print regardless of PC_LOG.
+    eprintln!("scale-check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Fetch a numeric field from the sample named `name`.
+fn metric(doc: &Json, name: &str, field: &str) -> f64 {
+    let Some(samples) = doc.as_arr() else {
+        fail("document is not an array of samples");
+    };
+    let Some(sample) = samples
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+    else {
+        fail(&format!("no sample named {name}"));
+    };
+    match sample.get(field).and_then(Json::as_int) {
+        Some(v) => v as f64,
+        None => fail(&format!("{name} has no {field}")),
+    }
+}
+
+/// One live pass of the batched engine over the same 16-server cell the
+/// suite benches, returning measured states/sec (best of `reps` runs —
+/// min is the right statistic against CI noise).
+fn live_states_per_sec(reps: u32) -> f64 {
+    let base = Params::quick();
+    let params = base.with_servers(8, 8).with_stripe(256);
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let graph = CausalityGraph::build(&stack.rec);
+    let pa = PersistAnalysis::build(&stack.rec, &graph, |s| stack.journal_of(s));
+    let states = crash_states(&stack.rec, &graph, &pa, 1, None);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let plan = prepare_states(&stack.rec, stack.pfs.baseline(), &states);
+        let mut views: Vec<Option<PfsView>> = (0..states.len()).map(|_| None).collect();
+        let mut digest = 0u64;
+        for &rep in &plan.rep {
+            if views[rep].is_none() {
+                let mut st = plan.prepared[rep].fork();
+                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+                views[rep] = Some(view);
+            }
+            digest ^= views[rep].as_ref().expect("recovered above").digest();
+        }
+        std::hint::black_box(digest);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    states.len() as f64 / best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, live) = match args.as_slice() {
+        [p] => (p.clone(), false),
+        [p, flag] if flag == "--live" => (p.clone(), true),
+        _ => {
+            eprintln!("usage: scale-check <BENCH_scale.json> [--live]");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not JSON: {e}")));
+
+    let batched = metric(&doc, "scale/engine-batched/16-servers", "states_per_sec");
+    let oracle = metric(&doc, "scale/engine-oracle/16-servers", "states_per_sec");
+    if batched < 2.0 * oracle {
+        fail(&format!(
+            "batched engine is only {:.2}x the oracle ({batched:.0} vs {oracle:.0} states/sec; need >= 2x)",
+            batched / oracle
+        ));
+    }
+
+    let pc64 = metric(&doc, "scale/fig11/64-servers", "per_check_ns");
+    let pc256 = metric(&doc, "scale/fig11/256-servers", "per_check_ns");
+    if pc256 >= 2.0 * pc64 {
+        fail(&format!(
+            "per-check cost doubles 64->256 servers ({pc64:.0} -> {pc256:.0} ns; need sub-linear growth)"
+        ));
+    }
+
+    let mut live_note = String::new();
+    if live {
+        let measured = live_states_per_sec(5);
+        if measured < batched / 2.0 {
+            fail(&format!(
+                "live batched throughput {measured:.0} states/sec fell below half the committed {batched:.0}"
+            ));
+        }
+        live_note = format!(", live {measured:.0} states/sec within band");
+    }
+
+    println!(
+        "scale-check: OK — batched {:.2}x oracle, per-check growth 64->256 {:.2}x{live_note}",
+        batched / oracle,
+        pc256 / pc64,
+    );
+}

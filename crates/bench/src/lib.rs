@@ -31,6 +31,7 @@ pub mod benches {
     pub mod faults;
     pub mod fuzz;
     pub mod scalability;
+    pub mod scale;
     pub mod substrate;
     pub mod telemetry;
 }
@@ -277,14 +278,18 @@ pub fn bench_samples_json(samples: &[Sample]) -> Json {
         samples
             .iter()
             .map(|s| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("name".into(), Json::Str(s.name.clone())),
                     ("iters".into(), Json::Int(u64::from(s.iters))),
                     ("min_ns".into(), Json::Int(s.min_ns.round() as u64)),
                     ("mean_ns".into(), Json::Int(s.mean_ns.round() as u64)),
                     ("median_ns".into(), Json::Int(s.median_ns.round() as u64)),
                     ("p95_ns".into(), Json::Int(s.p95_ns.round() as u64)),
-                ])
+                ];
+                for (k, v) in &s.extra {
+                    fields.push((k.clone(), Json::Int(v.round() as u64)));
+                }
+                Json::Obj(fields)
             })
             .collect(),
     )

@@ -23,12 +23,12 @@ use crate::explore::{
 use crate::model::Model;
 use crate::persist::PersistAnalysis;
 use crate::report::op_detail;
-use crate::snapshot::{naive_snapshots, prepare_states, SnapshotPlan};
+use crate::snapshot::{naive_batch, naive_snapshots, prepare_states, SnapshotPlan};
 use crate::stack::{replay_h5, replay_pfs, Stack, StackFactory};
 use h5sim::{check as h5check, check_lenient, h5clear, H5Logical};
 use pfs::{recover_and_mount, PfsCall, PfsView};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use tracer::{BitSet, CausalityGraph, EventId, Layer, Process, Recorder};
 
@@ -347,32 +347,59 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
                 .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         )
     };
+    // Subtree-batched recovery: crash states whose storage-event
+    // sequences land on the same prefix-tree terminal have *identical*
+    // prepared snapshots, so recovery and mounting — the dominant
+    // per-state cost — runs once per representative and the recovered
+    // view is shared. A state stays on the per-state path when fault
+    // widening can make its on-disk image unique (torn writes with live
+    // victims), when the naive snapshot engine is active (no plan), or
+    // under the `PC_NAIVE_BATCH=1` oracle. Recovery is deterministic on
+    // the store state, so both paths produce bit-identical views
+    // (asserted by `tests/snapshot_equivalence.rs`).
+    let per_state_recovery = naive_batch();
+    let shared_views: Vec<OnceLock<PfsView>> = (0..states.len()).map(|_| OnceLock::new()).collect();
     let verdict_of = |i: usize,
                       legal_views: &[PfsView],
                       legal_h5: &[H5Logical]|
      -> (bool, Option<(LayerVerdict, Model)>) {
         let state = &states[i];
-        let view = {
-            let mut st = match &plan {
-                Some(plan) => plan.prepared[i].fork(),
-                None => {
-                    let mut st = stack.pfs.baseline().deep_clone();
-                    st.apply_events(rec, state.persisted.iter());
-                    st
+        let owned: PfsView;
+        let view: &PfsView = match &plan {
+            Some(plan) if !per_state_recovery && (!torn || state.victims.is_empty()) => {
+                let rep = plan.rep[i];
+                if rep != i {
+                    pc_rt::obs::count("check.views_shared", 1);
                 }
-            };
-            if torn {
-                st.apply_torn_victims(rec, state.victims.iter().copied(), &mut torn_rng(i));
+                shared_views[rep].get_or_init(|| {
+                    let mut st = plan.prepared[rep].fork();
+                    let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+                    view
+                })
             }
-            let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
-            view
+            _ => {
+                let mut st = match &plan {
+                    Some(plan) => plan.prepared[i].fork(),
+                    None => {
+                        let mut st = stack.pfs.baseline().deep_clone();
+                        st.apply_events(rec, state.persisted.iter());
+                        st
+                    }
+                };
+                if torn {
+                    st.apply_torn_victims(rec, state.victims.iter().copied(), &mut torn_rng(i));
+                }
+                let (_, view) = recover_and_mount(stack.pfs.as_ref(), &mut st);
+                owned = view;
+                &owned
+            }
         };
-        let pfs_ok = legal_views.contains(&view);
+        let pfs_ok = legal_views.contains(view);
         let verdict = if let Some(path) = &stack.h5_path {
             h5_verdict(
                 cfg,
                 path,
-                &view,
+                view,
                 legal_h5,
                 baseline_h5.as_ref(),
                 &modified_keys,
@@ -392,38 +419,55 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         (pfs_ok, verdict)
     };
 
-    // Verdicts fan out data-parallel (each state materializes its own
-    // snapshot), then a sequential pass applies §5.3's learned-pattern
-    // skipping and §5.2's aggregation. Computing a verdict the pruner
-    // later discards wastes only CPU — the reported bugs, state counts
-    // and the simulated cost model are identical to a fully sequential
-    // exploration. The pool honours `PC_THREADS` (1 = the sequential
-    // reference run used by determinism tests).
+    // Legal-state replays and per-state verdicts are *pipelined*: the
+    // sequential producer (it owns the `&mut` replay caches) walks the
+    // checking order, fills each state's legal-state slot, and
+    // immediately spawns that state's verdict task on the work-stealing
+    // scope — verdict workers run concurrently with the producer
+    // instead of waiting behind a stage barrier. Results are joined by
+    // state index, so the output is byte-identical to the old
+    // two-stage fan-out on every `PC_THREADS` setting (1 = spawn runs
+    // inline: the deterministic sequential reference).
     // Both the golden-state replays and the per-state verdicts run under
     // catch_unwind: a panicking model or recovery tool poisons only its
     // own crash state, which the prune pass below turns into a
     // diagnostic entry instead of aborting the run.
-    let mut legal_of: Vec<Option<Result<LegalStates, String>>> =
-        (0..states.len()).map(|_| None).collect();
-    let stage = pc_rt::obs::span_cat("check.legal_states", "check");
-    for &idx in &order {
-        let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            evaluate(&states[idx], &mut pfs_cache, &mut h5_cache)
-        }))
-        .map_err(|p| pc_rt::pool::panic_message(p.as_ref()));
-        legal_of[idx] = Some(got);
-    }
-    drop(stage);
-    let stage = pc_rt::obs::span_cat("check.verdicts", "check");
+    let legal_of: Vec<OnceLock<Result<LegalStates, String>>> =
+        (0..states.len()).map(|_| OnceLock::new()).collect();
+    let stage_legal = pc_rt::obs::span_cat("check.legal_states", "check");
+    let stage_verdicts = pc_rt::obs::span_cat("check.verdicts", "check");
     let computed: Vec<Result<(bool, Option<(LayerVerdict, Model)>), String>> =
-        pc_rt::pool::par_map_indices_caught(states.len(), |i| {
-            match legal_of[i].as_ref().expect("prefilled") {
-                Ok((legal_views, legal_h5)) => verdict_of(i, legal_views, legal_h5),
-                // Funnel replay failures through the same caught path.
-                Err(e) => panic!("legal-state replay failed: {e}"),
+        pc_rt::pool::scope(|scope| {
+            let mut handles = Vec::with_capacity(order.len());
+            for &idx in &order {
+                let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    evaluate(&states[idx], &mut pfs_cache, &mut h5_cache)
+                }))
+                .map_err(|p| pc_rt::pool::panic_message(p.as_ref()));
+                let _ = legal_of[idx].set(got);
+                let legal_of = &legal_of;
+                let verdict_of = &verdict_of;
+                handles.push((
+                    idx,
+                    scope.spawn(move || {
+                        match legal_of[idx].get().expect("producer fills before spawn") {
+                            Ok((legal_views, legal_h5)) => verdict_of(idx, legal_views, legal_h5),
+                            // Funnel replay failures through the same caught path.
+                            Err(e) => panic!("legal-state replay failed: {e}"),
+                        }
+                    }),
+                ));
             }
+            let mut out: Vec<Option<Result<_, String>>> = (0..states.len()).map(|_| None).collect();
+            for (idx, handle) in handles {
+                out[idx] = Some(handle.join());
+            }
+            out.into_iter()
+                .map(|r| r.expect("order is a permutation of all states"))
+                .collect()
         });
-    drop(stage);
+    drop(stage_verdicts);
+    drop(stage_legal);
     let stage = pc_rt::obs::span_cat("check.prune", "check");
     let mut diagnostics: Vec<String> = Vec::new();
     for &idx in &order {
@@ -451,7 +495,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
             if layer == LayerVerdict::IoLibBug {
                 h5_bad_pfs_ok += 1;
             }
-            let (legal_views, legal_h5) = match legal_of[idx].as_ref().expect("prefilled") {
+            let (legal_views, legal_h5) = match legal_of[idx].get().expect("prefilled") {
                 Ok(ls) => ls,
                 Err(_) => unreachable!("verdict computed implies legal states exist"),
             };
@@ -540,7 +584,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
             let Some(&widx) = witness_state.get(&(sig.clone(), *layer)) else {
                 continue;
             };
-            let Some(Ok((legal_views, legal_h5))) = legal_of[widx].as_ref() else {
+            let Some(Ok((legal_views, legal_h5))) = legal_of[widx].get() else {
                 continue;
             };
             let ctx = crate::explain::ExplainCtx {

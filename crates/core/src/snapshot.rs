@@ -42,6 +42,18 @@ pub fn naive_snapshots() -> bool {
         .unwrap_or(false)
 }
 
+/// `true` when the `PC_NAIVE_BATCH=1` oracle is selected: the checker
+/// runs recovery and mounting for every crash state individually
+/// instead of sharing one recovered view across all the states of a
+/// prefix-tree subtree with identical storage sequences. Both engines
+/// recover the same prepared snapshots, so their verdicts are
+/// bit-identical (asserted by `tests/snapshot_equivalence.rs`).
+pub fn naive_batch() -> bool {
+    std::env::var("PC_NAIVE_BATCH")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 /// Accounting of one prefix-sharing materialization pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnapshotStats {
@@ -62,6 +74,15 @@ pub struct SnapshotPlan {
     /// `prepared[i]` is crash state `i` materialized (persisted events
     /// applied, recovery not yet run).
     pub prepared: Vec<ServerStates>,
+    /// Subtree representative: the first crash state (in input order)
+    /// whose storage-event sequence lands on the same prefix-tree
+    /// terminal as state `i` (`rep[i] == i` when the sequence is
+    /// unique). States with equal representatives have *identical*
+    /// `prepared` snapshots, so the checker batches recovery per
+    /// representative — unless fault widening makes a state's on-disk
+    /// image unique again, or `PC_NAIVE_BATCH=1` selects the per-state
+    /// oracle.
+    pub rep: Vec<usize>,
     /// Sharing accounting.
     pub stats: SnapshotStats,
 }
@@ -113,9 +134,11 @@ pub fn prepare_states(
     let mut stats = SnapshotStats::default();
     // States whose storage-event sequence lands on an already-terminal
     // trie node share a fully-materialized snapshot with an earlier
-    // state (telemetry only — not part of the equivalence-checked
-    // [`SnapshotStats`]).
+    // state; `rep` records that earlier state so the checker can batch
+    // per-snapshot work (the count is telemetry only — not part of the
+    // equivalence-checked [`SnapshotStats`]).
     let mut states_shared = 0u64;
+    let mut rep: Vec<usize> = (0..states.len()).collect();
 
     // Build the prefix tree of the storage-event sequences. Node count
     // is the number of distinct prefixes, i.e. exactly the replay work.
@@ -135,8 +158,9 @@ pub fn prepare_states(
                 }
             };
         }
-        if !nodes[cur].terminals.is_empty() {
+        if let Some(&first) = nodes[cur].terminals.first() {
             states_shared += 1;
+            rep[idx] = first;
         }
         nodes[cur].terminals.push(idx);
     }
@@ -179,6 +203,7 @@ pub fn prepare_states(
             .into_iter()
             .map(|s| s.expect("every state visited"))
             .collect(),
+        rep,
         stats,
     }
 }
@@ -240,6 +265,8 @@ mod tests {
             naive.apply_events(&rec, subset.iter().copied());
             assert_eq!(plan.prepared[i], naive, "state {i}");
         }
+        // State 4 duplicates state 0's sequence; everyone else is unique.
+        assert_eq!(plan.rep, vec![0, 1, 2, 3, 0]);
     }
 
     #[test]

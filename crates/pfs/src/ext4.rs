@@ -270,7 +270,7 @@ mod tests {
         )
         .unwrap();
         let view = fs.client_view(fs.live());
-        assert!(view.dirs.contains("/A"));
+        assert!(view.has_dir("/A"));
         assert!(view.exists("/A/f"));
         assert!(fs.recover(&mut fs.live().clone()).is_clean());
     }

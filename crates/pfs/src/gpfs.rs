@@ -1089,7 +1089,7 @@ mod tests {
         )
         .unwrap();
         let view = fs.client_view(fs.live());
-        assert!(view.dirs.contains("/A"));
+        assert!(view.has_dir("/A"));
         assert_eq!(view.read("/A/x"), Some(&b"1"[..]));
     }
 }

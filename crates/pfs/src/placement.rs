@@ -8,18 +8,24 @@
 //! distribution patterns" (§6.2). [`Placement`] makes that pattern an
 //! explicit, overridable input.
 
+use pc_rt::intern::Sym;
 use std::collections::BTreeMap;
 
 /// Deterministic placement policy for directories (→ metadata server)
 /// and files (→ first stripe target).
+///
+/// Override maps are keyed by interned [`Sym`]s: placement is probed
+/// for every striped write a model replays, so the lookup compares
+/// 4-byte ids instead of path strings. Interning is bijective, so the
+/// derived `Eq` is unchanged from the string-keyed representation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Placement {
     /// Explicit directory → metadata-server-index overrides
     /// (index into the topology's metadata server list).
-    dir_overrides: BTreeMap<String, usize>,
+    dir_overrides: BTreeMap<Sym, usize>,
     /// Explicit file → first-storage-server-index overrides
     /// (index into the topology's storage server list).
-    file_overrides: BTreeMap<String, usize>,
+    file_overrides: BTreeMap<Sym, usize>,
 }
 
 impl Placement {
@@ -29,25 +35,25 @@ impl Placement {
     }
 
     /// Pin a directory onto the `idx`-th metadata server.
-    pub fn pin_dir(mut self, dir: impl Into<String>, idx: usize) -> Self {
-        self.dir_overrides.insert(dir.into(), idx);
+    pub fn pin_dir(mut self, dir: impl AsRef<str>, idx: usize) -> Self {
+        self.dir_overrides.insert(Sym::new(dir.as_ref()), idx);
         self
     }
 
     /// Pin a file's first stripe onto the `idx`-th storage server.
-    pub fn pin_file(mut self, file: impl Into<String>, idx: usize) -> Self {
-        self.file_overrides.insert(file.into(), idx);
+    pub fn pin_file(mut self, file: impl AsRef<str>, idx: usize) -> Self {
+        self.file_overrides.insert(Sym::new(file.as_ref()), idx);
         self
     }
 
     /// Explicit pin for a file, if any.
     pub fn file_pin(&self, file: &str) -> Option<usize> {
-        self.file_overrides.get(file).copied()
+        self.file_overrides.get(&Sym::new(file)).copied()
     }
 
     /// Explicit pin for a directory, if any.
     pub fn dir_pin(&self, dir: &str) -> Option<usize> {
-        self.dir_overrides.get(dir).copied()
+        self.dir_overrides.get(&Sym::new(dir)).copied()
     }
 
     /// Stable FNV-1a hash — placement must be identical across runs and
@@ -64,9 +70,7 @@ impl Placement {
     /// Index (into the metadata-server list) owning directory `dir`.
     pub fn dir_index(&self, dir: &str, n_meta: usize) -> usize {
         assert!(n_meta > 0, "cluster has no metadata servers");
-        self.dir_overrides
-            .get(dir)
-            .copied()
+        self.dir_pin(dir)
             .unwrap_or_else(|| (Self::fnv(dir) as usize) % n_meta)
             % n_meta
     }
@@ -75,9 +79,7 @@ impl Placement {
     /// `file`; subsequent stripes go round-robin from there.
     pub fn file_index(&self, file: &str, n_storage: usize) -> usize {
         assert!(n_storage > 0, "cluster has no storage servers");
-        self.file_overrides
-            .get(file)
-            .copied()
+        self.file_pin(file)
             .unwrap_or_else(|| (Self::fnv(file) as usize) % n_storage)
             % n_storage
     }

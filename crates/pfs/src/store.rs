@@ -267,12 +267,14 @@ impl ServerStates {
     }
 
     /// Number of servers whose state differs from `other` — the TSP edge
-    /// weight of §5.3.
+    /// weight of §5.3. Compares memoized per-store digests directly:
+    /// the visiting-order pass evaluates O(n²) edges, so this path must
+    /// not allocate per edge.
     pub fn server_distance(&self, other: &ServerStates) -> usize {
-        self.per_server_digests()
+        self.stores
             .iter()
-            .zip(other.per_server_digests())
-            .filter(|(a, b)| **a != *b)
+            .zip(&other.stores)
+            .filter(|(a, b)| a.digest() != b.digest())
             .count()
     }
 

@@ -78,6 +78,9 @@ pub struct Sample {
     pub median_ns: f64,
     /// 95th percentile, nanoseconds.
     pub p95_ns: f64,
+    /// Free-form derived metrics attached via [`Bench::annotate`]
+    /// (e.g. `states_per_sec`); serialized alongside the timing fields.
+    pub extra: Vec<(String, f64)>,
 }
 
 impl Sample {
@@ -92,6 +95,7 @@ impl Sample {
             mean_ns: ns.iter().sum::<f64>() / n as f64,
             median_ns: pick(0.5),
             p95_ns: pick(0.95),
+            extra: Vec::new(),
         }
     }
 }
@@ -180,6 +184,18 @@ impl Bench {
     /// All results collected so far.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// Attach a derived metric to the most recent sample (no-op when
+    /// the last `bench` call was filtered out). Suites use this for
+    /// headline numbers computed *from* the timing — e.g. the scale
+    /// suite divides checked-state counts by the median wall time to
+    /// get `states_per_sec` — so the JSON export carries the metric
+    /// next to the measurement it came from.
+    pub fn annotate(&mut self, key: &str, value: f64) {
+        if let Some(last) = self.samples.last_mut() {
+            last.extra.push((key.to_string(), value));
+        }
     }
 
     /// Render an aligned text table of the results.

@@ -9,10 +9,15 @@
 //! pulled from crates.io:
 //!
 //! * [`pool`] — a scoped worker pool with `par_map` / `par_chunks`
-//!   (replaces `rayon` on the crash-state verdict fan-out of
+//!   plus a work-stealing task scheduler (`Pool::scope`) for pipelined
+//!   stages (replaces `rayon` on the crash-state verdict fan-out of
 //!   Algorithm 1's exploration loop). Thread count comes from the
 //!   `PC_THREADS` environment variable, defaulting to the machine's
 //!   available parallelism.
+//! * [`intern`] — process-global symbol interning (`Sym`, a 4-byte id)
+//!   for the path components and structure labels the simulation layers
+//!   key their maps by; `PC_NAIVE_SYMS=1` selects the string-keyed
+//!   oracle algorithms for equivalence checking.
 //! * [`rng`] — a deterministic SplitMix64-seeded xoshiro256\*\* PRNG
 //!   (replaces `rand`). Same seed, same stream, on every platform.
 //! * [`proptest`] — a seeded property-testing harness with
@@ -49,6 +54,7 @@
 //! ```
 
 pub mod bench;
+pub mod intern;
 pub mod obs;
 pub mod pool;
 pub mod proptest;

@@ -740,6 +740,18 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
             );
         }
     }
+
+    // Derived: work-stealing scheduler activity, when `Pool::scope` ran.
+    if let Some(scopes) = get("pool.scope_calls") {
+        let steals = get("pool.steals").unwrap_or(0);
+        let queued = get("pool.tasks_queued").unwrap_or(0);
+        let peak = reg.gauges.get("pool.max_queue_depth").copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:<34} {steals:>8}  ({queued} tasks over {scopes} scope runs, peak queue {peak})",
+            "pool steals",
+        );
+    }
     out
 }
 

@@ -1,19 +1,29 @@
 //! Scoped worker pool: data-parallel `par_map` / `par_chunks` on
-//! borrowed data, built on [`std::thread::scope`].
+//! borrowed data plus a work-stealing task scheduler ([`Pool::scope`]),
+//! built on [`std::thread::scope`].
 //!
-//! This is the fan-out engine for Algorithm 1's exploration loop: after
-//! the sequential pass computes each crash state's legal golden states,
-//! the per-state verdicts (materialize → recover → compare) are
-//! independent and embarrassingly parallel, so
-//! [`check_stack`](../../paracrash/fn.check_stack.html) hands them to
-//! [`par_map`]. Workers pull indices from a shared atomic counter —
-//! dynamic scheduling, so a few expensive states (large persisted sets,
-//! deep recovery) don't stall a statically partitioned worker.
+//! This is the fan-out engine for Algorithm 1's exploration loop, in
+//! two shapes:
 //!
-//! Results always come back **in input order**, whatever order workers
-//! finish in, and a panic in any task propagates to the caller once all
-//! workers have stopped — the same contract `rayon`'s `par_iter().map()`
-//! provided, so call sites swap over mechanically.
+//! - **Uniform maps** ([`par_map`] / [`par_map_indices`]): a fixed set
+//!   of n independent tasks. Workers pull indices from a shared atomic
+//!   counter — dynamic scheduling, so a few expensive states (large
+//!   persisted sets, deep recovery) don't stall a statically
+//!   partitioned worker.
+//! - **Pipelined stages** ([`Pool::scope`]): tasks submitted *while
+//!   earlier ones run*, each returning a [`TaskHandle`]. Workers own
+//!   per-worker deques and steal from each other when their own runs
+//!   dry (`pool.steals` counter), so a sequential producer (e.g. the
+//!   legal-state replay loop, which needs `&mut` caches) overlaps with
+//!   parallel consumers (per-state verdicts) instead of the stages
+//!   joining at a barrier.
+//!
+//! Results always come back **in input order** (maps) or **by handle**
+//! (scope) whatever order workers finish in, and a panic in any map
+//! task propagates to the caller once all workers have stopped — the
+//! same contract `rayon`'s `par_iter().map()` provided, so call sites
+//! swap over mechanically. Scope tasks catch panics into
+//! `Err(message)` on their handle instead.
 //!
 //! The worker count is decided per [`Pool`]: explicitly via
 //! [`Pool::with_threads`], or from the environment via [`Pool::new`]
@@ -36,7 +46,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Environment variable overriding the default worker count.
@@ -212,8 +222,239 @@ impl Pool {
         F: Fn(&[T]) -> U + Sync,
     {
         assert!(chunk > 0, "par_chunks with chunk size 0");
-        let chunks: Vec<&[T]> = items.chunks(chunk).collect();
-        self.par_map_indices(chunks.len(), |i| f(chunks[i]))
+        // Schedule by chunk *index* — no up-front Vec of slices, so a
+        // huge `items` with a small `chunk` costs O(workers) setup, not
+        // O(items / chunk) allocation before any work starts.
+        let n_chunks = items.len().div_ceil(chunk);
+        self.par_map_indices(n_chunks, |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(items.len());
+            f(&items[start..end])
+        })
+    }
+
+    /// Run `body` with a work-stealing [`TaskScope`]: tasks spawned via
+    /// [`TaskScope::spawn`] execute on this pool's workers while `body`
+    /// keeps running, and each returns a [`TaskHandle`] to join on.
+    ///
+    /// This is the pipelining primitive: a sequential producer (holding
+    /// `&mut` state) spawns each consumer task as soon as its input is
+    /// ready, instead of finishing the whole producer stage and then
+    /// fanning out behind a barrier. Workers pop their own deque and
+    /// steal from siblings when idle (`pool.steals` counter).
+    ///
+    /// With one worker (`PC_THREADS=1`), spawned tasks run **inline**
+    /// inside `spawn` — the deterministic sequential reference: the
+    /// interleaving is exactly "producer step i, then task i".
+    ///
+    /// Panics inside a task are caught and surface as `Err(message)`
+    /// from [`TaskHandle::join`], never aborting sibling tasks.
+    pub fn scope<'env, R>(&self, body: impl FnOnce(&TaskScope<'_, 'env>) -> R) -> R {
+        let workers = self.threads.max(1).saturating_sub(1).min(MAX_SCOPE_WORKERS);
+        let t_on = crate::obs::enabled();
+        if t_on {
+            crate::obs::count("pool.scope_calls", 1);
+            crate::obs::gauge_max("pool.workers", self.threads.max(1) as u64);
+        }
+        if workers == 0 {
+            let sched = Sched::new(0, t_on);
+            let scope = TaskScope { sched: &sched };
+            return body(&scope);
+        }
+        let sched = Sched::new(workers, t_on);
+        std::thread::scope(|ts| {
+            for w in 0..workers {
+                let sched = &sched;
+                ts.spawn(move || sched.worker_loop(w));
+            }
+            let scope = TaskScope { sched: &sched };
+            let out = body(&scope);
+            sched.finish();
+            out
+        })
+    }
+}
+
+/// Upper bound on scope workers — deques are scanned linearly when
+/// stealing, so keep the fan-in sane even on very wide machines.
+const MAX_SCOPE_WORKERS: usize = 64;
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Shared scheduler state for one [`Pool::scope`] call: per-worker
+/// deques plus a condvar-guarded account of outstanding work.
+struct Sched<'env> {
+    deques: Vec<Mutex<std::collections::VecDeque<Job<'env>>>>,
+    /// (queued-but-unclaimed tasks, producer finished).
+    state: Mutex<(usize, bool)>,
+    wake: Condvar,
+    /// Round-robin cursor for spawn placement.
+    next: AtomicUsize,
+    telemetry: bool,
+}
+
+impl<'env> Sched<'env> {
+    fn new(workers: usize, telemetry: bool) -> Sched<'env> {
+        Sched {
+            deques: (0..workers)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            state: Mutex::new((0, false)),
+            wake: Condvar::new(),
+            next: AtomicUsize::new(0),
+            telemetry,
+        }
+    }
+
+    fn push(&self, job: Job<'env>) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[w].lock().unwrap().push_back(job);
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        if self.telemetry {
+            crate::obs::count("pool.tasks_queued", 1);
+            crate::obs::gauge_max("pool.max_queue_depth", st.0 as u64);
+        }
+        drop(st);
+        self.wake.notify_one();
+    }
+
+    /// Mark the producer done and wake everyone so idle workers can
+    /// observe termination.
+    fn finish(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.wake.notify_all();
+    }
+
+    /// Claim one job: own deque from the back (LIFO, cache-warm), then
+    /// steal from siblings from the front (FIFO, oldest first).
+    fn claim(&self, me: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        for off in 1..self.deques.len() {
+            let victim = (me + off) % self.deques.len();
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                if self.telemetry {
+                    crate::obs::count("pool.steals", 1);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(job) = self.claim(me) {
+                self.state.lock().unwrap().0 -= 1;
+                if self.telemetry {
+                    let t = Instant::now();
+                    job();
+                    let ns = t.elapsed().as_nanos() as u64;
+                    crate::obs::count("pool.tasks_executed", 1);
+                    crate::obs::count("pool.busy_ns", ns);
+                    crate::obs::observe_ns("pool.task_ns", ns);
+                } else {
+                    job();
+                }
+                continue;
+            }
+            let st = self.state.lock().unwrap();
+            if st.0 == 0 && st.1 {
+                return;
+            }
+            if st.0 == 0 {
+                // Nothing queued and the producer is still running:
+                // sleep until a push or finish wakes us.
+                drop(self.wake.wait(st).unwrap());
+            }
+            // st.0 > 0: a job appeared between claim() and the lock —
+            // loop and try to claim it.
+        }
+    }
+}
+
+/// Handle to a task spawned on a [`TaskScope`]; [`join`](Self::join)
+/// blocks until the task finishes and yields its result (`Err` holds
+/// the panic message if the task panicked).
+pub struct TaskHandle<T> {
+    cell: std::sync::Arc<(Mutex<Option<Result<T, String>>>, Condvar)>,
+}
+
+impl<T> TaskHandle<T> {
+    fn new() -> TaskHandle<T> {
+        TaskHandle {
+            cell: std::sync::Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    fn fill(&self, value: Result<T, String>) {
+        let (slot, cv) = &*self.cell;
+        *slot.lock().unwrap() = Some(value);
+        cv.notify_all();
+    }
+
+    /// Wait for the task and take its result.
+    pub fn join(self) -> Result<T, String> {
+        let (slot, cv) = &*self.cell;
+        let mut guard = slot.lock().unwrap();
+        loop {
+            if let Some(v) = guard.take() {
+                return v;
+            }
+            guard = cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// The spawning surface handed to [`Pool::scope`]'s closure.
+///
+/// `'env` is the lifetime of borrows the tasks may capture (everything
+/// declared outside the `scope` call); all tasks complete before
+/// `scope` returns, exactly like [`std::thread::scope`].
+pub struct TaskScope<'sched, 'env> {
+    sched: &'sched Sched<'env>,
+}
+
+impl<'env> TaskScope<'_, 'env> {
+    /// Submit `f` to the pool, returning a handle to its result.
+    ///
+    /// On a single-threaded pool this runs `f` inline (catching panics
+    /// identically) — the sequential reference interleaving.
+    pub fn spawn<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let handle = TaskHandle::new();
+        let result_cell = TaskHandle {
+            cell: handle.cell.clone(),
+        };
+        let run = move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                .map_err(|e| panic_message(e.as_ref()));
+            result_cell.fill(out);
+        };
+        if self.sched.deques.is_empty() {
+            // Inline (single-threaded) path: record the same counters
+            // the worker loop would, so task totals stay deterministic
+            // across PC_THREADS widths.
+            if self.sched.telemetry {
+                crate::obs::count("pool.tasks_queued", 1);
+                let t = Instant::now();
+                run();
+                let ns = t.elapsed().as_nanos() as u64;
+                crate::obs::count("pool.tasks_executed", 1);
+                crate::obs::count("pool.busy_ns", ns);
+                crate::obs::observe_ns("pool.task_ns", ns);
+            } else {
+                run();
+            }
+        } else {
+            self.sched.push(Box::new(run));
+        }
+        handle
     }
 }
 
@@ -243,6 +484,11 @@ where
     F: Fn(usize) -> U + Sync,
 {
     Pool::new().par_map_indices_caught(n, f)
+}
+
+/// [`Pool::scope`] on a default-configured pool.
+pub fn scope<'env, R>(body: impl FnOnce(&TaskScope<'_, 'env>) -> R) -> R {
+    Pool::new().scope(body)
 }
 
 /// Extract a human-readable message from a caught panic payload.
@@ -379,6 +625,118 @@ mod tests {
             }
         }
         std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn scope_tasks_all_run_and_join_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            let out: Vec<u64> = pool.scope(|sc| {
+                let handles: Vec<_> = (0..100u64).map(|i| sc.spawn(move || i * 7)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(out, (0..100).map(|i| i * 7).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn scope_pipelines_producer_and_consumers() {
+        // A sequential producer holding &mut state spawns a task per
+        // step; tasks borrow the produced value. The &mut producer
+        // state and shared task captures coexist — the shape check.rs
+        // uses for legal-states → verdict overlap.
+        let inputs: Vec<std::sync::OnceLock<u64>> = (0..50).map(|_| Default::default()).collect();
+        let mut produced = 0u64; // &mut state only the producer touches
+        let total: u64 = Pool::with_threads(4).scope(|sc| {
+            let mut handles = Vec::new();
+            for cell in &inputs {
+                produced += 1;
+                cell.set(produced).unwrap();
+                handles.push(sc.spawn(move || cell.get().copied().unwrap() * 2));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (1..=50).map(|i| i * 2).sum::<u64>());
+        assert_eq!(produced, 50);
+    }
+
+    #[test]
+    fn scope_catches_panics_per_task() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 4] {
+            let results: Vec<Result<usize, String>> = Pool::with_threads(threads).scope(|sc| {
+                let handles: Vec<_> = (0..10)
+                    .map(|i| {
+                        sc.spawn(move || {
+                            if i == 3 {
+                                panic!("scope task {i} poisoned");
+                            }
+                            i
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    assert!(r.as_ref().unwrap_err().contains("poisoned"), "{r:?}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i);
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn scope_multiple_workers_participate_and_steal() {
+        use std::sync::Mutex;
+        let ids: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        Pool::with_threads(5).scope(|sc| {
+            let handles: Vec<_> = (0..64)
+                .map(|_| {
+                    sc.spawn(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let id = std::thread::current().id();
+                        let mut guard = ids.lock().unwrap();
+                        if !guard.contains(&id) {
+                            guard.push(id);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert!(ids.lock().unwrap().len() > 1, "only one worker ran tasks");
+    }
+
+    #[test]
+    fn scope_tasks_spawned_late_still_run_after_body_returns_handles() {
+        // Handles may be joined inside the scope in any order, including
+        // immediately after spawn (producer-consumer lockstep).
+        let out = Pool::with_threads(3).scope(|sc| {
+            let mut acc = Vec::new();
+            for i in 0..20 {
+                let h = sc.spawn(move || i + 100);
+                acc.push(h.join().unwrap());
+            }
+            acc
+        });
+        assert_eq!(out, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_does_not_materialize_chunk_list() {
+        // Behavioural pin for the index-scheduled rewrite: a large item
+        // count with chunk size 1 must still cover everything (the old
+        // implementation allocated one slice per chunk up front).
+        let items: Vec<u32> = (0..10_000).collect();
+        let sums = Pool::with_threads(4).par_chunks(&items, 1, |c| c.iter().sum::<u32>());
+        assert_eq!(sums.len(), 10_000);
+        assert_eq!(sums.iter().sum::<u32>(), items.iter().sum::<u32>());
     }
 
     #[test]

@@ -64,15 +64,21 @@ impl Fsck {
             }
             match fs.inode(ino) {
                 Some(Inode::Dir { entries, .. }) => {
-                    for (name, child) in entries {
-                        if fs.inode(*child).is_none() {
+                    // Iterate in resolved-name order: entry maps are
+                    // keyed by interned ids whose order is arbitrary,
+                    // but issue order is observable output.
+                    let mut named: Vec<(&'static str, u64)> =
+                        entries.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+                    named.sort_unstable_by_key(|(n, _)| *n);
+                    for (name, child) in named {
+                        if fs.inode(child).is_none() {
                             issues.push(FsckIssue {
-                                subject: name.clone(),
+                                subject: name.to_string(),
                                 detail: format!("dangling entry -> inode {child}"),
                                 repairable: true,
                             });
                         } else {
-                            stack.push(*child);
+                            stack.push(child);
                         }
                     }
                 }

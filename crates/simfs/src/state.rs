@@ -8,6 +8,7 @@
 
 use crate::error::{FsError, FsResult};
 use crate::ops::FsOp;
+use pc_rt::intern::{naive_syms, Sym};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -20,6 +21,13 @@ pub type Ino = u64;
 const ROOT_INO: Ino = 1;
 
 /// A file or directory inode.
+///
+/// Entry and xattr names are interned [`Sym`]s: map probes compare
+/// 4-byte ids, and unsharing a directory under copy-on-write copies ids
+/// instead of re-allocating every name. Map iteration order is id
+/// order, an implementation detail — every observable consumer
+/// ([`FsState::walk`], [`FsState::readdir`], fsck, digests) sorts by
+/// the resolved string at the boundary.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Inode {
     /// Regular file: raw content plus extended attributes.
@@ -27,14 +35,14 @@ pub enum Inode {
         /// File content.
         data: Vec<u8>,
         /// Extended attributes.
-        xattrs: BTreeMap<String, Vec<u8>>,
+        xattrs: BTreeMap<Sym, Vec<u8>>,
     },
     /// Directory: name → inode map plus extended attributes.
     Dir {
         /// Child entries.
-        entries: BTreeMap<String, Ino>,
+        entries: BTreeMap<Sym, Ino>,
         /// Extended attributes.
-        xattrs: BTreeMap<String, Vec<u8>>,
+        xattrs: BTreeMap<Sym, Vec<u8>>,
     },
 }
 
@@ -53,14 +61,14 @@ impl Inode {
         }
     }
 
-    /// Extended attributes of either inode kind.
-    pub fn xattrs(&self) -> &BTreeMap<String, Vec<u8>> {
+    /// Extended attributes of either inode kind (keys are interned).
+    pub fn xattrs(&self) -> &BTreeMap<Sym, Vec<u8>> {
         match self {
             Inode::File { xattrs, .. } | Inode::Dir { xattrs, .. } => xattrs,
         }
     }
 
-    fn xattrs_mut(&mut self) -> &mut BTreeMap<String, Vec<u8>> {
+    fn xattrs_mut(&mut self) -> &mut BTreeMap<Sym, Vec<u8>> {
         match self {
             Inode::File { xattrs, .. } | Inode::Dir { xattrs, .. } => xattrs,
         }
@@ -194,7 +202,7 @@ impl FsState {
             match &**node {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
-                        .get(comp)
+                        .get(&Sym::new(comp))
                         .ok_or_else(|| FsError::NotFound(path.to_string()))?;
                 }
                 Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
@@ -219,7 +227,7 @@ impl FsState {
             match &**node {
                 Inode::Dir { entries, .. } => {
                     cur = *entries
-                        .get(*comp)
+                        .get(&Sym::new(comp))
                         .ok_or_else(|| FsError::NotFound(path.to_string()))?;
                 }
                 Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
@@ -228,7 +236,7 @@ impl FsState {
         Ok((cur, last))
     }
 
-    fn dir_entries_mut(&mut self, ino: Ino) -> &mut BTreeMap<String, Ino> {
+    fn dir_entries_mut(&mut self, ino: Ino) -> &mut BTreeMap<Sym, Ino> {
         match self.inode_mut(ino) {
             Inode::Dir { entries, .. } => entries,
             Inode::File { .. } => unreachable!("invariant: parent resolution returns directories"),
@@ -270,16 +278,21 @@ impl FsState {
         let ino = self.resolve(path)?;
         self.inode_ref(ino)
             .xattrs()
-            .get(key)
+            .get(&Sym::new(key))
             .map(|v| v.as_slice())
             .ok_or_else(|| FsError::NoAttr(format!("{path}#{key}")))
     }
 
-    /// List directory entry names (sorted).
+    /// List directory entry names (sorted lexicographically, whatever
+    /// the interned-id order of the underlying map).
     pub fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
         let ino = self.resolve(path)?;
         match self.inode_ref(ino) {
-            Inode::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
+            Inode::Dir { entries, .. } => {
+                let mut names: Vec<&'static str> = entries.keys().map(|s| s.as_str()).collect();
+                names.sort_unstable();
+                Ok(names.into_iter().map(str::to_string).collect())
+            }
             Inode::File { .. } => Err(FsError::NotADirectory(path.to_string())),
         }
     }
@@ -296,7 +309,7 @@ impl FsState {
     fn walk_from(&self, ino: Ino, prefix: String, out: &mut Vec<String>) {
         if let Inode::Dir { entries, .. } = self.inode_ref(ino) {
             for (name, child) in entries {
-                let path = format!("{prefix}/{name}");
+                let path = format!("{prefix}/{}", name.as_str());
                 out.push(path.clone());
                 self.walk_from(*child, path, out);
             }
@@ -356,7 +369,7 @@ impl FsState {
     /// `creat`: create or truncate a regular file.
     pub fn creat(&mut self, path: &str) -> FsResult<()> {
         let (parent, name) = self.resolve_parent(path)?;
-        let name = name.to_string();
+        let name = Sym::new(name);
         let fresh_ino = self.next_ino;
         match self.dir_entries_mut(parent).entry(name) {
             Entry::Occupied(e) => {
@@ -382,7 +395,7 @@ impl FsState {
     /// `mkdir`.
     pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
         let (parent, name) = self.resolve_parent(path)?;
-        let name = name.to_string();
+        let name = Sym::new(name);
         if self.dir_entries_mut(parent).contains_key(&name) {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
@@ -454,9 +467,9 @@ impl FsState {
     pub fn rename(&mut self, src: &str, dst: &str) -> FsResult<()> {
         let src_ino = self.resolve(src)?;
         let (src_parent, src_name) = self.resolve_parent(src)?;
-        let src_name = src_name.to_string();
+        let src_name = Sym::new(src_name);
         let (dst_parent, dst_name) = self.resolve_parent(dst)?;
-        let dst_name = dst_name.to_string();
+        let dst_name = Sym::new(dst_name);
         if let Some(&existing) = self.dir_entries_mut(dst_parent).get(&dst_name) {
             if existing != src_ino {
                 if let Inode::Dir { entries, .. } = self.inode_ref(existing) {
@@ -483,7 +496,7 @@ impl FsState {
             return Err(FsError::IsADirectory(src.to_string()));
         }
         let (dst_parent, dst_name) = self.resolve_parent(dst)?;
-        let dst_name = dst_name.to_string();
+        let dst_name = Sym::new(dst_name);
         if self.dir_entries_mut(dst_parent).contains_key(&dst_name) {
             return Err(FsError::AlreadyExists(dst.to_string()));
         }
@@ -499,7 +512,7 @@ impl FsState {
             return Err(FsError::IsADirectory(path.to_string()));
         }
         let (parent, name) = self.resolve_parent(path)?;
-        let name = name.to_string();
+        let name = Sym::new(name);
         self.dir_entries_mut(parent).remove(&name);
         self.drop_if_unreferenced(ino);
         Ok(())
@@ -517,7 +530,7 @@ impl FsState {
             Inode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
         }
         let (parent, name) = self.resolve_parent(path)?;
-        let name = name.to_string();
+        let name = Sym::new(name);
         self.dir_entries_mut(parent).remove(&name);
         self.inodes_mut().remove(&ino);
         Ok(())
@@ -528,14 +541,14 @@ impl FsState {
         let ino = self.resolve(path)?;
         self.inode_mut(ino)
             .xattrs_mut()
-            .insert(key.to_string(), value.to_vec());
+            .insert(Sym::new(key), value.to_vec());
         Ok(())
     }
 
     /// `removexattr`.
     pub fn removexattr(&mut self, path: &str, key: &str) -> FsResult<()> {
         let ino = self.resolve(path)?;
-        let removed = self.inode_mut(ino).xattrs_mut().remove(key);
+        let removed = self.inode_mut(ino).xattrs_mut().remove(&Sym::new(key));
         if removed.is_none() {
             return Err(FsError::NoAttr(format!("{path}#{key}")));
         }
@@ -564,29 +577,85 @@ impl FsState {
     /// uses digests to dedup crash states cheaply before falling back to a
     /// structural comparison. Memoized: repeated digests of an unmutated
     /// state (and of its unmutated forks) are O(1).
+    ///
+    /// The digest *value* is identical in both sym modes: the fast path
+    /// collects the tree in one DFS while the `PC_NAIVE_SYMS=1` oracle
+    /// re-resolves every walked path (the historical algorithm), but
+    /// both hash the same resolved-string stream. Digest-derived
+    /// orderings (state dedup, cost-model fingerprints) therefore can't
+    /// diverge between modes.
     pub fn digest(&self) -> u64 {
-        *self.digest_memo.get_or_init(|| self.compute_digest())
+        *self.digest_memo.get_or_init(|| {
+            if naive_syms() {
+                self.compute_digest_naive()
+            } else {
+                self.compute_digest()
+            }
+        })
+    }
+
+    /// Hash xattrs exactly as the historical `BTreeMap<String, Vec<u8>>`
+    /// did: via a string-keyed view (`&str` hashes identically to
+    /// `String`, and `BTreeMap` orders by the resolved key either way).
+    fn hash_xattrs<H: Hasher>(xattrs: &BTreeMap<Sym, Vec<u8>>, h: &mut H) {
+        let view: BTreeMap<&str, &Vec<u8>> = xattrs.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        view.hash(h);
+    }
+
+    fn hash_node<H: Hasher>(&self, node: &Inode, h: &mut H) {
+        match node {
+            Inode::File { data, xattrs } => {
+                0u8.hash(h);
+                data.hash(h);
+                Self::hash_xattrs(xattrs, h);
+            }
+            Inode::Dir { xattrs, .. } => {
+                1u8.hash(h);
+                Self::hash_xattrs(xattrs, h);
+            }
+        }
     }
 
     fn compute_digest(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
         // Hash the *logical* tree (paths + contents), not raw inode
         // numbers: two states reached by different op interleavings must
-        // compare equal when their visible trees match.
+        // compare equal when their visible trees match. One DFS collects
+        // every (path, node) pair; sorting by path reproduces the walk()
+        // order (and thus the exact naive hash stream) without
+        // re-resolving each path from the root.
+        let mut nodes: Vec<(String, &Inode)> = Vec::new();
+        self.collect_nodes(ROOT_INO, "", &mut nodes);
+        nodes.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (path, node) in nodes {
+            path.hash(&mut h);
+            self.hash_node(node, &mut h);
+        }
+        h.finish()
+    }
+
+    fn collect_nodes<'s>(&'s self, ino: Ino, prefix: &str, out: &mut Vec<(String, &'s Inode)>) {
+        if let Inode::Dir { entries, .. } = self.inode_ref(ino) {
+            for (name, child) in entries {
+                let path = format!("{prefix}/{}", name.as_str());
+                let node = self.inode_ref(*child);
+                if node.is_dir() {
+                    self.collect_nodes(*child, &path, out);
+                }
+                out.push((path, node));
+            }
+        }
+    }
+
+    /// The historical string-keyed digest: walk the sorted path list,
+    /// re-resolve each path, hash. Kept verbatim as the `PC_NAIVE_SYMS`
+    /// oracle; must produce the same value as [`Self::compute_digest`].
+    fn compute_digest_naive(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
         for path in self.walk() {
             path.hash(&mut h);
             if let Ok(ino) = self.resolve(&path) {
-                match self.inode_ref(ino) {
-                    Inode::File { data, xattrs } => {
-                        0u8.hash(&mut h);
-                        data.hash(&mut h);
-                        xattrs.hash(&mut h);
-                    }
-                    Inode::Dir { xattrs, .. } => {
-                        1u8.hash(&mut h);
-                        xattrs.hash(&mut h);
-                    }
-                }
+                self.hash_node(self.inode_ref(ino), &mut h);
             }
         }
         h.finish()
@@ -595,7 +664,52 @@ impl FsState {
     /// Logical equality: same visible tree (paths, kinds, contents,
     /// xattrs), ignoring inode numbering. This is the comparison the
     /// golden-master check uses.
+    ///
+    /// Fast path: structural recursion comparing interned name sets —
+    /// O(1) per component, no path strings built. `PC_NAIVE_SYMS=1`
+    /// runs the historical walk-both-trees comparison instead; the two
+    /// agree because sym↔string is a bijection.
     pub fn same_tree(&self, other: &FsState) -> bool {
+        if naive_syms() {
+            return self.same_tree_naive(other);
+        }
+        self.same_subtree(ROOT_INO, other, ROOT_INO)
+    }
+
+    fn same_subtree(&self, a: Ino, other: &FsState, b: Ino) -> bool {
+        match (self.inode_ref(a), other.inode_ref(b)) {
+            (
+                Inode::File {
+                    data: da,
+                    xattrs: xa,
+                },
+                Inode::File {
+                    data: db,
+                    xattrs: xb,
+                },
+            ) => da == db && xa == xb,
+            (
+                Inode::Dir {
+                    entries: ea,
+                    xattrs: xa,
+                },
+                Inode::Dir {
+                    entries: eb,
+                    xattrs: xb,
+                },
+            ) => {
+                xa == xb
+                    && ea.len() == eb.len()
+                    && ea.iter().all(|(name, &ca)| {
+                        eb.get(name)
+                            .is_some_and(|&cb| self.same_subtree(ca, other, cb))
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    fn same_tree_naive(&self, other: &FsState) -> bool {
         let a = self.walk();
         if a != other.walk() {
             return false;
@@ -865,6 +979,25 @@ mod tests {
         assert_eq!(fork, deep);
         assert!(fork.same_tree(&deep));
         assert_eq!(fork.digest(), deep.digest());
+    }
+
+    #[test]
+    fn fast_digest_matches_naive_digest_value() {
+        // The interned DFS digest and the historical walk+resolve digest
+        // must agree on the exact value (not just equality classes), so
+        // digest-derived orderings can't diverge between sym modes.
+        let mut fs = FsState::new();
+        fs.mkdir_all("/a/b").unwrap();
+        fs.creat("/a/b/f").unwrap();
+        fs.pwrite("/a/b/f", 0, b"payload").unwrap();
+        fs.setxattr("/a/b/f", "user.stripe", b"128K").unwrap();
+        fs.setxattr("/a", "user.owner", b"mds0").unwrap();
+        fs.creat("/a!edge").unwrap(); // '!' < '/': DFS order != sorted-path order
+        fs.mkdir("/a!edge-dir").unwrap();
+        fs.link("/a/b/f", "/a/hard").unwrap();
+        assert_eq!(fs.compute_digest(), fs.compute_digest_naive());
+        assert!(fs.same_tree_naive(&fs.fork()));
+        assert!(fs.same_tree(&fs.fork()));
     }
 
     #[test]

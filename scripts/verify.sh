@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Ten gates:
+# Eleven gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -42,6 +42,14 @@
 #      documented.
 #  10. Flag drift — every `--flag` printed by `paracrash --help` must
 #      appear in README.md's flag table.
+#  11. Extreme scale — a 64-server cell must report byte-identically
+#      sequential vs parallel and under both hot-path oracles
+#      (`PC_NAIVE_SYMS=1` string-keyed maps, `PC_NAIVE_BATCH=1`
+#      per-state recovery); the zero-fault matrix must stay 15/15
+#      under both oracles combined; and `scale-check --live` must
+#      validate the committed BENCH_scale.json invariants (batched
+#      >= 2x oracle states/sec, sub-linear per-check growth 64->256
+#      servers) with a live run inside a generous 2x band.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -175,5 +183,39 @@ for flag in $(grep -oE -- '--[a-z-]+' "$tmp/help.txt" | sort -u); do
         exit 1
     fi
 done
+
+echo "== gate 11: extreme-scale smoke + committed scale benchmarks =="
+# 64-server BeeGFS cell (4x the paper's largest configuration): the
+# report must not depend on the thread count or on which hot-path
+# implementation produced it. BeeGFS/ARVR finds bugs, so the cells
+# exit 1 by design.
+cat > "$tmp/scale.conf" <<'EOF'
+meta_servers = 32
+storage_servers = 32
+EOF
+scale_cell="--fs BeeGFS --program ARVR --config $tmp/scale.conf"
+# shellcheck disable=SC2086
+target/release/paracrash $scale_cell > "$tmp/scale-par.txt" || [ $? -eq 1 ]
+# shellcheck disable=SC2086
+PC_THREADS=1 target/release/paracrash $scale_cell > "$tmp/scale-seq.txt" || [ $? -eq 1 ]
+diff "$tmp/scale-par.txt" "$tmp/scale-seq.txt"
+# shellcheck disable=SC2086
+PC_NAIVE_SYMS=1 target/release/paracrash $scale_cell > "$tmp/scale-syms.txt" || [ $? -eq 1 ]
+diff "$tmp/scale-par.txt" "$tmp/scale-syms.txt"
+# shellcheck disable=SC2086
+PC_NAIVE_BATCH=1 target/release/paracrash $scale_cell > "$tmp/scale-batch.txt" || [ $? -eq 1 ]
+diff "$tmp/scale-par.txt" "$tmp/scale-batch.txt"
+# The zero-fault matrix must still find exactly the fifteen Table 3
+# bugs with every fast path swapped for its oracle at once.
+PC_NAIVE_SYMS=1 PC_NAIVE_BATCH=1 target/release/table3 > "$tmp/table3-naive.txt"
+naive_reproduced=$(grep -c "REPRODUCED" "$tmp/table3-naive.txt")
+if [ "$naive_reproduced" -ne 15 ] || grep -q "missing" "$tmp/table3-naive.txt"; then
+    echo "FAIL: oracle-mode matrix does not reproduce the 15 Table 3 bugs"
+    grep -E "REPRODUCED|missing" "$tmp/table3-naive.txt"
+    exit 1
+fi
+# Committed scale numbers: static invariants plus a live re-measurement
+# of the batched engine within a generous 2x regression band.
+target/release/scale-check BENCH_scale.json --live
 
 echo "verify: OK"

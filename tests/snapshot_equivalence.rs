@@ -5,16 +5,35 @@
 //! forks shared prefixes, the oracle deep-clones and replays from
 //! scratch — never in *what* they materialize.
 //!
+//! The same contract holds one layer up: the subtree-batched verdict
+//! engine (one recovery per `SnapshotPlan::rep` representative) and the
+//! per-state oracle (`PC_NAIVE_BATCH=1`, one recovery per crash state)
+//! must produce byte-identical canonical reports on every PFS model,
+//! every journal mode, and under chaos faults.
+//!
 //! `scripts/verify.sh` runs this suite once with `PC_THREADS=1` and once
 //! parallel, so the guarantee is also checked against the thread pool.
 
 use paracrash::{CheckConfig, CheckOutcome, ExploreMode};
 use paracrash_suite::check_with;
+use paracrash_suite::simnet::FaultConfig;
 use pc_rt::proptest::{gen_vec, run, Config};
 use pc_rt::rng::Rng;
 use pc_rt::{prop_assert, prop_assert_eq};
-use simfs::{FsOp, FsState};
+use simfs::{FsOp, FsState, JournalMode};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use workloads::{FsKind, Params, Program};
+
+/// Serialize the tests that toggle process-global engine-selection env
+/// vars (`PC_NAIVE_SNAPSHOTS`, `PC_NAIVE_BATCH`): the harness runs
+/// `#[test]`s on threads, and a toggle leaking mid-run into a sibling
+/// test would compare runs from a mix of engines.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
 /// Everything an engine is allowed to influence, rendered for comparison.
 /// `wall_seconds` is deliberately excluded — it is the one field that
@@ -43,6 +62,7 @@ fn observable(outcome: &CheckOutcome) -> String {
 /// is process-global and the harness runs tests on threads.
 #[test]
 fn engines_report_identical_outcomes() {
+    let _env = env_lock();
     let cells: [(Program, FsKind, ExploreMode); 7] = [
         (Program::Arvr, FsKind::BeeGfs, ExploreMode::BruteForce),
         (Program::Arvr, FsKind::BeeGfs, ExploreMode::Optimized),
@@ -72,6 +92,69 @@ fn engines_report_identical_outcomes() {
             mode.as_str()
         );
         assert!(cow.stats.states_total > 0);
+    }
+}
+
+/// One cell under the batched verdict engine and under the per-state
+/// oracle; the canonical report (the full user-facing output) must be
+/// byte-identical, and so must every engine-reachable statistic.
+fn assert_batched_matches_oracle(program: Program, fs: FsKind, params: &Params, cfg: &CheckConfig) {
+    std::env::remove_var("PC_NAIVE_BATCH");
+    let batched = check_with(program, fs, params, cfg);
+    std::env::set_var("PC_NAIVE_BATCH", "1");
+    let oracle = check_with(program, fs, params, cfg);
+    std::env::remove_var("PC_NAIVE_BATCH");
+    assert_eq!(
+        batched.canonical_report(),
+        oracle.canonical_report(),
+        "batched vs per-state reports diverged for {} on {} (journal {:?})",
+        program.name(),
+        fs.name(),
+        params.journal,
+    );
+    assert_eq!(observable(&batched), observable(&oracle));
+    assert!(batched.stats.states_total > 0);
+}
+
+/// The batched engine shares one recovery across each snapshot-plan
+/// subtree; the oracle recovers every state individually. Identical
+/// reports across all five PFS models × all journal modes, and under a
+/// chaos fault plane (torn writes force the batched engine onto its
+/// per-state fallback for victim states while still batching the rest).
+#[test]
+fn batched_verdicts_match_per_state_oracle() {
+    let _env = env_lock();
+    let models = [
+        FsKind::BeeGfs,
+        FsKind::OrangeFs,
+        FsKind::Lustre,
+        FsKind::GlusterFs,
+        FsKind::Gpfs,
+    ];
+    let journals = [
+        JournalMode::Data,
+        JournalMode::Ordered,
+        JournalMode::Writeback,
+        JournalMode::None,
+    ];
+    let cfg = CheckConfig::paper_default();
+    for fs in models {
+        for journal in journals {
+            let params = Params::quick().with_journal(journal);
+            assert_batched_matches_oracle(Program::Arvr, fs, &params, &cfg);
+        }
+    }
+    // Chaos faults: delivery noise plus torn writes, driving both the
+    // shared-recovery path (victim-free states) and the per-state
+    // fallback (torn states) in one run.
+    let faults = FaultConfig::chaos(0x5CA1EB47);
+    let params = Params::quick().with_faults(faults.clone());
+    let chaos_cfg = CheckConfig {
+        faults,
+        ..CheckConfig::paper_default()
+    };
+    for fs in models {
+        assert_batched_matches_oracle(Program::Arvr, fs, &params, &chaos_cfg);
     }
 }
 
