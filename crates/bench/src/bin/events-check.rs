@@ -1,0 +1,145 @@
+//! Validates artifacts of the live-observability plane (verify gate
+//! 12): event streams written by `--events-out` / `PC_EVENTS`, and the
+//! HTML dashboards `paracrash report` renders from them.
+//!
+//! ```sh
+//! events-check events.jsonl            # stream re-parses + schema ok
+//! events-check --canonical-diff a.jsonl b.jsonl
+//!                                      # canonical projections equal
+//! events-check --html report.html      # dashboard lint
+//! ```
+//!
+//! `--canonical-diff` compares the deterministic projection
+//! (`paracrash::telemetry::canonical_event_lines`) of two streams —
+//! the check the determinism contract rests on: a sequential and a
+//! parallel run of the same campaign must project identically even
+//! though their timestamps, span events and interleavings differ.
+//!
+//! `--html` lints a rendered dashboard: it must embed at least one
+//! non-empty inline SVG and carry every documented `data-metric`
+//! element, so a "green" report cannot silently drop a panel.
+//!
+//! Exits 0 when valid, 1 with a diagnostic otherwise.
+
+use h5sim::json::Json;
+use paracrash::telemetry::{canonical_event_lines, parse_event_stream};
+
+fn fail(msg: &str) -> ! {
+    // eprintln, not pc_error!: the verdict must print regardless of
+    // PC_LOG.
+    eprintln!("events-check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+/// Every metric element the dashboard documents; a rendered report must
+/// carry all of them.
+const REQUIRED_METRICS: &[&str] = &[
+    "cells",
+    "findings",
+    "behaviors",
+    "saturation",
+    "throughput",
+    "coverage-curve",
+    "stage-breakdown",
+    "heatmap",
+];
+
+/// Lint a rendered dashboard: inline SVG present and non-empty, every
+/// documented metric element present, no scripts or external fetches.
+fn check_html(path: &str) -> ! {
+    let html = read(path);
+    let Some(svg_at) = html.find("<svg") else {
+        fail(&format!("{path}: no inline <svg> element"));
+    };
+    let svg_end = html[svg_at..]
+        .find("</svg>")
+        .unwrap_or_else(|| fail(&format!("{path}: unterminated <svg> element")));
+    let svg_body = &html[svg_at..svg_at + svg_end];
+    if !svg_body.contains("<polyline") && !svg_body.contains("<rect") {
+        fail(&format!("{path}: first <svg> draws no marks"));
+    }
+    for metric in REQUIRED_METRICS {
+        if !html.contains(&format!("data-metric=\"{metric}\"")) {
+            fail(&format!("{path}: missing data-metric=\"{metric}\""));
+        }
+    }
+    if html.contains("<script") {
+        fail(&format!("{path}: dashboard must not contain scripts"));
+    }
+    if html.contains("http://") || html.contains("https://") {
+        fail(&format!("{path}: dashboard must be self-contained"));
+    }
+    println!(
+        "events-check: OK — {path}: dashboard carries all {} metric panels, inline SVG",
+        REQUIRED_METRICS.len()
+    );
+    std::process::exit(0);
+}
+
+/// Compare the canonical projections of two streams line by line.
+fn check_canonical_diff(a_path: &str, b_path: &str) -> ! {
+    let a =
+        canonical_event_lines(&read(a_path)).unwrap_or_else(|e| fail(&format!("{a_path}: {e}")));
+    let b =
+        canonical_event_lines(&read(b_path)).unwrap_or_else(|e| fail(&format!("{b_path}: {e}")));
+    if a.len() != b.len() {
+        fail(&format!(
+            "canonical projections differ in length: {a_path} has {} lines, {b_path} has {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        if la != lb {
+            fail(&format!(
+                "canonical projections diverge at line {i}:\n  {a_path}: {la}\n  {b_path}: {lb}"
+            ));
+        }
+    }
+    println!(
+        "events-check: OK — canonical projections equal ({} lines): {a_path} == {b_path}",
+        a.len()
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--html") => match args.get(1) {
+            Some(path) => check_html(path),
+            None => fail("--html needs a file"),
+        },
+        Some("--canonical-diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => check_canonical_diff(a, b),
+            _ => fail("--canonical-diff needs two files"),
+        },
+        Some(path) => {
+            let text = read(path);
+            let events =
+                parse_event_stream(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            if events.is_empty() {
+                fail(&format!("{path}: stream carries no events"));
+            }
+            let cells = events
+                .iter()
+                .filter(|e| e.get("kind").and_then(Json::as_str) == Some("cell"))
+                .count();
+            println!(
+                "events-check: OK — {path}: {} events ({cells} cells), schema v{}, seq monotonic",
+                events.len(),
+                pc_rt::obs::stream::SCHEMA_VERSION,
+            );
+        }
+        None => {
+            eprintln!(
+                "usage: events-check <events.jsonl> | --canonical-diff <a> <b> | --html <report.html>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

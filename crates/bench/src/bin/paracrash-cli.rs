@@ -40,7 +40,25 @@
 //! Its stdout is exactly the corpus's canonical report (byte-stable
 //! across `PC_THREADS` — the CI crash gate diffs it); progress and
 //! timing go to stderr.
+//!
+//! Live observability: `--events-out FILE` (or `PC_EVENTS=FILE`)
+//! attaches the `pc_rt::obs::stream` flight recorder's JSON-lines sink
+//! — structured events (cells, findings, spans, counters, periodic
+//! campaign snapshots) stream to `FILE` while the run is still going,
+//! and a panic flushes the ring so a wedged run stays diagnosable.
+//! `PC_PROGRESS=1` adds a throughput/ETA meter on stderr. Afterwards,
+//! the `report` subcommand folds the artifacts into one self-contained
+//! HTML dashboard (inline SVG, no scripts, no network):
+//!
+//! ```sh
+//! paracrash fuzz --bound 2 --events-out events.jsonl
+//! paracrash report --events events.jsonl --out report.html
+//! paracrash report --events events.jsonl --telemetry trace.json \
+//!           --bench BENCH_fuzz.json --out report.html
+//! ```
 
+use h5sim::json::Json;
+use paracrash::dashboard::render_dashboard;
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
 use pc_bench::fuzz_driver::{fuzz_campaign, parse_modes, FuzzOptions};
@@ -75,10 +93,16 @@ fn usage() -> ! {
          \x20                [--config <file>] [--dump-trace <file>] [--paper]\n\
          \x20                [--faults <spec>|chaos] [--fail-fast]\n\
          \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\
-         \x20                [--explain-out <dir>]\n\
+         \x20                [--explain-out <dir>] [--events-out <file>]\n\
          \x20      paracrash fuzz [--bound <n>] [--seed <n>] [--sample <n>]\n\
          \x20                [--fs <list|all>] [--modes <data,ordered,writeback,none|all>]\n\
-         \x20                [--findings-out <dir>] [--paper]\n\n\
+         \x20                [--findings-out <dir>] [--events-out <file>] [--paper]\n\
+         \x20      paracrash report --events <file> [--telemetry <file>]\n\
+         \x20                [--bench <file>]... [--out <file>]\n\n\
+         `--events-out` streams flight-recorder events (cells, findings,\n\
+         spans, campaign snapshots) as JSON lines while the run is live;\n\
+         `report` renders them (plus optional telemetry JSON and BENCH_*.json\n\
+         suites) into one self-contained HTML dashboard.\n\n\
          `--faults` takes a comma-separated spec (seed=N,drop=R,dup=R,delay=R,\n\
          retries=N,partition=S[:H],torn=BOOL) or the word `chaos`; the\n\
          PC_CHAOS_SEED / PC_FAULT_RATE environment variables arm the same\n\
@@ -144,6 +168,11 @@ fn run_fuzz(args: &[String]) -> ! {
                     .unwrap_or_else(|| die(format_args!("bad --modes spec: {spec}")));
             }
             "--findings-out" => opts.findings_out = Some(value("--findings-out")),
+            "--events-out" => {
+                let path = value("--events-out");
+                pc_rt::obs::stream::set_sink(&path)
+                    .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
+            }
             "--paper" => paper = true,
             "--help" | "-h" => usage(),
             other => {
@@ -158,6 +187,7 @@ fn run_fuzz(args: &[String]) -> ! {
     let start = std::time::Instant::now();
     let report = fuzz_campaign(&opts).unwrap_or_else(|e| die(format_args!("{e}")));
     let secs = start.elapsed().as_secs_f64();
+    pc_rt::obs::stream::close();
     print!("{}", report.corpus.canonical_report());
     pc_rt::pc_info!(
         "fuzz: {} workloads, {} cells in {:.1}s ({:.1} workloads/s), {} findings, {} bundles",
@@ -171,10 +201,71 @@ fn run_fuzz(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `report` subcommand: fold a run's artifacts — the `--events-out`
+/// stream, an optional `--telemetry-out` snapshot, any `BENCH_*.json`
+/// suites — into one self-contained HTML dashboard.
+fn run_report(args: &[String]) -> ! {
+    let mut events_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut bench_paths: Vec<String> = Vec::new();
+    let mut out_path = "paracrash-report.html".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format_args!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--events" => events_path = Some(value("--events")),
+            "--telemetry" => telemetry_path = Some(value("--telemetry")),
+            "--bench" => bench_paths.push(value("--bench")),
+            "--out" => out_path = value("--out"),
+            "--help" | "-h" => usage(),
+            other => {
+                pc_rt::pc_error!("unknown report argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(events_path) = events_path else {
+        pc_rt::pc_error!("report needs --events <file>");
+        usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")))
+    };
+    let events_text = read(&events_path);
+    let telemetry = telemetry_path.as_deref().map(|p| {
+        Json::parse(&read(p)).unwrap_or_else(|e| die(format_args!("bad telemetry {p}: {e}")))
+    });
+    let benches: Vec<(String, Json)> = bench_paths
+        .iter()
+        .map(|p| {
+            let j = Json::parse(&read(p))
+                .unwrap_or_else(|e| die(format_args!("bad bench json {p}: {e}")));
+            (p.clone(), j)
+        })
+        .collect();
+    let html = render_dashboard(&events_text, telemetry.as_ref(), &benches)
+        .unwrap_or_else(|e| die(format_args!("bad event stream {events_path}: {e}")));
+    std::fs::write(&out_path, &html)
+        .unwrap_or_else(|e| die(format_args!("cannot write {out_path}: {e}")));
+    println!(
+        "dashboard written to {out_path} ({} bytes from {events_path})",
+        html.len()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         run_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        run_report(&args[1..]);
     }
     let mut fs_arg = None;
     let mut program_arg = None;
@@ -186,9 +277,11 @@ fn main() {
     let mut faults_arg: Option<String> = None;
     let mut fail_fast = false;
     let mut explain_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--events-out" => events_out = it.next().cloned(),
             "--fs" => fs_arg = it.next().cloned(),
             "--program" => program_arg = it.next().cloned(),
             "--config" => config_path = it.next().cloned(),
@@ -217,6 +310,10 @@ fn main() {
     };
     if telemetry_out.is_some() {
         pc_rt::obs::set_enabled(true);
+    }
+    if let Some(path) = &events_out {
+        pc_rt::obs::stream::set_sink(path)
+            .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
     }
     // Outermost span: everything from configuration to the last verdict
     // lands under it, so the emitted timeline covers the full run.
@@ -364,6 +461,7 @@ fn main() {
         println!("{total_bundles} explain bundle(s) written to {dir}/ (.md + .dot + .json each).");
     }
     drop(cli_span);
+    pc_rt::obs::stream::close();
     if let Some(path) = &telemetry_out {
         let snap = pc_rt::obs::snapshot();
         let json = if telemetry_format == "chrome" {

@@ -1,0 +1,95 @@
+//! Asserts the flight recorder's *disabled* overhead budget (verify
+//! gate 12): when no event sink is configured, every `stream::emit`
+//! site must reduce to one relaxed atomic load, so an instrumented
+//! check run may not be measurably slower than one with the stream
+//! compiled out.
+//!
+//! Same computed-bound scheme as `telemetry-overhead` (there is no
+//! uninstrumented build to diff against):
+//!
+//! 1. measure the per-call cost `c` of a disabled `emit` over ~1M
+//!    iterations;
+//! 2. measure the median wall time `t_off` of a reference check cell
+//!    with the stream off;
+//! 3. count the events `K` the same cell publishes with the stream
+//!    *on* (the `published()` sequence delta);
+//! 4. assert `K * c / t_off < 3%`.
+//!
+//! Exits 0 when the bound holds, 1 with a diagnostic when it does not.
+
+use paracrash::{check_stack, CheckConfig};
+use pc_rt::obs::stream;
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{FsKind, Params, Program};
+
+/// Maximum tolerated disabled-stream share of the cell runtime.
+const BUDGET: f64 = 0.03;
+
+fn main() {
+    // (1) per-call disabled cost. The stream was never enabled in this
+    // process, so `emit` must bail on the relaxed load before touching
+    // name/detail formatting or the ring.
+    const CALLS: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        stream::emit(
+            stream::EventKind::Counter,
+            black_box("overhead.ctr"),
+            black_box(i & 1),
+            "",
+        );
+    }
+    let per_op_ns = t.elapsed().as_nanos() as f64 / CALLS as f64;
+    assert_eq!(stream::published(), 0, "disabled emit must publish nothing");
+
+    // Shared workload: one full check cell, the unit the fuzz driver
+    // instruments.
+    let params = Params::quick();
+    let cfg = CheckConfig::paper_default();
+    let run_cell = || {
+        let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+        let factory = FsKind::BeeGfs.factory(&params);
+        black_box(check_stack(&stack, &factory, &cfg).bugs.len())
+    };
+
+    // (2) median off-time over several runs (first run also warms up).
+    let mut runs: Vec<u64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            run_cell();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let t_off_ns = runs[runs.len() / 2] as f64;
+
+    // (3) events the same cell publishes with the stream on. Ring only,
+    // no sink: we want the publication count, not file I/O.
+    stream::set_enabled(true);
+    pc_rt::obs::set_enabled(true);
+    let before = stream::published();
+    run_cell();
+    let ops = stream::published() - before;
+    stream::set_enabled(false);
+    pc_rt::obs::set_enabled(false);
+    assert!(ops > 0, "an enabled cell must publish events");
+
+    // (4) the bound.
+    let overhead = ops as f64 * per_op_ns / t_off_ns;
+    println!(
+        "stream-overhead: {ops} events x {per_op_ns:.2} ns disabled cost \
+         / {:.2} ms cell = {:.4}% (budget {:.0}%)",
+        t_off_ns / 1e6,
+        overhead * 100.0,
+        BUDGET * 100.0,
+    );
+    if overhead >= BUDGET {
+        pc_rt::pc_error!(
+            "disabled stream overhead {:.3}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,15 +9,31 @@
 //! Chrome trace-event files (`--telemetry-format chrome`) are checked
 //! for the Perfetto-required event fields and a nondecreasing `ts`
 //! order; plain files for the `spans`/`counters`/`ops` document keys.
+//! Both dialects must carry a `schema_version` this tool understands —
+//! an unknown or missing version fails, so downstream consumers can
+//! trust that a passing file matches the documented shape.
 //! Exits 0 when valid, 1 with a diagnostic otherwise.
 
 use h5sim::json::Json;
+use pc_rt::obs::stream::SCHEMA_VERSION;
 
 fn fail(msg: &str) -> ! {
     // Deliberately eprintln, not pc_error!: the verdict is this tool's
     // user-facing output and must print regardless of PC_LOG.
     eprintln!("telemetry-check: FAIL: {msg}");
     std::process::exit(1);
+}
+
+/// Both telemetry dialects must declare the schema version this tool
+/// was built against; anything else is rejected rather than guessed at.
+fn check_schema(doc: &Json) {
+    match doc.get("schema_version").and_then(Json::as_int) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => fail(&format!(
+            "unknown schema_version {v} (this tool understands {SCHEMA_VERSION})"
+        )),
+        None => fail("missing schema_version"),
+    }
 }
 
 /// Check one Chrome trace event object for the Perfetto-required fields
@@ -55,6 +71,7 @@ fn main() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not JSON: {e}")));
+    check_schema(&doc);
 
     if let Some(events) = doc.get("traceEvents") {
         // Chrome trace-event format.

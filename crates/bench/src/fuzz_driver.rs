@@ -16,12 +16,29 @@
 //! `findings_out`: Markdown report, Graphviz causal graph, JSON
 //! (minimal witness + violated edges + state diff), plus a `.repro`
 //! file with the exact workload label and re-run command line.
+//!
+//! Live observability rides along without touching the fold: each cell
+//! gets a fresh causal trace id, its wall time feeds the
+//! [`crate::progress::CampaignMeter`] (PC_PROGRESS lines, stall and
+//! throughput-regression warnings), and — when the event stream is on —
+//! the driver publishes a `cell` event per completed cell, a `finding`
+//! event per novel finding, and a `snapshot` event with the Good–Turing
+//! saturation estimate every [`SNAPSHOT_EVERY`] cells, flushing the
+//! flight recorder to the sink after every cell so a killed campaign
+//! leaves a readable stream behind.
 
 use paracrash::fuzz::FindingKey;
 use paracrash::{check_stack, CheckConfig, FuzzCorpus};
+use pc_rt::obs::stream;
+use pc_rt::pc_warn;
 use simfs::JournalMode;
 use workloads::generated::{self, GeneratedWorkload};
 use workloads::{FsKind, Params};
+
+use crate::progress::CampaignMeter;
+
+/// Emit a `snapshot` delta event (and flush) every this many cells.
+pub const SNAPSHOT_EVERY: usize = 32;
 
 /// Short journaling-mode label used in reports, bundle names and the
 /// CLI (`--modes data,ordered,…`).
@@ -122,19 +139,78 @@ pub fn fuzz_campaign(opts: &FuzzOptions) -> Result<FuzzReport, String> {
     };
     let mut corpus = FuzzCorpus::new();
     let mut bundles = 0usize;
+    let total_cells = workloads.len() * opts.file_systems.len() * opts.modes.len();
+    let mut meter = CampaignMeter::new(total_cells);
     for w in &workloads {
         for &fs in &opts.file_systems {
             for &mode in &opts.modes {
                 let params = opts.params.clone().with_journal(mode);
                 let label = w.label();
+                let cell_label = format!("{label}@{}/{}", fs.name(), mode_label(mode));
+                // Fresh causal trace id: every span this cell opens —
+                // replay, checker stages, simnet RPC on pool workers —
+                // tags it, giving Chrome-trace one flow per check.
+                pc_rt::obs::set_trace_id(pc_rt::obs::next_trace_id());
+                let started = std::time::Instant::now();
                 let stack = w.run(fs, &params);
                 let factory = fs.factory(&params);
                 let outcome = check_stack(&stack, &factory, &opts.cfg);
+                let wall_ns = started.elapsed().as_nanos() as u64;
                 let novel = corpus.record_cell(&label, fs.name(), mode_label(mode), &outcome);
+                if stream::enabled() {
+                    for (key_fs, journal, signature, layer) in &novel {
+                        stream::emit(
+                            stream::EventKind::Finding,
+                            &format!("{key_fs}/{journal}"),
+                            1,
+                            &format!("{signature} [{layer:?}] first={label}"),
+                        );
+                    }
+                    stream::emit(
+                        stream::EventKind::Cell,
+                        &cell_label,
+                        wall_ns,
+                        &format!(
+                            "behaviors={} findings={} buggy={}",
+                            corpus.behavior_count(),
+                            corpus.finding_count(),
+                            corpus.buggy_cells,
+                        ),
+                    );
+                }
+                pc_rt::obs::set_trace_id(0);
                 if !novel.is_empty() {
                     if let Some(dir) = &opts.findings_out {
                         bundles += triage(dir, w, fs, &params, &opts.cfg, &novel, opts)?;
                     }
+                }
+                for warning in meter.note_cell(&cell_label, wall_ns) {
+                    pc_warn!("{warning}");
+                }
+                meter.maybe_print(
+                    corpus.behavior_count(),
+                    corpus.finding_count(),
+                    corpus.saturation(),
+                );
+                if stream::enabled() {
+                    let done = meter.done();
+                    if done % SNAPSHOT_EVERY == 0 || done == total_cells {
+                        stream::emit(
+                            stream::EventKind::Snapshot,
+                            "campaign",
+                            done as u64,
+                            &format!(
+                                "cells={done}/{total_cells} behaviors={} findings={} \
+                                 saturation_pct={:.0}",
+                                corpus.behavior_count(),
+                                corpus.finding_count(),
+                                corpus.saturation() * 100.0,
+                            ),
+                        );
+                    }
+                    // Per-cell drain: a killed or wedged campaign still
+                    // leaves everything up to its last finished cell.
+                    stream::flush();
                 }
             }
         }

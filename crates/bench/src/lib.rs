@@ -22,6 +22,9 @@ use pc_rt::bench::Sample;
 use workloads::{FsKind, Params, Program};
 
 pub mod fuzz_driver;
+pub mod progress;
+
+pub use pc_rt::bench::fmt_ns;
 
 /// The wall-clock benchmark suites (ported from the criterion benches).
 pub mod benches {
@@ -64,11 +67,31 @@ pub fn run_cell(
     params: &Params,
     cfg: &CheckConfig,
 ) -> MatrixCell {
+    // One causal trace id per cell: every span this check opens — trace
+    // generation, checker stages, simnet RPC deliveries on pool worker
+    // threads — tags this id, so Chrome-trace export renders the cell
+    // as one cross-layer flow.
+    pc_rt::obs::set_trace_id(pc_rt::obs::next_trace_id());
+    let started = std::time::Instant::now();
     let trace_span = pc_rt::obs::span_cat("trace.generate", "trace");
     let stack = program.run(fs, params);
     drop(trace_span);
     let factory = fs.factory(params);
     let outcome = check_stack(&stack, &factory, cfg);
+    if pc_rt::obs::stream::enabled() {
+        pc_rt::obs::stream::emit(
+            pc_rt::obs::stream::EventKind::Cell,
+            &format!("{}@{}/{placement_name}", program.name(), fs.name()),
+            started.elapsed().as_nanos() as u64,
+            &format!(
+                "bugs={} states={}",
+                outcome.bugs.len(),
+                outcome.stats.states_checked
+            ),
+        );
+        pc_rt::obs::stream::flush();
+    }
+    pc_rt::obs::set_trace_id(0);
     MatrixCell {
         program,
         fs,

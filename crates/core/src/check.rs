@@ -626,6 +626,20 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
     pc_rt::obs::count("check.states_checked", stats.states_checked as u64);
     pc_rt::obs::count("check.states_pruned", stats.states_pruned as u64);
     drop(check_span);
+    if pc_rt::obs::stream::enabled() {
+        pc_rt::obs::stream::emit(
+            pc_rt::obs::stream::EventKind::Snapshot,
+            "check_stack",
+            stats.states_checked as u64,
+            &format!(
+                "pfs={} states={} inconsistent={} bugs={}",
+                stack.pfs.name(),
+                stats.states_checked,
+                raw_inconsistent,
+                bugs.len(),
+            ),
+        );
+    }
     if pc_rt::obs::summary_enabled() {
         eprintln!(
             "{}",

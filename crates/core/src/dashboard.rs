@@ -1,0 +1,624 @@
+//! `paracrash report` — a self-contained HTML dashboard for a campaign.
+//!
+//! The renderer is the read side of the observability plane: it takes
+//! the artifacts a run leaves behind — a `--events-out` JSON-lines
+//! stream, an optional `--telemetry-out` snapshot, any committed
+//! `BENCH_*.json` suites — parses them with the vendored
+//! `h5sim::json` reader (zero dependencies, like everything else in the
+//! workspace), and emits **one** HTML file with inline CSS and inline
+//! SVG: no scripts, no external fonts, no network. Open it from disk,
+//! attach it to a bug report, archive it next to the corpus.
+//!
+//! Sections, in reading order:
+//!
+//! * **stat tiles** — cells checked, distinct findings, behavior
+//!   classes, coverage saturation, throughput;
+//! * **coverage curve** — behavior classes and findings discovered as a
+//!   function of cells checked (the "is discovery still growing?"
+//!   picture both Pathfinder-style dedup and B3-style bounded fuzzing
+//!   steer by), with a plain-table fallback view;
+//! * **stage-time breakdown** — total wall time per telemetry span
+//!   name, from the snapshot when given, else re-aggregated from the
+//!   stream's `span_close` events;
+//! * **finding heatmap** — findings per file system × journal mode, a
+//!   table shaded on a single-hue sequential ramp;
+//! * **bench suites** — median-latency rows for any `BENCH_*.json`
+//!   passed in.
+//!
+//! Every metric element carries a `data-metric` attribute; verify
+//! gate 12 lints the rendered file for the full set plus a non-empty
+//! SVG, so a dashboard that silently lost a section fails CI.
+
+use h5sim::json::Json;
+
+use crate::telemetry::parse_event_stream;
+
+/// One parsed `cell` event: the campaign's per-cell fold state.
+struct CellPoint {
+    behaviors: u64,
+    findings: u64,
+    wall_ns: u64,
+}
+
+/// Pull `key=value` out of an event detail string.
+fn detail_field(detail: &str, key: &str) -> Option<u64> {
+    detail.split_whitespace().find_map(|tok| {
+        tok.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Escape text for an HTML/SVG text node or attribute value.
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Render the dashboard. `events_text` is the raw `--events-out`
+/// JSON-lines stream (validated here; a bad stream is an error, not an
+/// empty chart). `telemetry` is a parsed `--telemetry-out` plain-JSON
+/// snapshot, if one exists. `benches` are `(file name, parsed JSON)`
+/// pairs for any `BENCH_*.json` suites to tabulate.
+pub fn render_dashboard(
+    events_text: &str,
+    telemetry: Option<&Json>,
+    benches: &[(String, Json)],
+) -> Result<String, String> {
+    let events = parse_event_stream(events_text)?;
+
+    // -- Aggregate the stream -------------------------------------------------
+    let mut cells: Vec<(String, CellPoint)> = Vec::new();
+    let mut heat: Vec<(String, String, u64)> = Vec::new(); // fs, journal, findings
+    let mut first_ts = u64::MAX;
+    let mut last_ts = 0u64;
+    let mut span_totals: Vec<(String, u64, u64)> = Vec::new(); // name, total, calls
+    for e in &events {
+        let kind = e.get("kind").and_then(Json::as_str).unwrap_or("");
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("");
+        let detail = e.get("detail").and_then(Json::as_str).unwrap_or("");
+        let value = e.get("value").and_then(Json::as_int).unwrap_or(0);
+        let ts = e.get("ts_ns").and_then(Json::as_int).unwrap_or(0);
+        first_ts = first_ts.min(ts);
+        last_ts = last_ts.max(ts);
+        match kind {
+            "cell" => cells.push((
+                name.to_string(),
+                CellPoint {
+                    behaviors: detail_field(detail, "behaviors").unwrap_or(0),
+                    findings: detail_field(detail, "findings").unwrap_or(0),
+                    wall_ns: value,
+                },
+            )),
+            "finding" => {
+                let (fs, journal) = name.split_once('/').unwrap_or((name, "?"));
+                match heat.iter_mut().find(|(f, j, _)| f == fs && j == journal) {
+                    Some((_, _, n)) => *n += 1,
+                    None => heat.push((fs.to_string(), journal.to_string(), 1)),
+                }
+            }
+            "span_close" => match span_totals.iter_mut().find(|(n, ..)| n == name) {
+                Some((_, total, calls)) => {
+                    *total += value;
+                    *calls += 1;
+                }
+                None => span_totals.push((name.to_string(), value, 1)),
+            },
+            _ => {}
+        }
+    }
+
+    // Prefer the exit snapshot for stage times: it sees every span, not
+    // just the window the bounded ring kept.
+    if let Some(spans) = telemetry
+        .and_then(|t| t.get("spans"))
+        .and_then(Json::as_arr)
+    {
+        span_totals.clear();
+        for s in spans {
+            let name = s.get("name").and_then(Json::as_str).unwrap_or("");
+            let dur = s.get("dur_ns").and_then(Json::as_int).unwrap_or(0);
+            match span_totals.iter_mut().find(|(n, ..)| n == name) {
+                Some((_, total, calls)) => {
+                    *total += dur;
+                    *calls += 1;
+                }
+                None => span_totals.push((name.to_string(), dur, 1)),
+            }
+        }
+    }
+    span_totals.sort_by_key(|&(_, total, _)| std::cmp::Reverse(total));
+    span_totals.truncate(12);
+
+    let n_cells = cells.len();
+    let behaviors = cells.last().map_or(0, |(_, c)| c.behaviors);
+    let findings = cells.last().map_or(0, |(_, c)| c.findings);
+    // Saturation from the last snapshot event when present (the driver
+    // computes Good–Turing over the whole corpus), else from the curve.
+    let saturation = events
+        .iter()
+        .rev()
+        .find(|e| e.get("kind").and_then(Json::as_str) == Some("snapshot"))
+        .and_then(|e| {
+            detail_field(
+                e.get("detail").and_then(Json::as_str).unwrap_or(""),
+                "saturation_pct",
+            )
+        });
+    let wall_ns = last_ts.saturating_sub(if first_ts == u64::MAX { 0 } else { first_ts });
+    let throughput = if wall_ns > 0 && n_cells > 0 {
+        n_cells as f64 / (wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+
+    // -- Assemble the page ----------------------------------------------------
+    let mut b = String::with_capacity(32 * 1024);
+    b.push_str(HEAD);
+
+    b.push_str("<main class=\"viz-root\">\n<h1>ParaCrash campaign report</h1>\n");
+    b.push_str(&format!(
+        "<p class=\"sub\">{} events · wall {}</p>\n",
+        events.len(),
+        fmt_ns(wall_ns as f64),
+    ));
+
+    // Stat tiles.
+    b.push_str("<section class=\"tiles\">\n");
+    let sat_text = saturation.map_or("–".to_string(), |s| format!("{s}%"));
+    for (metric, label, value) in [
+        ("cells", "cells checked", n_cells.to_string()),
+        ("findings", "distinct findings", findings.to_string()),
+        ("behaviors", "behavior classes", behaviors.to_string()),
+        ("saturation", "coverage saturation", sat_text),
+        ("throughput", "cells / s", format!("{throughput:.1}")),
+    ] {
+        b.push_str(&format!(
+            "<div class=\"tile\" data-metric=\"{metric}\"><div class=\"tile-value\">{value}</div><div class=\"tile-label\">{label}</div></div>\n",
+        ));
+    }
+    b.push_str("</section>\n");
+
+    render_coverage_curve(&mut b, &cells);
+    render_stage_breakdown(&mut b, &span_totals);
+    render_heatmap(&mut b, &heat);
+    render_benches(&mut b, benches);
+
+    b.push_str("</main>\n</body>\n</html>\n");
+    Ok(b)
+}
+
+/// Coverage curve: behavior classes (series 1) and findings (series 2)
+/// against cells checked, plus the table fallback view.
+fn render_coverage_curve(b: &mut String, cells: &[(String, CellPoint)]) {
+    b.push_str("<section data-metric=\"coverage-curve\">\n<h2>Coverage curve</h2>\n");
+    if cells.is_empty() {
+        b.push_str("<p class=\"sub\">no cell events in the stream</p>\n</section>\n");
+        return;
+    }
+    const W: f64 = 640.0;
+    const H: f64 = 220.0;
+    const ML: f64 = 44.0; // left margin for y labels
+    const MB: f64 = 28.0;
+    const MT: f64 = 10.0;
+    let n = cells.len();
+    let ymax = cells
+        .iter()
+        .map(|(_, c)| c.behaviors.max(c.findings))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let x = |i: usize| ML + (W - ML - 8.0) * (i as f64 / (n.max(2) - 1) as f64);
+    let y = |v: u64| H - MB - (H - MB - MT) * (v as f64 / ymax as f64);
+    let poly = |f: &dyn Fn(&CellPoint) -> u64| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, (_, c))| format!("{:.1},{:.1}", x(i), y(f(c))))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    b.push_str(&format!(
+        "<svg viewBox=\"0 0 {W} {H}\" role=\"img\" aria-label=\"behavior classes and findings vs cells checked\">\n"
+    ));
+    // Baseline + y gridline at max, muted.
+    b.push_str(&format!(
+        "<line class=\"axis\" x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\"/>\n",
+        H - MB,
+        W - 8.0
+    ));
+    b.push_str(&format!(
+        "<line class=\"grid\" x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\"/>\n",
+        y(ymax),
+        W - 8.0
+    ));
+    b.push_str(&format!(
+        "<text class=\"lbl\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+        ML - 6.0,
+        y(ymax) + 4.0,
+        ymax
+    ));
+    b.push_str(&format!(
+        "<text class=\"lbl\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">0</text>\n",
+        ML - 6.0,
+        H - MB + 4.0
+    ));
+    b.push_str(&format!(
+        "<text class=\"lbl\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">cells → {n}</text>\n",
+        (ML + W) / 2.0,
+        H - 8.0
+    ));
+    b.push_str(&format!(
+        "<polyline class=\"s1\" points=\"{}\"><title>behavior classes</title></polyline>\n",
+        poly(&|c| c.behaviors)
+    ));
+    b.push_str(&format!(
+        "<polyline class=\"s2\" points=\"{}\"><title>findings</title></polyline>\n",
+        poly(&|c| c.findings)
+    ));
+    // Direct labels at the line ends (identity never rides color alone).
+    let last = &cells[n - 1].1;
+    b.push_str(&format!(
+        "<text class=\"lbl s1t\" x=\"{:.1}\" y=\"{:.1}\">behaviors {}</text>\n",
+        x(n - 1) - 4.0,
+        y(last.behaviors) - 6.0,
+        last.behaviors
+    ));
+    b.push_str(&format!(
+        "<text class=\"lbl s2t\" x=\"{:.1}\" y=\"{:.1}\">findings {}</text>\n",
+        x(n - 1) - 4.0,
+        y(last.findings) + 14.0,
+        last.findings
+    ));
+    b.push_str("</svg>\n");
+    b.push_str(
+        "<p class=\"legend\"><span class=\"swatch sw1\"></span>behavior classes\
+         <span class=\"swatch sw2\"></span>findings</p>\n",
+    );
+
+    // Table fallback: every cell row, capped sensibly for huge runs.
+    b.push_str(
+        "<details><summary>table view</summary><table data-metric=\"coverage-table\">\
+        <tr><th>#</th><th>cell</th><th>behaviors</th><th>findings</th><th>wall</th></tr>\n",
+    );
+    let step = (n / 200).max(1);
+    for (i, (name, c)) in cells.iter().enumerate() {
+        if i % step != 0 && i != n - 1 {
+            continue;
+        }
+        b.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            i + 1,
+            html_escape(name),
+            c.behaviors,
+            c.findings,
+            fmt_ns(c.wall_ns as f64),
+        ));
+    }
+    b.push_str("</table></details>\n</section>\n");
+}
+
+/// Stage-time breakdown: horizontal bars, one per span name.
+fn render_stage_breakdown(b: &mut String, span_totals: &[(String, u64, u64)]) {
+    b.push_str("<section data-metric=\"stage-breakdown\">\n<h2>Stage time</h2>\n");
+    if span_totals.is_empty() {
+        b.push_str("<p class=\"sub\">no span data (run with PC_TRACE=1 or --telemetry-out)</p>\n</section>\n");
+        return;
+    }
+    const W: f64 = 640.0;
+    const ROW: f64 = 24.0;
+    const ML: f64 = 190.0;
+    let h = ROW * span_totals.len() as f64 + 8.0;
+    let max = span_totals
+        .iter()
+        .map(|&(_, t, _)| t)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    b.push_str(&format!(
+        "<svg viewBox=\"0 0 {W} {h:.0}\" role=\"img\" aria-label=\"total wall time per stage\">\n"
+    ));
+    for (i, (name, total, calls)) in span_totals.iter().enumerate() {
+        let yy = 4.0 + ROW * i as f64;
+        let ww = (W - ML - 110.0) * (*total as f64 / max as f64);
+        b.push_str(&format!(
+            "<text class=\"lbl\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            ML - 8.0,
+            yy + 15.0,
+            html_escape(name)
+        ));
+        b.push_str(&format!(
+            "<rect class=\"bar\" x=\"{ML}\" y=\"{yy:.1}\" width=\"{:.1}\" height=\"16\" rx=\"4\"><title>{} over {} calls</title></rect>\n",
+            ww.max(1.5),
+            fmt_ns(*total as f64),
+            calls
+        ));
+        b.push_str(&format!(
+            "<text class=\"lbl\" x=\"{:.1}\" y=\"{:.1}\">{} · {} calls</text>\n",
+            ML + ww.max(1.5) + 8.0,
+            yy + 15.0,
+            fmt_ns(*total as f64),
+            calls
+        ));
+    }
+    b.push_str("</svg>\n</section>\n");
+}
+
+/// Finding heatmap: file system × journal mode, shaded table.
+fn render_heatmap(b: &mut String, heat: &[(String, String, u64)]) {
+    b.push_str(
+        "<section data-metric=\"heatmap\">\n<h2>Findings by file system × journal mode</h2>\n",
+    );
+    if heat.is_empty() {
+        b.push_str("<p class=\"sub\">no findings in this run</p>\n</section>\n");
+        return;
+    }
+    let mut fss: Vec<&str> = heat.iter().map(|(f, ..)| f.as_str()).collect();
+    fss.sort();
+    fss.dedup();
+    let mut modes: Vec<&str> = heat.iter().map(|(_, j, _)| j.as_str()).collect();
+    modes.sort();
+    modes.dedup();
+    let max = heat.iter().map(|&(.., n)| n).max().unwrap_or(1).max(1);
+    b.push_str("<table class=\"heat\"><tr><th></th>");
+    for m in &modes {
+        b.push_str(&format!("<th>{}</th>", html_escape(m)));
+    }
+    b.push_str("</tr>\n");
+    for fs in &fss {
+        b.push_str(&format!("<tr><th>{}</th>", html_escape(fs)));
+        for m in &modes {
+            let n = heat
+                .iter()
+                .find(|(f, j, _)| f == fs && j == m)
+                .map_or(0, |&(.., n)| n);
+            let level = if n == 0 {
+                0
+            } else {
+                (5 * n).div_ceil(max).clamp(1, 5)
+            };
+            b.push_str(&format!(
+                "<td class=\"heat-{level}\" title=\"{fs} × {m}: {n} findings\">{n}</td>",
+                fs = html_escape(fs),
+                m = html_escape(m),
+            ));
+        }
+        b.push_str("</tr>\n");
+    }
+    b.push_str("</table>\n</section>\n");
+}
+
+/// Bench suites: median latency per bench, one table per file.
+fn render_benches(b: &mut String, benches: &[(String, Json)]) {
+    if benches.is_empty() {
+        return;
+    }
+    b.push_str("<section data-metric=\"benches\">\n<h2>Bench suites</h2>\n");
+    for (file, j) in benches {
+        b.push_str(&format!("<h3>{}</h3>\n", html_escape(file)));
+        let Some(rows) = j.as_arr() else {
+            b.push_str("<p class=\"sub\">not a bench array</p>\n");
+            continue;
+        };
+        b.push_str("<table><tr><th>bench</th><th>iters</th><th>median</th><th>p95</th></tr>\n");
+        for r in rows {
+            b.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                html_escape(r.get("name").and_then(Json::as_str).unwrap_or("?")),
+                r.get("iters").and_then(Json::as_int).unwrap_or(0),
+                fmt_ns(r.get("median_ns").and_then(Json::as_int).unwrap_or(0) as f64),
+                fmt_ns(r.get("p95_ns").and_then(Json::as_int).unwrap_or(0) as f64),
+            ));
+        }
+        b.push_str("</table>\n");
+    }
+    b.push_str("</section>\n");
+}
+
+/// Document head: inline CSS only. Light/dark palettes are the
+/// validated reference palette (series 1 blue, series 2 orange, a
+/// single-hue sequential blue ramp for the heatmap); dark mode is its
+/// own stepped set, not an automatic flip, and follows the OS setting.
+const HEAD: &str = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>ParaCrash campaign report</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --heat-1: #cde2fb; --heat-2: #9ec5f4; --heat-3: #5598e7;
+  --heat-4: #256abf; --heat-5: #0d366b;
+  --heat-hi-ink: #ffffff;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --heat-1: #184f95; --heat-2: #256abf; --heat-3: #3987e5;
+    --heat-4: #6da7ec; --heat-5: #b7d3f6;
+    --heat-hi-ink: #0b0b0b;
+  }
+}
+body { margin: 0; background: var(--page); }
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--page);
+  max-width: 720px; margin: 0 auto; padding: 24px 16px 48px;
+}
+h1 { font-size: 22px; margin: 0 0 2px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+h3 { font-size: 13px; margin: 14px 0 6px; color: var(--text-secondary); }
+.sub { color: var(--text-secondary); font-size: 12px; margin: 0 0 12px; }
+section { background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px 14px; margin: 12px 0; }
+.tiles { display: flex; flex-wrap: wrap; gap: 8px; background: none;
+  border: none; padding: 0; }
+.tile { background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 10px 14px; flex: 1 1 110px; }
+.tile-value { font-size: 24px; }
+.tile-label { font-size: 11px; color: var(--text-secondary); }
+svg { width: 100%; height: auto; display: block; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .lbl { fill: var(--muted); font-size: 11px;
+  font-family: system-ui, sans-serif; }
+svg .s1 { fill: none; stroke: var(--series-1); stroke-width: 2; }
+svg .s2 { fill: none; stroke: var(--series-2); stroke-width: 2; }
+svg .s1t { fill: var(--text-secondary); text-anchor: end; }
+svg .s2t { fill: var(--text-secondary); text-anchor: end; }
+svg .bar { fill: var(--series-1); }
+.legend { font-size: 12px; color: var(--text-secondary); margin: 6px 0 0; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin: 0 6px 0 14px; }
+.swatch:first-child { margin-left: 0; }
+.sw1 { background: var(--series-1); }
+.sw2 { background: var(--series-2); }
+table { border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid var(--grid); padding: 4px 8px; text-align: right; }
+th { color: var(--text-secondary); font-weight: 500; }
+td:first-child, th:first-child { text-align: left; }
+details { margin-top: 8px; font-size: 12px; }
+summary { color: var(--text-secondary); cursor: pointer; }
+.heat td { text-align: center; min-width: 48px; }
+.heat-0 { color: var(--muted); }
+.heat-1 { background: var(--heat-1); }
+.heat-2 { background: var(--heat-2); }
+.heat-3 { background: var(--heat-3); }
+.heat-4 { background: var(--heat-4); color: var(--heat-hi-ink); }
+.heat-5 { background: var(--heat-5); color: var(--heat-hi-ink); }
+</style>
+</head>
+<body>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> String {
+        let mut s =
+            String::from("{\"schema_version\":1,\"stream\":\"paracrash-events\",\"cap\":8192}\n");
+        for i in 0..6u64 {
+            s.push_str(&format!(
+                "{{\"seq\":{},\"ts_ns\":{},\"kind\":\"cell\",\"name\":\"wl{}@OrangeFS/ordered\",\"value\":1500,\"detail\":\"behaviors={} findings={} buggy=0\",\"trace_id\":{}}}\n",
+                i * 3,
+                1000 + i * 500,
+                i,
+                i + 1,
+                i / 2,
+                i + 1,
+            ));
+        }
+        s.push_str(
+            "{\"seq\":100,\"ts_ns\":9000,\"kind\":\"finding\",\"name\":\"BeeGFS/writeback\",\"value\":1,\"detail\":\"sig [Pfs]\",\"trace_id\":7}\n",
+        );
+        s.push_str(
+            "{\"seq\":101,\"ts_ns\":9100,\"kind\":\"span_close\",\"name\":\"check.verdicts\",\"value\":120000,\"detail\":\"check\",\"trace_id\":7}\n",
+        );
+        s.push_str(
+            "{\"seq\":102,\"ts_ns\":9200,\"kind\":\"snapshot\",\"name\":\"campaign\",\"value\":6,\"detail\":\"cells=6 saturation_pct=66\",\"trace_id\":0}\n",
+        );
+        s
+    }
+
+    #[test]
+    fn dashboard_renders_all_sections() {
+        let html = render_dashboard(&stream(), None, &[]).unwrap();
+        for metric in [
+            "cells",
+            "findings",
+            "behaviors",
+            "saturation",
+            "throughput",
+            "coverage-curve",
+            "stage-breakdown",
+            "heatmap",
+        ] {
+            assert!(
+                html.contains(&format!("data-metric=\"{metric}\"")),
+                "missing {metric}"
+            );
+        }
+        assert!(html.contains("<svg"));
+        assert!(html.contains("polyline"));
+        assert!(html.contains("66%"));
+        assert!(html.contains("BeeGFS"));
+        // Self-contained: no scripts, no external references.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn dashboard_rejects_bad_stream_and_escapes_names() {
+        assert!(render_dashboard("{\"schema_version\":9}\n", None, &[]).is_err());
+        let s = stream().replace("wl0@", "a<b>&\\\"c@");
+        let html = render_dashboard(&s, None, &[]).unwrap();
+        assert!(html.contains("a&lt;b&gt;&amp;&quot;c@"));
+        assert!(!html.contains("a<b>&\"c@"));
+    }
+
+    #[test]
+    fn dashboard_tabulates_benches_and_prefers_snapshot_spans() {
+        let bench = Json::parse(
+            "[{\"name\":\"fuzz/check/cell\",\"iters\":10,\"min_ns\":1,\"mean_ns\":3,\"median_ns\":2,\"p95_ns\":4}]",
+        )
+        .unwrap();
+        let telemetry = Json::parse(
+            "{\"schema_version\":1,\"spans\":[{\"name\":\"check_stack\",\"cat\":\"check\",\"tid\":1,\"depth\":0,\"start_ns\":0,\"dur_ns\":5000,\"trace_id\":1}]}",
+        )
+        .unwrap();
+        let html = render_dashboard(
+            &stream(),
+            Some(&telemetry),
+            &[("BENCH_fuzz.json".into(), bench)],
+        )
+        .unwrap();
+        assert!(html.contains("data-metric=\"benches\""));
+        assert!(html.contains("fuzz/check/cell"));
+        // Snapshot spans replace the stream-derived stage times.
+        assert!(html.contains("check_stack"));
+        assert!(!html.contains("check.verdicts"));
+    }
+}

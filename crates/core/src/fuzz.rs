@@ -184,6 +184,28 @@ impl FuzzCorpus {
         self.behaviors.len()
     }
 
+    /// Number of behavior classes seen in exactly one cell so far.
+    pub fn singleton_behaviors(&self) -> usize {
+        self.behaviors
+            .values()
+            .filter(|&&(_, pop)| pop == 1)
+            .count()
+    }
+
+    /// Good–Turing coverage-saturation estimate in `[0, 1]`: the
+    /// probability that the *next* cell lands in an already-seen
+    /// behavior class, estimated as `1 − singletons / cells` (Turing's
+    /// missing-mass estimator — the fraction of cells that discovered a
+    /// class never seen again bounds the undiscovered mass). 0.0 while
+    /// the corpus is empty; approaches 1.0 as discovery dries up, which
+    /// is the campaign driver's "coverage has saturated" signal.
+    pub fn saturation(&self) -> f64 {
+        if self.cells == 0 {
+            return 0.0;
+        }
+        1.0 - self.singleton_behaviors() as f64 / self.cells as f64
+    }
+
     /// Iterate the deduplicated findings in canonical (key) order.
     pub fn findings(&self) -> impl Iterator<Item = &FuzzFinding> {
         self.findings.values()

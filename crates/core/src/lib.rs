@@ -37,6 +37,7 @@
 pub mod check;
 pub mod classify;
 pub mod config;
+pub mod dashboard;
 pub mod emulate;
 pub mod explain;
 pub mod explore;

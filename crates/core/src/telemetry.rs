@@ -12,9 +12,18 @@
 //!
 //! Both serialize with the vendored writer and round-trip through
 //! [`Json::parse`] — the `telemetry-check` gate in `scripts/verify.sh`
-//! relies on that.
+//! relies on that. Both carry a top-level `schema_version`
+//! ([`pc_rt::obs::stream::SCHEMA_VERSION`], shared with the events
+//! stream); `telemetry-check` rejects any other version instead of
+//! silently re-parsing an incompatible dump.
+//!
+//! [`canonical_event_lines`] is the third consumer-side piece: it
+//! projects a `--events-out` JSON-lines stream onto its deterministic
+//! fields (kind/name/detail of `finding` and `cell` events, sorted) so
+//! sequential and parallel campaign runs can be diffed byte-for-byte.
 
 use h5sim::json::Json;
+use pc_rt::obs::stream::SCHEMA_VERSION;
 use pc_rt::obs::TelemetrySnapshot;
 
 /// Serialize a snapshot as plain structured JSON (`BENCH_*.json` style).
@@ -30,10 +39,12 @@ pub fn telemetry_json(snap: &TelemetrySnapshot) -> Json {
                 ("depth".into(), Json::Int(s.depth.into())),
                 ("start_ns".into(), Json::Int(s.start_ns)),
                 ("dur_ns".into(), Json::Int(s.dur_ns)),
+                ("trace_id".into(), Json::Int(s.trace_id)),
             ])
         })
         .collect();
     Json::Obj(vec![
+        ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
         ("spans".into(), Json::Arr(spans)),
         ("counters".into(), named_ints(&snap.counters)),
         ("gauges".into(), named_ints(&snap.gauges)),
@@ -48,6 +59,12 @@ pub fn telemetry_json(snap: &TelemetrySnapshot) -> Json {
 /// nondecreasing (asserted by `tests/telemetry.rs`). Timestamps are
 /// microseconds, as the format requires; sub-microsecond precision is
 /// kept in `args.start_ns` / `args.dur_ns`.
+///
+/// The `pid` field carries the span's causal trace id plus one (0 is
+/// not a valid pid; untraced spans land in pid 1), so Perfetto groups
+/// each workload cell's cross-layer flow — workload replay, checker
+/// stages, `simnet` RPC deliveries on pool workers — as one process
+/// lane per check.
 pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
     let events = snap
         .spans
@@ -60,7 +77,7 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
                     Json::Str(if s.cat.is_empty() { "pc" } else { s.cat }.into()),
                 ),
                 ("ph".into(), Json::Str("X".into())),
-                ("pid".into(), Json::Int(1)),
+                ("pid".into(), Json::Int(s.trace_id + 1)),
                 ("tid".into(), Json::Int(s.tid.into())),
                 ("ts".into(), Json::Int(s.start_ns / 1_000)),
                 ("dur".into(), Json::Int(s.dur_ns.div_ceil(1_000))),
@@ -70,12 +87,14 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
                         ("depth".into(), Json::Int(s.depth.into())),
                         ("start_ns".into(), Json::Int(s.start_ns)),
                         ("dur_ns".into(), Json::Int(s.dur_ns)),
+                        ("trace_id".into(), Json::Int(s.trace_id)),
                     ]),
                 ),
             ])
         })
         .collect();
     Json::Obj(vec![
+        ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
         ("traceEvents".into(), Json::Arr(events)),
         ("displayTimeUnit".into(), Json::Str("ms".into())),
         (
@@ -88,6 +107,96 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
             ]),
         ),
     ])
+}
+
+/// Parse and validate a `--events-out` JSON-lines stream.
+///
+/// The first line must be the stream header carrying a known
+/// `schema_version`; event lines must have the full field set with a
+/// strictly increasing `seq` and a known `kind`; meta lines (the
+/// trailer, the panic marker) are allowed after the header and are not
+/// returned. On success, returns the event objects in stream order.
+pub fn parse_event_stream(text: &str) -> Result<Vec<Json>, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty event stream")?;
+    let header = Json::parse(header).map_err(|e| format!("header: {e}"))?;
+    match header.get("schema_version").and_then(Json::as_int) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => {
+            return Err(format!(
+                "unknown schema_version {v} (expected {SCHEMA_VERSION})"
+            ))
+        }
+        None => return Err("header missing schema_version".into()),
+    }
+    let mut events = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        if obj.get("schema_version").is_some() && obj.get("kind").is_none() {
+            // Trailer / panic-marker meta line.
+            continue;
+        }
+        let seq = obj
+            .get("seq")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("line {}: missing seq", i + 2))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("line {}: seq {seq} not above {prev}", i + 2));
+            }
+        }
+        last_seq = Some(seq);
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing kind", i + 2))?;
+        if pc_rt::obs::stream::EventKind::parse(kind).is_none() {
+            return Err(format!("line {}: unknown kind {kind:?}", i + 2));
+        }
+        for key in ["ts_ns", "value", "trace_id"] {
+            if obj.get(key).and_then(Json::as_int).is_none() {
+                return Err(format!("line {}: missing {key}", i + 2));
+            }
+        }
+        for key in ["name", "detail"] {
+            if obj.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("line {}: missing {key}", i + 2));
+            }
+        }
+        events.push(obj);
+    }
+    Ok(events)
+}
+
+/// Project an event stream onto its deterministic content for seq ≡ par
+/// comparison: keep `finding` and `cell` events (whose name/detail are
+/// pure functions of the campaign's deterministic fold), drop the
+/// wall-clock and scheduling noise (timestamps, durations, span and
+/// counter interleavings), and sort. Two campaign runs of the same
+/// matrix — sequential or parallel, any `PC_THREADS` — must produce
+/// identical projections; verify gate 12 diffs them.
+pub fn canonical_event_lines(text: &str) -> Result<Vec<String>, String> {
+    let events = parse_event_stream(text)?;
+    let mut out: Vec<String> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.get("kind").and_then(Json::as_str),
+                Some("finding") | Some("cell")
+            )
+        })
+        .map(|e| {
+            format!(
+                "{} {} :: {}",
+                e.get("kind").and_then(Json::as_str).unwrap_or(""),
+                e.get("name").and_then(Json::as_str).unwrap_or(""),
+                e.get("detail").and_then(Json::as_str).unwrap_or(""),
+            )
+        })
+        .collect();
+    out.sort();
+    Ok(out)
 }
 
 fn named_ints(pairs: &[(String, u64)]) -> Json {
@@ -115,6 +224,7 @@ fn hists(snap: &TelemetrySnapshot) -> Json {
                         ("p50_ns".into(), Json::Int(h.p50_ns)),
                         ("p95_ns".into(), Json::Int(h.p95_ns)),
                         ("p99_ns".into(), Json::Int(h.p99_ns)),
+                        ("p999_ns".into(), Json::Int(h.p999_ns)),
                     ]),
                 )
             })
@@ -137,6 +247,7 @@ mod tests {
                     depth: 0,
                     start_ns: 500,
                     dur_ns: 9_000,
+                    trace_id: 0,
                 },
                 SpanRec {
                     name: "check.enumerate",
@@ -145,6 +256,7 @@ mod tests {
                     depth: 1,
                     start_ns: 1_000,
                     dur_ns: 2_000,
+                    trace_id: 0,
                 },
             ],
             counters: vec![("cache.pfs.hits".into(), 12)],
@@ -160,6 +272,7 @@ mod tests {
                     p50_ns: 255,
                     p95_ns: 300,
                     p99_ns: 300,
+                    p999_ns: 300,
                 },
             )],
             dropped_spans: 0,
@@ -211,5 +324,90 @@ mod tests {
         assert_eq!(events[0].get("dur").and_then(Json::as_int), Some(9));
         assert_eq!(events[1].get("dur").and_then(Json::as_int), Some(2));
         assert!(parsed.get("otherData").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn both_dialects_carry_schema_version_and_p999() {
+        for j in [
+            telemetry_json(&sample_snapshot()),
+            chrome_trace(&sample_snapshot()),
+        ] {
+            assert_eq!(
+                j.get("schema_version").and_then(Json::as_int),
+                Some(SCHEMA_VERSION)
+            );
+        }
+        let j = telemetry_json(&sample_snapshot());
+        assert_eq!(
+            j.get("histograms")
+                .and_then(|h| h.get("pool.task_ns"))
+                .and_then(|h| h.get("p999_ns"))
+                .and_then(Json::as_int),
+            Some(300)
+        );
+    }
+
+    const STREAM_HEADER: &str =
+        "{\"schema_version\":1,\"stream\":\"paracrash-events\",\"cap\":8192}";
+
+    fn event_line(seq: u64, kind: &str, name: &str, detail: &str) -> String {
+        format!(
+            "{{\"seq\":{seq},\"ts_ns\":{},\"kind\":\"{kind}\",\"name\":\"{name}\",\"value\":7,\"detail\":\"{detail}\",\"trace_id\":3}}",
+            seq * 100,
+        )
+    }
+
+    #[test]
+    fn event_stream_parses_and_rejects_bad_versions() {
+        let good = format!(
+            "{STREAM_HEADER}\n{}\n{}\n{{\"schema_version\":1,\"published\":2,\"dropped\":0}}\n",
+            event_line(0, "cell", "wl@OrangeFS/ordered", "findings=0"),
+            event_line(5, "finding", "BeeGFS/writeback", "sig [Pfs]"),
+        );
+        let events = parse_event_stream(&good).unwrap();
+        assert_eq!(events.len(), 2);
+
+        let bad_version = good.replace(
+            "\"schema_version\":1,\"stream\"",
+            "\"schema_version\":9,\"stream\"",
+        );
+        let err = parse_event_stream(&bad_version).unwrap_err();
+        assert!(err.contains("schema_version 9"), "{err}");
+
+        let no_version = "{\"stream\":\"paracrash-events\"}\n";
+        assert!(parse_event_stream(no_version).is_err());
+
+        let bad_seq = format!(
+            "{STREAM_HEADER}\n{}\n{}\n",
+            event_line(5, "cell", "a", ""),
+            event_line(5, "cell", "b", ""),
+        );
+        assert!(parse_event_stream(&bad_seq).unwrap_err().contains("seq"));
+
+        let bad_kind = format!("{STREAM_HEADER}\n{}\n", event_line(0, "mystery", "a", ""));
+        assert!(parse_event_stream(&bad_kind).unwrap_err().contains("kind"));
+    }
+
+    #[test]
+    fn canonical_projection_is_order_and_noise_invariant() {
+        let a = format!(
+            "{STREAM_HEADER}\n{}\n{}\n{}\n",
+            event_line(0, "span_close", "check.verdicts", "check"),
+            event_line(1, "cell", "wl@OrangeFS/ordered", "findings=0"),
+            event_line(2, "finding", "BeeGFS/writeback", "sig [Pfs]"),
+        );
+        // Same deterministic content: different seqs, timestamps,
+        // ordering, and span/counter noise.
+        let b = format!(
+            "{STREAM_HEADER}\n{}\n{}\n{}\n",
+            event_line(10, "finding", "BeeGFS/writeback", "sig [Pfs]"),
+            event_line(90, "counter", "rpc.messages", ""),
+            event_line(800, "cell", "wl@OrangeFS/ordered", "findings=0"),
+        );
+        assert_eq!(
+            canonical_event_lines(&a).unwrap(),
+            canonical_event_lines(&b).unwrap()
+        );
+        assert_eq!(canonical_event_lines(&a).unwrap().len(), 2);
     }
 }

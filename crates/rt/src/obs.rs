@@ -19,7 +19,16 @@
 //! * **a leveled logger** — the [`crate::pc_error!`], [`crate::pc_warn!`],
 //!   [`crate::pc_info!`] and [`crate::pc_debug!`] macros replace the
 //!   scattered `eprintln!`s. `PC_LOG=warn|info|debug` raises verbosity;
-//!   the default threshold is `error`, so everything below stays silent.
+//!   the default threshold is `error`, so everything below stays silent;
+//! * **a streaming plane** — [`stream`] is a bounded flight recorder of
+//!   structured events (span open/close, counter deltas, findings, cell
+//!   completions) with a JSON-lines sink (`PC_EVENTS=path`) and a
+//!   panic-flush crash-dump hook, for watching a campaign live instead
+//!   of waiting for the exit snapshot;
+//! * **causal trace ids** — [`set_trace_id`] / [`current_trace_id`]
+//!   carry one ambient workload-cell id that every span and stream
+//!   event records, so Chrome-trace export can group one cross-layer
+//!   flow (workload → checker → `simnet` RPC) per check.
 //!
 //! # Overhead contract
 //!
@@ -60,11 +69,14 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
 use crate::bench::fmt_ns;
+
+#[path = "stream.rs"]
+pub mod stream;
 
 // ---------------------------------------------------------------------------
 // Leveled logging
@@ -213,6 +225,9 @@ fn init_from_env() {
                 _ => TELEMETRY_ON.store(true, Ordering::Relaxed),
             }
         }
+        // `PC_EVENTS=path` alone turns on both planes: the stream's
+        // bootstrap attaches its sink, which re-enables the registry.
+        stream::init_from_env();
     });
 }
 
@@ -235,6 +250,35 @@ pub fn set_enabled(on: bool) {
 pub fn summary_enabled() -> bool {
     init_from_env();
     SUMMARY_ON.load(Ordering::Relaxed) && TELEMETRY_ON.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Causal trace ids
+// ---------------------------------------------------------------------------
+
+/// The ambient trace id every span and stream event records. Process
+/// global rather than thread local: a campaign checks one workload cell
+/// at a time, and the pool's verdict workers must inherit the cell's id
+/// without per-task plumbing. 0 = "no cell" (single-check CLI runs).
+static TRACE_ID: AtomicU64 = AtomicU64::new(0);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Set the ambient causal trace id (0 clears it). Campaign drivers call
+/// this once per workload cell so every span — down to `simnet` RPC
+/// deliveries on pool worker threads — tags the cell that caused it.
+pub fn set_trace_id(id: u64) {
+    TRACE_ID.store(id, Ordering::Relaxed);
+}
+
+/// The ambient causal trace id (one relaxed load).
+#[inline]
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.load(Ordering::Relaxed)
+}
+
+/// Allocate a fresh, process-unique trace id (monotonic from 1).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +305,10 @@ pub struct SpanRec {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Causal trace id captured at open time ([`current_trace_id`];
+    /// 0 = outside any workload cell). Chrome-trace export groups spans
+    /// by this id so each check reads as one cross-layer flow.
+    pub trace_id: u64,
 }
 
 const HIST_BUCKETS: usize = 48;
@@ -350,6 +398,9 @@ pub struct HistSummary {
     pub p95_ns: u64,
     /// Approximate 99th percentile.
     pub p99_ns: u64,
+    /// Approximate 99.9th percentile — the tail number the extreme-scale
+    /// work watches (one straggler verdict stalls a whole scope run).
+    pub p999_ns: u64,
 }
 
 /// The process-global event store.
@@ -425,6 +476,7 @@ struct OpenSpan {
     cat: &'static str,
     start_ns: u64,
     depth: u32,
+    trace_id: u64,
 }
 
 /// Open a span in the default category.
@@ -444,12 +496,16 @@ pub fn span_cat(name: &'static str, cat: &'static str) -> Span {
         d.set(v + 1);
         v
     });
+    if stream::enabled() {
+        stream::emit(stream::EventKind::SpanOpen, name, 0, cat);
+    }
     Span {
         open: Some(OpenSpan {
             name,
             cat,
             start_ns: now_ns(),
             depth,
+            trace_id: current_trace_id(),
         }),
     }
 }
@@ -468,13 +524,19 @@ impl Drop for Span {
             depth: open.depth,
             start_ns: open.start_ns,
             dur_ns,
+            trace_id: open.trace_id,
         };
-        let mut reg = REGISTRY.lock().unwrap();
-        reg.ops += 1;
-        if reg.spans.len() < SPAN_CAP {
-            reg.spans.push(rec);
-        } else {
-            reg.dropped_spans += 1;
+        {
+            let mut reg = REGISTRY.lock().unwrap();
+            reg.ops += 1;
+            if reg.spans.len() < SPAN_CAP {
+                reg.spans.push(rec);
+            } else {
+                reg.dropped_spans += 1;
+            }
+        }
+        if stream::enabled() {
+            stream::emit(stream::EventKind::SpanClose, open.name, dur_ns, open.cat);
         }
     }
 }
@@ -489,9 +551,14 @@ pub fn count(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut reg = REGISTRY.lock().unwrap();
-    reg.ops += 1;
-    *reg.counters.entry(name).or_insert(0) += delta;
+    {
+        let mut reg = REGISTRY.lock().unwrap();
+        reg.ops += 1;
+        *reg.counters.entry(name).or_insert(0) += delta;
+    }
+    if stream::enabled() {
+        stream::emit(stream::EventKind::Counter, name, delta, "");
+    }
 }
 
 /// Raise a named high-water-mark gauge to at least `value`.
@@ -573,6 +640,7 @@ pub fn snapshot() -> TelemetrySnapshot {
                         p50_ns: h.quantile(0.5),
                         p95_ns: h.quantile(0.95),
                         p99_ns: h.quantile(0.99),
+                        p999_ns: h.quantile(0.999),
                     },
                 )
             })
@@ -684,19 +752,20 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
     if !reg.hists.is_empty() {
         let _ = writeln!(
             out,
-            "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            "histogram (run total)", "count", "mean", "p50", "p95", "p99", "max"
+            "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram (run total)", "count", "mean", "p50", "p95", "p99", "p99.9", "max"
         );
         for (name, h) in reg.hists.iter() {
             let _ = writeln!(
                 out,
-                "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 h.count,
                 fmt_ns(h.mean() as f64),
                 fmt_ns(h.quantile(0.5) as f64),
                 fmt_ns(h.quantile(0.95) as f64),
                 fmt_ns(h.quantile(0.99) as f64),
+                fmt_ns(h.quantile(0.999) as f64),
                 fmt_ns(h.max as f64),
             );
         }
@@ -723,13 +792,17 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
     }
 
     // Derived: pool utilization = busy time / (span wall × workers).
-    if let (Some(busy), Some(&workers)) = (get("pool.busy_ns"), reg.gauges.get("pool.workers")) {
+    // Under `PC_THREADS=1` the pool takes the inline reference path —
+    // work runs on the caller with no `pool.par_map` span to divide by,
+    // so utilization is meaningless there, not 0%.
+    let workers = reg.gauges.get("pool.workers").copied().unwrap_or(0);
+    if let Some(busy) = get("pool.busy_ns") {
         let wall: u64 = agg
             .iter()
-            .find(|(n, ..)| *n == "pool.par_map")
+            .filter(|(n, ..)| *n == "pool.par_map" || *n == "pool.scope")
             .map(|&(_, _, total, _)| total)
-            .unwrap_or(0);
-        if wall > 0 && workers > 0 {
+            .sum();
+        if workers > 1 && wall > 0 {
             let _ = writeln!(
                 out,
                 "  {:<34} {:>7.1}%  (busy {} over {workers} workers × {})",
@@ -738,19 +811,31 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
                 fmt_ns(busy as f64),
                 fmt_ns(wall as f64),
             );
+        } else if workers <= 1 {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8}  (inline reference path, busy {})",
+                "pool utilization",
+                "n/a",
+                fmt_ns(busy as f64),
+            );
         }
     }
 
     // Derived: work-stealing scheduler activity, when `Pool::scope` ran.
-    if let Some(scopes) = get("pool.scope_calls") {
-        let steals = get("pool.steals").unwrap_or(0);
-        let queued = get("pool.tasks_queued").unwrap_or(0);
-        let peak = reg.gauges.get("pool.max_queue_depth").copied().unwrap_or(0);
-        let _ = writeln!(
-            out,
-            "  {:<34} {steals:>8}  ({queued} tasks over {scopes} scope runs, peak queue {peak})",
-            "pool steals",
-        );
+    // The inline path has no deques to steal from, so the steal columns
+    // would be noise under `PC_THREADS=1` — skip them entirely.
+    if workers > 1 {
+        if let Some(scopes) = get("pool.scope_calls") {
+            let steals = get("pool.steals").unwrap_or(0);
+            let queued = get("pool.tasks_queued").unwrap_or(0);
+            let peak = reg.gauges.get("pool.max_queue_depth").copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<34} {steals:>8}  ({queued} tasks over {scopes} scope runs, peak queue {peak})",
+                "pool steals",
+            );
+        }
     }
     out
 }

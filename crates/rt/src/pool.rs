@@ -252,6 +252,9 @@ impl Pool {
     pub fn scope<'env, R>(&self, body: impl FnOnce(&TaskScope<'_, 'env>) -> R) -> R {
         let workers = self.threads.max(1).saturating_sub(1).min(MAX_SCOPE_WORKERS);
         let t_on = crate::obs::enabled();
+        // The scope span is the wall-time denominator the summary's
+        // pool-utilization line divides busy time by.
+        let _span = t_on.then(|| crate::obs::span_cat("pool.scope", "pool"));
         if t_on {
             crate::obs::count("pool.scope_calls", 1);
             crate::obs::gauge_max("pool.workers", self.threads.max(1) as u64);

@@ -79,6 +79,10 @@ impl<'r> RpcNet<'r> {
             Some(plane) => plane.fate(server_id(from), server_id(to)),
             None => Fate::Deliver,
         };
+        // The rpc span ties each delivery to the ambient causal trace
+        // id, so a Chrome-trace export groups the RPC flow under the
+        // workload cell that caused it (one pid lane per check).
+        let _rpc_span = pc_rt::obs::span_cat("rpc.message", "rpc");
         pc_rt::obs::count("rpc.messages", 1);
         pc_rt::pc_debug!("rpc {from:?} -> {to:?}: {msg} ({fate:?})");
         match fate {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Eleven gates:
+# Twelve gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -50,6 +50,13 @@
 #      validate the committed BENCH_scale.json invariants (batched
 #      >= 2x oracle states/sec, sub-linear per-check growth 64->256
 #      servers) with a live run inside a generous 2x band.
+#  12. Live observability — a PR-tier fuzz run with --events-out must
+#      still print the pinned canonical report, its event stream must
+#      re-parse (`events-check`) and project identically sequential vs
+#      parallel (`--canonical-diff`), `paracrash report` must render a
+#      dashboard that passes the HTML lint (`events-check --html`), and
+#      the *disabled* flight-recorder overhead must stay under 3%
+#      (`stream-overhead`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -217,5 +224,30 @@ fi
 # Committed scale numbers: static invariants plus a live re-measurement
 # of the batched engine within a generous 2x regression band.
 target/release/scale-check BENCH_scale.json --live
+
+echo "== gate 12: event stream + campaign dashboard =="
+# The streamed PR-tier run must print the same pinned report (the
+# recorder observes the fold, never perturbs it) and leave a parseable
+# JSON-lines stream behind.
+target/release/paracrash fuzz --events-out "$tmp/events-par.jsonl" \
+    > "$tmp/fuzz-ev-par.txt" 2> /dev/null
+diff "$tmp/fuzz-ev-par.txt" crates/bench/tests/expected_fuzz_pr_tier.txt
+target/release/events-check "$tmp/events-par.jsonl"
+# Sequential vs parallel: raw streams differ (timestamps, interleaving);
+# the canonical projection must not.
+PC_THREADS=1 target/release/paracrash fuzz --events-out "$tmp/events-seq.jsonl" \
+    > /dev/null 2> /dev/null
+target/release/events-check --canonical-diff \
+    "$tmp/events-par.jsonl" "$tmp/events-seq.jsonl"
+# Render the dashboard from the stream plus a telemetry snapshot and the
+# committed bench suites, then lint it.
+target/release/paracrash --fs ext4 --program ARVR \
+    --telemetry-out "$tmp/report-telemetry.json" > /dev/null
+target/release/paracrash report --events "$tmp/events-par.jsonl" \
+    --telemetry "$tmp/report-telemetry.json" \
+    --bench BENCH_fuzz.json --bench BENCH_scale.json \
+    --out "$tmp/report.html"
+target/release/events-check --html "$tmp/report.html"
+target/release/stream-overhead
 
 echo "verify: OK"
