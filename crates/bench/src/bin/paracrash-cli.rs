@@ -61,9 +61,11 @@ use h5sim::json::Json;
 use paracrash::dashboard::render_dashboard;
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
+use pc_bench::campaign::{run_campaign, CampaignOptions};
 use pc_bench::fuzz_driver::{fuzz_campaign, parse_modes, FuzzOptions};
 use pc_bench::{render_bug, run_program_swept};
 use simnet::FaultConfig;
+use std::time::Duration;
 use workloads::{FsKind, Params, Program};
 
 /// One-line diagnostic, then the usage-error exit code (2).
@@ -97,8 +99,17 @@ fn usage() -> ! {
          \x20      paracrash fuzz [--bound <n>] [--seed <n>] [--sample <n>]\n\
          \x20                [--fs <list|all>] [--modes <data,ordered,writeback,none|all>]\n\
          \x20                [--findings-out <dir>] [--events-out <file>] [--paper]\n\
+         \x20      paracrash campaign [fuzz flags] [--state-dir <dir>] [--resume]\n\
+         \x20                [--cell-timeout <secs>] [--max-retries <n>]\n\
+         \x20                [--checkpoint-every <n>]\n\
          \x20      paracrash report --events <file> [--telemetry <file>]\n\
          \x20                [--bench <file>]... [--out <file>]\n\n\
+         `campaign` is the crash-safe resumable sweep: every cell commits\n\
+         to an append-only CRC-checked log under `--state-dir`, checkpoints\n\
+         land atomically, and `--resume` replays the log to continue a\n\
+         killed run with a byte-identical final report. Cells that hang\n\
+         past `--cell-timeout` or panic through `--max-retries` retries\n\
+         are quarantined, not fatal.\n\n\
          `--events-out` streams flight-recorder events (cells, findings,\n\
          spans, campaign snapshots) as JSON lines while the run is live;\n\
          `report` renders them (plus optional telemetry JSON and BENCH_*.json\n\
@@ -111,6 +122,77 @@ fn usage() -> ! {
         CheckConfig::paper_default().render()
     );
     std::process::exit(2);
+}
+
+/// Parse one flag shared between the `fuzz` and `campaign` subcommands
+/// into `opts`; returns `false` when the flag is not a fuzz flag so the
+/// caller can try its own set. `--events-out` attaches the stream sink
+/// immediately (creating missing parent directories); `--findings-out`
+/// is validated up front so an unwritable triage directory fails at
+/// launch with exit 2 instead of hours in when the first novel finding
+/// lands.
+fn parse_fuzz_flag(
+    opts: &mut FuzzOptions,
+    paper: &mut bool,
+    a: &str,
+    value: &mut dyn FnMut(&str) -> String,
+) -> bool {
+    match a {
+        "--bound" => {
+            opts.bound = value("--bound")
+                .parse()
+                .unwrap_or_else(|_| die(format_args!("--bound must be a number")));
+            if opts.bound == 0 || opts.bound > 4 {
+                die(format_args!(
+                    "--bound must be 1..=4 (the corpus is exponential)"
+                ));
+            }
+        }
+        "--seed" => {
+            opts.seed = value("--seed")
+                .parse()
+                .unwrap_or_else(|_| die(format_args!("--seed must be a number")));
+        }
+        "--sample" => {
+            opts.sample = Some(
+                value("--sample")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--sample must be a number"))),
+            );
+        }
+        "--fs" => {
+            let spec = value("--fs");
+            opts.file_systems = if spec.eq_ignore_ascii_case("all") {
+                FsKind::all().to_vec()
+            } else {
+                spec.split(',')
+                    .map(|s| {
+                        FsKind::parse(s)
+                            .unwrap_or_else(|| die(format_args!("unknown file system: {s}")))
+                    })
+                    .collect()
+            };
+        }
+        "--modes" => {
+            let spec = value("--modes");
+            opts.modes =
+                parse_modes(&spec).unwrap_or_else(|| die(format_args!("bad --modes spec: {spec}")));
+        }
+        "--findings-out" => {
+            let dir = value("--findings-out");
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| die(format_args!("cannot create --findings-out {dir}: {e}")));
+            opts.findings_out = Some(dir);
+        }
+        "--events-out" => {
+            let path = value("--events-out");
+            pc_rt::obs::stream::set_sink(&path)
+                .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
+        }
+        "--paper" => *paper = true,
+        _ => return false,
+    }
+    true
 }
 
 /// The `fuzz` subcommand: bounded black-box campaign over the
@@ -126,54 +208,10 @@ fn run_fuzz(args: &[String]) -> ! {
                 .cloned()
                 .unwrap_or_else(|| die(format_args!("{what} needs a value")))
         };
+        if parse_fuzz_flag(&mut opts, &mut paper, a, &mut value) {
+            continue;
+        }
         match a.as_str() {
-            "--bound" => {
-                opts.bound = value("--bound")
-                    .parse()
-                    .unwrap_or_else(|_| die(format_args!("--bound must be a number")));
-                if opts.bound == 0 || opts.bound > 4 {
-                    die(format_args!(
-                        "--bound must be 1..=4 (the corpus is exponential)"
-                    ));
-                }
-            }
-            "--seed" => {
-                opts.seed = value("--seed")
-                    .parse()
-                    .unwrap_or_else(|_| die(format_args!("--seed must be a number")));
-            }
-            "--sample" => {
-                opts.sample = Some(
-                    value("--sample")
-                        .parse()
-                        .unwrap_or_else(|_| die(format_args!("--sample must be a number"))),
-                );
-            }
-            "--fs" => {
-                let spec = value("--fs");
-                opts.file_systems = if spec.eq_ignore_ascii_case("all") {
-                    FsKind::all().to_vec()
-                } else {
-                    spec.split(',')
-                        .map(|s| {
-                            FsKind::parse(s)
-                                .unwrap_or_else(|| die(format_args!("unknown file system: {s}")))
-                        })
-                        .collect()
-                };
-            }
-            "--modes" => {
-                let spec = value("--modes");
-                opts.modes = parse_modes(&spec)
-                    .unwrap_or_else(|| die(format_args!("bad --modes spec: {spec}")));
-            }
-            "--findings-out" => opts.findings_out = Some(value("--findings-out")),
-            "--events-out" => {
-                let path = value("--events-out");
-                pc_rt::obs::stream::set_sink(&path)
-                    .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
-            }
-            "--paper" => paper = true,
             "--help" | "-h" => usage(),
             other => {
                 pc_rt::pc_error!("unknown fuzz argument: {other}");
@@ -197,6 +235,78 @@ fn run_fuzz(args: &[String]) -> ! {
         report.workloads as f64 / secs.max(1e-9),
         report.corpus.finding_count(),
         report.bundles,
+    );
+    std::process::exit(0);
+}
+
+/// The `campaign` subcommand: the crash-safe resumable sweep. Same
+/// surface as `fuzz` plus the durability knobs; stdout is still exactly
+/// the canonical report (resume/retry accounting goes to stderr, so a
+/// resumed run diffs clean against an uninterrupted one).
+fn run_campaign_cli(args: &[String]) -> ! {
+    let mut opts = CampaignOptions::new(FuzzOptions::pr_tier(), "campaign-state");
+    let mut paper = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format_args!("{what} needs a value")))
+        };
+        if parse_fuzz_flag(&mut opts.fuzz, &mut paper, a, &mut value) {
+            continue;
+        }
+        match a.as_str() {
+            "--state-dir" => opts.state_dir = value("--state-dir"),
+            "--resume" => opts.resume = true,
+            "--cell-timeout" => {
+                let secs: f64 = value("--cell-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--cell-timeout must be seconds")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    die(format_args!("--cell-timeout must be positive"));
+                }
+                opts.cell_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--max-retries must be a number")));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--checkpoint-every must be a number")));
+                if opts.checkpoint_every == 0 {
+                    die(format_args!("--checkpoint-every must be at least 1"));
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                pc_rt::pc_error!("unknown campaign argument: {other}");
+                usage();
+            }
+        }
+    }
+    if paper {
+        opts.fuzz.params = Params::paper();
+    }
+    let start = std::time::Instant::now();
+    let report = run_campaign(&opts).unwrap_or_else(|e| die(format_args!("{e}")));
+    let secs = start.elapsed().as_secs_f64();
+    pc_rt::obs::stream::close();
+    print!("{}", report.corpus.canonical_report());
+    pc_rt::pc_info!(
+        "campaign: {}/{} cells this run ({} resumed, {} retries, {} quarantined) \
+         in {:.1}s, {} findings, state in {}",
+        report.cells_run,
+        report.total_cells,
+        report.resumed_cells,
+        report.retries,
+        report.quarantined,
+        secs,
+        report.corpus.finding_count(),
+        opts.state_dir,
     );
     std::process::exit(0);
 }
@@ -263,6 +373,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         run_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("campaign") {
+        run_campaign_cli(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("report") {
         run_report(&args[1..]);

@@ -1,0 +1,968 @@
+//! The crash-safe, resumable campaign driver (`paracrash campaign`).
+//!
+//! A representative-testing sweep at campaign scale runs long enough to
+//! be killed, OOM-ed or power-cycled mid-run, so this driver applies
+//! the discipline the checker demands of the systems it tests to its
+//! own state:
+//!
+//! * **Persistent corpus** — every finished cell appends one record to
+//!   an append-only, CRC-checked [`pc_rt::durable::RecordLog`]
+//!   (`<state-dir>/corpus.log`): the cell's verdict essentials (bugs,
+//!   diagnostics, representative crash-state digests) serialized as
+//!   JSON. The append is the cell's *commit point* — triage bundles are
+//!   written before it, so a crash between them merely re-runs the cell
+//!   and rewrites identical bundles.
+//! * **Checkpoint/resume** — every [`CampaignOptions::checkpoint_every`]
+//!   cells (and at the end) the driver publishes
+//!   `<state-dir>/checkpoint.json` via [`pc_rt::durable::write_atomic`]:
+//!   cursor, consumed-record count, and the full
+//!   [`FuzzCorpus::to_json`] serialization. On `--resume` the driver
+//!   loads the checkpoint, replays only the log tail through the *same*
+//!   [`FuzzCorpus::record_cell`] fold as a live run, and continues at
+//!   the first unrecorded cell — so a resumed campaign's final
+//!   [`FuzzCorpus::canonical_report`] is byte-identical to an
+//!   uninterrupted one (pinned by `tests/campaign_resume.rs` and
+//!   verify gate 13).
+//! * **Per-cell fault tolerance** — each cell runs on a watchdog
+//!   thread. A panic is retried with exponential backoff up to
+//!   [`CampaignOptions::max_retries`] times; a cell that exceeds
+//!   [`CampaignOptions::cell_timeout`] or exhausts its retries is
+//!   **quarantined**: the sweep records a `quarantined:` diagnostic
+//!   (part of the canonical report — a ledger, not a silent skip) and
+//!   moves on. A hung cell's thread is deliberately leaked; only the
+//!   watchdog returns.
+//!
+//! Robustness counters (`campaign.resumed_cells`, `campaign.retries`,
+//! `campaign.quarantined`) flow through [`pc_rt::obs::count`] into the
+//! telemetry registry, the event stream, and the `paracrash report`
+//! dashboard; they are deliberately *not* part of the canonical report,
+//! which must stay byte-identical between a clean run and a
+//! crash-and-resume run.
+//!
+//! Self-crash-testing: arm `PC_DURABLE_CRASH=at=N[,tear=K][,mode=..]`
+//! (see [`pc_rt::durable`]) to kill the campaign at its N-th durability
+//! point — mid-append, torn, or mid-checkpoint — then resume with
+//! `--resume`. `PC_CAMPAIGN_POISON=<label-substr>:<panic|panic-once|hang>`
+//! poisons matching cells to exercise the watchdog plane.
+
+use h5sim::json::Json;
+use paracrash::{
+    check_stack, BugKind, BugSignature, CheckOutcome, FuzzCorpus, Inconsistency, LayerVerdict,
+    Model,
+};
+use pc_rt::durable::{write_atomic, RecordLog};
+use pc_rt::obs::stream;
+use pc_rt::pc_warn;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+use workloads::generated::{self, GeneratedWorkload};
+use workloads::FsKind;
+
+use crate::fuzz_driver::{mode_label, triage, FuzzOptions, SNAPSHOT_EVERY};
+use crate::progress::CampaignMeter;
+use simfs::JournalMode;
+
+/// Environment variable poisoning matching cells (watchdog testing):
+/// `<label-substring>:<panic|panic-once|hang>`.
+pub const POISON_ENV: &str = "PC_CAMPAIGN_POISON";
+
+/// Everything one resumable campaign needs on top of the fuzz sweep.
+pub struct CampaignOptions {
+    /// The underlying sweep: corpus bound/seed/sample, file systems,
+    /// journal modes, triage output, params, checker config.
+    pub fuzz: FuzzOptions,
+    /// Directory holding `corpus.log` and `checkpoint.json`.
+    pub state_dir: String,
+    /// Continue from existing state instead of refusing to clobber it.
+    pub resume: bool,
+    /// Per-cell watchdog deadline; `None` waits forever (no watchdog
+    /// timeout, panics still retried).
+    pub cell_timeout: Option<Duration>,
+    /// Retries (with exponential backoff) before a panicking cell is
+    /// quarantined.
+    pub max_retries: usize,
+    /// Checkpoint cadence in cells (a final checkpoint is always
+    /// written).
+    pub checkpoint_every: usize,
+}
+
+impl CampaignOptions {
+    /// Defaults on top of a fuzz sweep: no resume, no deadline, two
+    /// retries, checkpoint every 16 cells.
+    pub fn new(fuzz: FuzzOptions, state_dir: &str) -> CampaignOptions {
+        CampaignOptions {
+            fuzz,
+            state_dir: state_dir.to_string(),
+            resume: false,
+            cell_timeout: None,
+            max_retries: 2,
+            checkpoint_every: 16,
+        }
+    }
+}
+
+/// What one campaign run (or resume) produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The corpus, including everything recovered from prior runs.
+    pub corpus: FuzzCorpus,
+    /// Workloads drawn from the generator.
+    pub workloads: usize,
+    /// Total cells in the sweep (workloads × fs × modes).
+    pub total_cells: usize,
+    /// Cells recovered from the log/checkpoint instead of re-checked.
+    pub resumed_cells: usize,
+    /// Cells actually checked by this process.
+    pub cells_run: usize,
+    /// Panicking cell attempts that were retried.
+    pub retries: usize,
+    /// Cells quarantined (hung past the deadline or panicked on every
+    /// attempt).
+    pub quarantined: usize,
+    /// Triage bundles written by this process.
+    pub bundles: usize,
+}
+
+/// Why a cell attempt did not return an outcome.
+enum CellFailure {
+    /// The watchdog deadline elapsed; the cell thread is leaked.
+    Timeout(Duration),
+    /// The cell panicked; message from the payload.
+    Panic(String),
+}
+
+/// Test hook: poison matching cells (see [`POISON_ENV`]). Runs on the
+/// cell thread, inside its `catch_unwind`, before the check.
+fn poison_hook(label: &str, attempt: usize) {
+    let Ok(spec) = std::env::var(POISON_ENV) else {
+        return;
+    };
+    let Some((substr, mode)) = spec.rsplit_once(':') else {
+        return;
+    };
+    if substr.is_empty() || !label.contains(substr) {
+        return;
+    }
+    match mode {
+        "panic" => panic!("injected poison: {label}"),
+        "panic-once" if attempt == 0 => panic!("injected poison (first attempt): {label}"),
+        "hang" => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        _ => {}
+    }
+}
+
+/// One watchdog-guarded attempt: the check runs on its own thread, the
+/// caller waits at most `timeout`. A timed-out thread is leaked — it
+/// may be wedged inside simulation code that cannot be cancelled, and
+/// killing threads is UB; the leak is the price of keeping the sweep
+/// alive, and the quarantine ledger records it.
+fn run_cell_attempt(
+    w: &GeneratedWorkload,
+    fs: FsKind,
+    params: &workloads::Params,
+    cfg: &paracrash::CheckConfig,
+    label: &str,
+    attempt: usize,
+    timeout: Option<Duration>,
+) -> Result<CheckOutcome, CellFailure> {
+    let (tx, rx) = mpsc::channel();
+    let (w, params, cfg, label) = (w.clone(), params.clone(), cfg.clone(), label.to_string());
+    let handle = std::thread::Builder::new()
+        .name("pc-campaign-cell".into())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                poison_hook(&label, attempt);
+                let stack = w.run(fs, &params);
+                let factory = fs.factory(&params);
+                check_stack(&stack, &factory, &cfg)
+            }))
+            .map_err(|p| pc_rt::pool::panic_message(p.as_ref()));
+            let _ = tx.send(result);
+        })
+        .expect("cannot spawn campaign cell thread");
+    let result = match timeout {
+        Some(t) => match rx.recv_timeout(t) {
+            Ok(r) => r,
+            Err(_) => return Err(CellFailure::Timeout(t)),
+        },
+        None => rx
+            .recv()
+            .unwrap_or_else(|_| Err("cell thread vanished".to_string())),
+    };
+    let _ = handle.join();
+    result.map_err(CellFailure::Panic)
+}
+
+/// Bounded retry with exponential backoff around [`run_cell_attempt`].
+/// `Err` means the cell must be quarantined.
+fn run_cell_guarded(
+    w: &GeneratedWorkload,
+    fs: FsKind,
+    params: &workloads::Params,
+    cfg: &paracrash::CheckConfig,
+    label: &str,
+    max_retries: usize,
+    timeout: Option<Duration>,
+    retries: &mut usize,
+) -> Result<CheckOutcome, String> {
+    let mut attempt = 0usize;
+    loop {
+        match run_cell_attempt(w, fs, params, cfg, label, attempt, timeout) {
+            Ok(outcome) => return Ok(outcome),
+            Err(CellFailure::Timeout(t)) => {
+                return Err(format!(
+                    "cell deadline of {:.1}s exceeded (thread abandoned)",
+                    t.as_secs_f64()
+                ));
+            }
+            Err(CellFailure::Panic(msg)) => {
+                if attempt >= max_retries {
+                    return Err(format!("panicked on all {} attempts: {msg}", attempt + 1));
+                }
+                attempt += 1;
+                *retries += 1;
+                pc_rt::obs::count("campaign.retries", 1);
+                // Exponential backoff, capped: transient failures (a
+                // temporarily exhausted resource) get breathing room.
+                std::thread::sleep(Duration::from_millis(5u64 << attempt.min(6)));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record (de)serialization. The replay fold reconstructs each cell's
+// CheckOutcome essentials and pushes them through the *same*
+// FuzzCorpus::record_cell as the live run, so recovered state is
+// byte-identical by construction, not by parallel bookkeeping.
+// ---------------------------------------------------------------------------
+
+fn get_int(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_int)
+        .ok_or_else(|| format!("campaign record: missing int {key}"))
+}
+
+fn get_str(j: &Json, key: &str) -> Result<String, String> {
+    Ok(j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("campaign record: missing string {key}"))?
+        .to_string())
+}
+
+fn get_arr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("campaign record: missing array {key}"))
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().cloned().map(Json::Str).collect())
+}
+
+fn meta_record(opts: &FuzzOptions) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("meta".into())),
+        ("bound".into(), Json::Int(opts.bound as u64)),
+        ("seed".into(), Json::Int(opts.seed)),
+        (
+            "sample".into(),
+            match opts.sample {
+                Some(n) => Json::Int(n as u64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "fs".into(),
+            Json::Arr(
+                opts.file_systems
+                    .iter()
+                    .map(|f| Json::Str(f.name().to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "modes".into(),
+            Json::Arr(
+                opts.modes
+                    .iter()
+                    .map(|&m| Json::Str(mode_label(m).to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Reject resuming with different sweep parameters: the cursor is an
+/// index into the cell enumeration, so a changed corpus would silently
+/// mis-attribute every recovered record.
+fn check_meta(meta: &Json, opts: &FuzzOptions) -> Result<(), String> {
+    let expected = meta_record(opts);
+    if *meta != expected {
+        return Err(format!(
+            "campaign state was written by a different sweep \
+             (logged {} vs requested {}); remove the state dir or rerun \
+             with the original --bound/--seed/--sample/--fs/--modes",
+            compact(meta),
+            compact(&expected),
+        ));
+    }
+    Ok(())
+}
+
+fn compact(j: &Json) -> String {
+    j.pretty()
+        .replace('\n', " ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn cell_record(idx: usize, workload: &str, fs: &str, journal: &str, o: &CheckOutcome) -> Json {
+    let bugs = o
+        .bugs
+        .iter()
+        .map(|b| {
+            Json::Obj(vec![
+                (
+                    "kind".into(),
+                    Json::Str(
+                        match b.signature.kind {
+                            BugKind::Reordering => "reordering",
+                            BugKind::Atomicity => "atomicity",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("members".into(), str_arr(&b.signature.members)),
+                (
+                    "layer".into(),
+                    Json::Str(
+                        match b.layer {
+                            LayerVerdict::IoLibBug => "iolib",
+                            LayerVerdict::PfsBug => "pfs",
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "violated_model".into(),
+                    Json::Str(b.violated_model.as_str().into()),
+                ),
+                ("witness".into(), str_arr(&b.witness)),
+                ("occurrences".into(), Json::Int(b.occurrences as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("cell".into())),
+        ("idx".into(), Json::Int(idx as u64)),
+        ("workload".into(), Json::Str(workload.into())),
+        ("fs".into(), Json::Str(fs.into())),
+        ("journal".into(), Json::Str(journal.into())),
+        (
+            "raw_inconsistent".into(),
+            Json::Int(o.raw_inconsistent_states as u64),
+        ),
+        ("diagnostics".into(), str_arr(&o.diagnostics)),
+        (
+            "rep_digests".into(),
+            Json::Arr(o.rep_digests.iter().map(|&d| Json::Int(d)).collect()),
+        ),
+        ("bugs".into(), Json::Arr(bugs)),
+    ])
+}
+
+fn quarantine_record(idx: usize, workload: &str, fs: &str, journal: &str, reason: &str) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("quarantine".into())),
+        ("idx".into(), Json::Int(idx as u64)),
+        ("workload".into(), Json::Str(workload.into())),
+        ("fs".into(), Json::Str(fs.into())),
+        ("journal".into(), Json::Str(journal.into())),
+        ("reason".into(), Json::Str(reason.into())),
+    ])
+}
+
+/// Rebuild the [`CheckOutcome`] essentials a `cell` record carries.
+fn outcome_from_record(rec: &Json) -> Result<CheckOutcome, String> {
+    let mut bugs = Vec::new();
+    for b in get_arr(rec, "bugs")? {
+        let kind = match get_str(b, "kind")?.as_str() {
+            "reordering" => BugKind::Reordering,
+            "atomicity" => BugKind::Atomicity,
+            other => return Err(format!("campaign record: unknown bug kind {other}")),
+        };
+        let layer = match get_str(b, "layer")?.as_str() {
+            "iolib" => LayerVerdict::IoLibBug,
+            "pfs" => LayerVerdict::PfsBug,
+            other => return Err(format!("campaign record: unknown layer {other}")),
+        };
+        let model_str = get_str(b, "violated_model")?;
+        let violated_model = Model::parse(&model_str)
+            .ok_or_else(|| format!("campaign record: unknown model {model_str}"))?;
+        let to_strings = |key: &str| -> Result<Vec<String>, String> {
+            get_arr(b, key)?
+                .iter()
+                .map(|s| {
+                    Ok(s.as_str()
+                        .ok_or_else(|| format!("campaign record: non-string in {key}"))?
+                        .to_string())
+                })
+                .collect()
+        };
+        bugs.push(Inconsistency {
+            signature: BugSignature {
+                kind,
+                members: to_strings("members")?,
+            },
+            layer,
+            violated_model,
+            witness: to_strings("witness")?,
+            occurrences: get_int(b, "occurrences")? as usize,
+        });
+    }
+    let mut diagnostics = Vec::new();
+    for d in get_arr(rec, "diagnostics")? {
+        diagnostics.push(
+            d.as_str()
+                .ok_or("campaign record: non-string diagnostic")?
+                .to_string(),
+        );
+    }
+    let mut rep_digests = Vec::new();
+    for d in get_arr(rec, "rep_digests")? {
+        rep_digests.push(d.as_int().ok_or("campaign record: non-int rep digest")?);
+    }
+    Ok(CheckOutcome {
+        bugs,
+        raw_inconsistent_states: get_int(rec, "raw_inconsistent")? as usize,
+        diagnostics,
+        rep_digests,
+        ..Default::default()
+    })
+}
+
+/// Fold a quarantine into the corpus: the ledger line is part of the
+/// canonical report (same path live and on replay).
+fn fold_quarantine(corpus: &mut FuzzCorpus, workload: &str, fs: &str, journal: &str, reason: &str) {
+    corpus.diagnostics.push(format!(
+        "{workload} on {fs}/{journal}: quarantined: {reason}"
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+/// State recovered from `<state-dir>`: the rebuilt corpus and the index
+/// of the first cell that still needs checking.
+struct Recovered {
+    corpus: FuzzCorpus,
+    cursor: usize,
+}
+
+/// Replay `records` (already CRC-validated by [`RecordLog::open`])
+/// through the corpus fold, optionally fast-forwarding from a
+/// checkpoint. Record `idx` fields must be contiguous from the cursor —
+/// anything else means the state dir was tampered with or mixes runs.
+fn recover(
+    opts: &CampaignOptions,
+    records: &[Vec<u8>],
+    checkpoint: Option<&Json>,
+) -> Result<Recovered, String> {
+    let parsed: Vec<Json> = records
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| format!("campaign log: record {i} is not UTF-8"))?;
+            Json::parse(text).map_err(|e| format!("campaign log: record {i}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if let Some(first) = parsed.first() {
+        check_meta(first, &opts.fuzz)?;
+    }
+    let mut corpus = FuzzCorpus::new();
+    let mut cursor = 0usize;
+    let mut consumed = parsed.len().min(1); // the meta record
+    if let Some(ckpt) = checkpoint {
+        // A checkpoint fast-forwards the replay; a stale or foreign one
+        // is ignored (the log alone is sufficient), never trusted past
+        // what the log can corroborate.
+        match checkpoint_state(ckpt, parsed.len()) {
+            Ok((c, n, recovered_corpus)) => {
+                corpus = recovered_corpus;
+                cursor = c;
+                consumed = n;
+            }
+            Err(why) => pc_warn!("campaign: ignoring checkpoint ({why}); replaying full log"),
+        }
+    }
+    for rec in &parsed[consumed..] {
+        let idx = get_int(rec, "idx")? as usize;
+        if idx != cursor {
+            return Err(format!(
+                "campaign log: record for cell {idx} where cell {cursor} was expected \
+                 (state dir corrupted or mixed between runs)"
+            ));
+        }
+        let workload = get_str(rec, "workload")?;
+        let fs = get_str(rec, "fs")?;
+        let journal = get_str(rec, "journal")?;
+        match get_str(rec, "kind")?.as_str() {
+            "cell" => {
+                let outcome = outcome_from_record(rec)?;
+                corpus.record_cell(&workload, &fs, &journal, &outcome);
+            }
+            "quarantine" => {
+                fold_quarantine(
+                    &mut corpus,
+                    &workload,
+                    &fs,
+                    &journal,
+                    &get_str(rec, "reason")?,
+                );
+            }
+            other => return Err(format!("campaign log: unknown record kind {other}")),
+        }
+        cursor += 1;
+    }
+    Ok(Recovered { corpus, cursor })
+}
+
+/// Validate and unpack a checkpoint against the replayed log length.
+fn checkpoint_state(ckpt: &Json, log_records: usize) -> Result<(usize, usize, FuzzCorpus), String> {
+    if get_str(ckpt, "kind")? != "checkpoint" {
+        return Err("not a campaign checkpoint".into());
+    }
+    let cursor = get_int(ckpt, "cursor")? as usize;
+    let consumed = get_int(ckpt, "records")? as usize;
+    if consumed > log_records {
+        // The checkpoint claims records the (truncated) log no longer
+        // has — possible only if the log was damaged *behind* its tail.
+        return Err(format!(
+            "checkpoint covers {consumed} records but the log holds {log_records}"
+        ));
+    }
+    if consumed != cursor + 1 {
+        return Err(format!(
+            "checkpoint cursor {cursor} inconsistent with {consumed} records"
+        ));
+    }
+    let corpus = ckpt
+        .get("corpus")
+        .ok_or("checkpoint missing corpus")
+        .and_then(|c| FuzzCorpus::from_json(c).map_err(|_| "unreadable corpus"))
+        .map_err(String::from)?;
+    Ok((cursor, consumed, corpus))
+}
+
+fn write_checkpoint(path: &Path, cursor: usize, corpus: &FuzzCorpus) -> Result<(), String> {
+    let ckpt = Json::Obj(vec![
+        ("kind".into(), Json::Str("checkpoint".into())),
+        ("cursor".into(), Json::Int(cursor as u64)),
+        ("records".into(), Json::Int(cursor as u64 + 1)),
+        ("corpus".into(), corpus.to_json()),
+    ]);
+    let mut text = ckpt.pretty();
+    text.push('\n');
+    write_atomic(path, text.as_bytes())
+        .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------------
+
+/// Run (or resume) one campaign. See the module docs for the crash-
+/// safety contract; stdout formatting is the caller's job — the report
+/// carries the corpus.
+pub fn run_campaign(opts: &CampaignOptions) -> Result<CampaignReport, String> {
+    let workloads = match opts.fuzz.sample {
+        Some(n) => generated::sample(opts.fuzz.bound, opts.fuzz.seed, n),
+        None => generated::corpus(opts.fuzz.bound),
+    };
+    // Flat, deterministic cell enumeration — the same nesting order as
+    // the fuzzer (workload outer, fs, then mode), so cursor N always
+    // names the same cell for a given meta record.
+    let cells: Vec<(usize, FsKind, JournalMode)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| {
+            opts.fuzz
+                .file_systems
+                .iter()
+                .flat_map(move |&fs| opts.fuzz.modes.iter().map(move |&mode| (wi, fs, mode)))
+        })
+        .collect();
+    let total_cells = cells.len();
+
+    let state_dir = PathBuf::from(&opts.state_dir);
+    let log_path = state_dir.join("corpus.log");
+    let ckpt_path = state_dir.join("checkpoint.json");
+    if !opts.resume && log_path.exists() {
+        return Err(format!(
+            "campaign state already exists at {}; pass --resume to continue it \
+             or remove the directory to start over",
+            state_dir.display()
+        ));
+    }
+    let (mut log, raw_records) = RecordLog::open(&log_path)
+        .map_err(|e| format!("cannot open campaign log {}: {e}", log_path.display()))?;
+    let checkpoint_text = if opts.resume {
+        std::fs::read_to_string(&ckpt_path).ok()
+    } else {
+        None
+    };
+    let checkpoint = match &checkpoint_text {
+        Some(text) => match Json::parse(text) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                pc_warn!("campaign: unreadable checkpoint ({e}); replaying full log");
+                None
+            }
+        },
+        None => None,
+    };
+    let recovered = recover(opts, &raw_records, checkpoint.as_ref())?;
+    let mut corpus = recovered.corpus;
+    let start_cursor = recovered.cursor;
+    if start_cursor > total_cells {
+        return Err(format!(
+            "campaign log holds {start_cursor} cells but the sweep only has {total_cells}"
+        ));
+    }
+    if raw_records.is_empty() {
+        let mut text = meta_record(&opts.fuzz).pretty();
+        text.push('\n');
+        log.append(text.as_bytes())
+            .map_err(|e| format!("cannot append campaign meta record: {e}"))?;
+    }
+    if start_cursor > 0 {
+        pc_rt::obs::count("campaign.resumed_cells", start_cursor as u64);
+    }
+
+    let mut report = CampaignReport {
+        corpus: FuzzCorpus::new(), // placeholder, swapped in at the end
+        workloads: workloads.len(),
+        total_cells,
+        resumed_cells: start_cursor,
+        cells_run: 0,
+        retries: 0,
+        quarantined: 0,
+        bundles: 0,
+    };
+    let mut meter = CampaignMeter::new(total_cells);
+    for (idx, &(wi, fs, mode)) in cells.iter().enumerate().skip(start_cursor) {
+        let w = &workloads[wi];
+        let params = opts.fuzz.params.clone().with_journal(mode);
+        let label = w.label();
+        let journal = mode_label(mode);
+        let cell_label = format!("{label}@{}/{journal}", fs.name());
+        pc_rt::obs::set_trace_id(pc_rt::obs::next_trace_id());
+        let started = std::time::Instant::now();
+        let guarded = run_cell_guarded(
+            w,
+            fs,
+            &params,
+            &opts.fuzz.cfg,
+            &cell_label,
+            opts.max_retries,
+            opts.cell_timeout,
+            &mut report.retries,
+        );
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let record = match guarded {
+            Ok(outcome) => {
+                let novel = corpus.record_cell(&label, fs.name(), journal, &outcome);
+                if stream::enabled() {
+                    for (key_fs, key_journal, signature, layer) in &novel {
+                        stream::emit(
+                            stream::EventKind::Finding,
+                            &format!("{key_fs}/{key_journal}"),
+                            1,
+                            &format!("{signature} [{layer:?}] first={label}"),
+                        );
+                    }
+                    stream::emit(
+                        stream::EventKind::Cell,
+                        &cell_label,
+                        wall_ns,
+                        &format!(
+                            "behaviors={} findings={} buggy={}",
+                            corpus.behavior_count(),
+                            corpus.finding_count(),
+                            corpus.buggy_cells,
+                        ),
+                    );
+                }
+                // Bundles first, then the commit-point append: a crash
+                // between them re-runs the cell and rewrites identical
+                // bundles, never the reverse (a record without bundles).
+                if !novel.is_empty() {
+                    if let Some(dir) = &opts.fuzz.findings_out {
+                        report.bundles +=
+                            triage(dir, w, fs, &params, &opts.fuzz.cfg, &novel, &opts.fuzz)?;
+                    }
+                }
+                cell_record(idx, &label, fs.name(), journal, &outcome)
+            }
+            Err(reason) => {
+                report.quarantined += 1;
+                pc_rt::obs::count("campaign.quarantined", 1);
+                pc_warn!("campaign: quarantined {cell_label}: {reason}");
+                fold_quarantine(&mut corpus, &label, fs.name(), journal, &reason);
+                quarantine_record(idx, &label, fs.name(), journal, &reason)
+            }
+        };
+        pc_rt::obs::set_trace_id(0);
+        let mut text = record.pretty();
+        text.push('\n');
+        log.append(text.as_bytes())
+            .map_err(|e| format!("cannot append campaign record {idx}: {e}"))?;
+        report.cells_run += 1;
+        for warning in meter.note_cell(&cell_label, wall_ns) {
+            pc_warn!("{warning}");
+        }
+        meter.maybe_print(
+            corpus.behavior_count(),
+            corpus.finding_count(),
+            corpus.saturation(),
+        );
+        if stream::enabled() {
+            let done = idx + 1;
+            if done % SNAPSHOT_EVERY == 0 || done == total_cells {
+                stream::emit(
+                    stream::EventKind::Snapshot,
+                    "campaign",
+                    done as u64,
+                    &format!(
+                        "cells={done}/{total_cells} behaviors={} findings={} \
+                         rep_states={} saturation_pct={:.0}",
+                        corpus.behavior_count(),
+                        corpus.finding_count(),
+                        corpus.rep_state_count(),
+                        corpus.saturation() * 100.0,
+                    ),
+                );
+            }
+            stream::flush();
+        }
+        if report.cells_run % opts.checkpoint_every == 0 {
+            write_checkpoint(&ckpt_path, idx + 1, &corpus)?;
+        }
+    }
+    write_checkpoint(&ckpt_path, total_cells, &corpus)?;
+    if pc_rt::obs::summary_enabled() {
+        eprintln!(
+            "campaign: campaign.resumed_cells = {}  campaign.retries = {}  \
+             campaign.quarantined = {}",
+            report.resumed_cells, report.retries, report.quarantined,
+        );
+    }
+    report.corpus = corpus;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_rt::durable::{arm_crash, disarm_crash, reset_points, CrashMode, CrashSpec};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Crash-injection and poison state are process-global; serialize
+    /// the campaign tests.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock_tests() -> MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pc-campaign-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_opts(dir: &Path) -> CampaignOptions {
+        let fuzz = FuzzOptions {
+            sample: Some(5),
+            file_systems: vec![FsKind::BeeGfs],
+            ..FuzzOptions::pr_tier()
+        };
+        let mut opts = CampaignOptions::new(fuzz, dir.to_str().unwrap());
+        opts.checkpoint_every = 2;
+        opts
+    }
+
+    #[test]
+    fn campaign_matches_fuzz_and_refuses_clobber() {
+        let _g = lock_tests();
+        disarm_crash();
+        let dir = scratch_dir("basic");
+        let opts = tiny_opts(&dir);
+        let report = run_campaign(&opts).unwrap();
+        assert_eq!(report.total_cells, 5);
+        assert_eq!(report.cells_run, 5);
+        assert_eq!(report.resumed_cells, 0);
+        // Same sweep through the plain fuzzer: identical corpus.
+        let fuzz_report = crate::fuzz_driver::fuzz_campaign(&opts.fuzz).unwrap();
+        assert_eq!(
+            report.corpus.canonical_report(),
+            fuzz_report.corpus.canonical_report(),
+            "campaign and fuzz folds must agree cell-for-cell"
+        );
+        assert!(report.corpus.rep_state_count() > 0, "digests collected");
+        // Re-running without --resume must refuse, not clobber.
+        let err = run_campaign(&opts).unwrap_err();
+        assert!(err.contains("--resume"), "got: {err}");
+        // Resuming a *finished* campaign replays to the same report.
+        let resumed = run_campaign(&CampaignOptions {
+            resume: true,
+            ..tiny_opts(&dir)
+        })
+        .unwrap();
+        assert_eq!(resumed.resumed_cells, 5);
+        assert_eq!(resumed.cells_run, 0);
+        assert_eq!(
+            resumed.corpus.canonical_report(),
+            report.corpus.canonical_report()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_sweep_resumes_byte_identically() {
+        let _g = lock_tests();
+        disarm_crash();
+        let ref_dir = scratch_dir("crash-ref");
+        let reference = run_campaign(&tiny_opts(&ref_dir)).unwrap();
+        // Crash at the 4th durability point: meta append + cells, so
+        // mid-sweep with some cells committed.
+        let dir = scratch_dir("crash-resume");
+        reset_points();
+        arm_crash(CrashSpec {
+            at: 4,
+            tear: Some(9),
+            mode: CrashMode::Panic,
+        });
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(&tiny_opts(&dir))
+        }));
+        disarm_crash();
+        assert!(crashed.is_err(), "armed crash must fire mid-campaign");
+        let resumed = run_campaign(&CampaignOptions {
+            resume: true,
+            ..tiny_opts(&dir)
+        })
+        .unwrap();
+        assert!(resumed.resumed_cells > 0, "some cells survived the crash");
+        assert!(resumed.cells_run > 0, "the tail was re-run");
+        assert_eq!(
+            resumed.corpus.canonical_report(),
+            reference.corpus.canonical_report(),
+            "resume must be byte-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_different_sweep_is_rejected() {
+        let _g = lock_tests();
+        disarm_crash();
+        let dir = scratch_dir("meta");
+        run_campaign(&tiny_opts(&dir)).unwrap();
+        let mut other = tiny_opts(&dir);
+        other.resume = true;
+        other.fuzz.seed = 7;
+        other.fuzz.sample = Some(4);
+        let err = run_campaign(&other).unwrap_err();
+        assert!(err.contains("different sweep"), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watchdog_retries_and_quarantines() {
+        let _g = lock_tests();
+        disarm_crash();
+        let clean_dir = scratch_dir("poison-clean");
+        let clean = run_campaign(&tiny_opts(&clean_dir)).unwrap();
+        let victim = {
+            let opts = tiny_opts(&clean_dir);
+            generated::sample(opts.fuzz.bound, opts.fuzz.seed, 5)[0].label()
+        };
+
+        // panic-once: the retry succeeds, so the corpus is unaffected.
+        let retry_dir = scratch_dir("poison-retry");
+        std::env::set_var(POISON_ENV, format!("{victim}:panic-once"));
+        let retried = run_campaign(&tiny_opts(&retry_dir));
+        std::env::remove_var(POISON_ENV);
+        let retried = retried.unwrap();
+        assert_eq!(retried.retries, 1);
+        assert_eq!(retried.quarantined, 0);
+        assert_eq!(
+            retried.corpus.canonical_report(),
+            clean.corpus.canonical_report(),
+            "a retried transient failure must not change the corpus"
+        );
+
+        // persistent panic: retries exhaust, the cell is quarantined.
+        let q_dir = scratch_dir("poison-quarantine");
+        std::env::set_var(POISON_ENV, format!("{victim}:panic"));
+        let quarantined = run_campaign(&tiny_opts(&q_dir));
+        std::env::remove_var(POISON_ENV);
+        let quarantined = quarantined.unwrap();
+        assert_eq!(quarantined.quarantined, 1);
+        assert!(quarantined.retries >= 2, "bounded retries happened first");
+        let report = quarantined.corpus.canonical_report();
+        assert!(
+            report.contains("quarantined: panicked"),
+            "ledger line missing from: {report}"
+        );
+
+        // hang: the watchdog deadline fires and the cell is quarantined
+        // without any retry (the thread is abandoned, not re-run).
+        let h_dir = scratch_dir("poison-hang");
+        let mut hang_opts = tiny_opts(&h_dir);
+        hang_opts.cell_timeout = Some(Duration::from_millis(800));
+        std::env::set_var(POISON_ENV, format!("{victim}:hang"));
+        let hung = run_campaign(&hang_opts);
+        std::env::remove_var(POISON_ENV);
+        let hung = hung.unwrap();
+        assert_eq!(hung.quarantined, 1);
+        assert!(hung
+            .corpus
+            .canonical_report()
+            .contains("quarantined: cell deadline"));
+
+        // Quarantine state also survives a resume: replay the hang
+        // dir's log without poison; the ledger line must persist.
+        let resumed = run_campaign(&CampaignOptions {
+            resume: true,
+            ..tiny_opts(&h_dir)
+        })
+        .unwrap();
+        assert!(resumed
+            .corpus
+            .canonical_report()
+            .contains("quarantined: cell deadline"));
+
+        for d in [&clean_dir, &retry_dir, &q_dir, &h_dir] {
+            std::fs::remove_dir_all(d).unwrap();
+        }
+    }
+}

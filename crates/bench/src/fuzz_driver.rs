@@ -92,7 +92,12 @@ pub struct FuzzOptions {
 impl FuzzOptions {
     /// The PR-tier defaults: exhaustive bound-2 corpus, BeeGFS +
     /// OrangeFS, data journaling, quick parameters, no triage output.
+    /// Representative-state digests are collected so the corpus (and
+    /// its pinned report) counts distinct crash states, not just
+    /// verdict classes.
     pub fn pr_tier() -> FuzzOptions {
+        let mut cfg = CheckConfig::paper_default();
+        cfg.collect_rep_digests = true;
         FuzzOptions {
             bound: 2,
             seed: 42,
@@ -101,7 +106,7 @@ impl FuzzOptions {
             modes: vec![JournalMode::Data],
             findings_out: None,
             params: Params::quick(),
-            cfg: CheckConfig::paper_default(),
+            cfg,
         }
     }
 }
@@ -224,8 +229,9 @@ pub fn fuzz_campaign(opts: &FuzzOptions) -> Result<FuzzReport, String> {
 
 /// Re-run one novel cell through the explain engine and write one
 /// bundle per novel finding key. Returns the number of bundles written.
+/// Shared with the resumable campaign driver ([`crate::campaign`]).
 #[allow(clippy::too_many_arguments)]
-fn triage(
+pub(crate) fn triage(
     dir: &str,
     w: &GeneratedWorkload,
     fs: FsKind,

@@ -21,6 +21,7 @@ use paracrash::{check_stack, CheckConfig, CheckOutcome, ExploreMode, Inconsisten
 use pc_rt::bench::Sample;
 use workloads::{FsKind, Params, Program};
 
+pub mod campaign;
 pub mod fuzz_driver;
 pub mod progress;
 

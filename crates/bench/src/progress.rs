@@ -144,6 +144,7 @@ impl CampaignMeter {
             if total < *best {
                 *best = total;
             } else if self.regression_cooldown == 0
+                && *best > 0
                 && (total as f64) > (*best as f64) * REGRESSION_FACTOR
             {
                 let (slowest, slow_ns) = self
@@ -166,10 +167,12 @@ impl CampaignMeter {
     }
 
     /// Build the one-line progress meter. `saturation` is the corpus's
-    /// Good–Turing estimate in `[0, 1]`.
+    /// Good–Turing estimate in `[0, 1]`. Total math is guarded against
+    /// the degenerate corpora a filtered campaign can produce (zero
+    /// cells, zero elapsed time): every field renders finite.
     pub fn progress_line(&self, behaviors: usize, findings: usize, saturation: f64) -> String {
         let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 {
+        let rate = if elapsed > 0.0 && self.done > 0 {
             self.done as f64 / elapsed
         } else {
             0.0
@@ -245,6 +248,29 @@ mod tests {
         }
         assert!(warned >= 1, "no regression warning");
         assert!(warned <= 3, "warning spam: {warned}");
+    }
+
+    #[test]
+    fn degenerate_meters_stay_finite() {
+        // Zero-cell campaign (everything filtered out): the line must
+        // render without NaN/inf and claim completion.
+        let m = CampaignMeter::with_progress(0, false);
+        let line = m.progress_line(0, 0, 0.0);
+        assert!(line.contains("0/0 cells (100%)"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        // All-zero wall times (a mocked clock): the regression detector
+        // must not divide by a zero best window.
+        let mut m = CampaignMeter::with_progress(1000, false);
+        for i in 0..WINDOW {
+            assert!(m.note_cell(&format!("z{i}"), 0).is_empty());
+        }
+        for i in 0..WINDOW {
+            for w in m.note_cell(&format!("s{i}"), 1_000_000) {
+                assert!(!w.contains("inf"), "{w}");
+            }
+        }
+        let line = m.progress_line(1, 0, 1.0);
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub struct CheckOutcome {
     /// [`CheckOutcome::canonical_report`], so explain on/off runs stay
     /// byte-identical there.
     pub explanations: Vec<crate::explain::BugExplanation>,
+    /// Digests of the distinct *representative* pre-recovery crash
+    /// states (sorted, deduplicated) — the Pathfinder-style state
+    /// identities the campaign corpus dedups on. Filled only when
+    /// `cfg.collect_rep_digests` is set; engine-invariant (prefix-tree
+    /// and `PC_NAIVE_SNAPSHOTS=1` agree). Like `explanations`, never
+    /// part of [`CheckOutcome::canonical_report`].
+    pub rep_digests: Vec<u64>,
 }
 
 impl CheckOutcome {
@@ -334,6 +341,46 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         Some(prepare_states(rec, stack.pfs.baseline(), &states))
     };
     drop(stage);
+
+    // Representative-state identities for the campaign corpus: one
+    // digest per distinct storage-event sequence, of the materialized
+    // (pre-recovery, pre-widening) snapshot. The prefix-tree engine
+    // reads them straight off its terminals (`rep[i] == i`); the naive
+    // oracle materializes each distinct sequence once — identical
+    // digests by the same equivalence argument as the snapshots
+    // themselves.
+    let rep_digests: Vec<u64> = if cfg.collect_rep_digests {
+        let _stage = pc_rt::obs::span_cat("check.rep_digests", "check");
+        let mut digests: Vec<u64> = match &plan {
+            Some(plan) => plan
+                .rep
+                .iter()
+                .enumerate()
+                .filter(|&(i, &rep)| rep == i)
+                .map(|(i, _)| plan.prepared[i].digest())
+                .collect(),
+            None => {
+                let mut seen: std::collections::BTreeSet<Vec<tracer::EventId>> =
+                    std::collections::BTreeSet::new();
+                let mut digests = Vec::new();
+                for state in &states {
+                    let seq = crate::snapshot::storage_seq(rec, state);
+                    if seen.insert(seq.clone()) {
+                        let mut st = stack.pfs.baseline().deep_clone();
+                        st.apply_events(rec, seq);
+                        digests.push(st.digest());
+                    }
+                }
+                digests
+            }
+        };
+        digests.sort_unstable();
+        digests.dedup();
+        pc_rt::obs::count("check.rep_digests", digests.len() as u64);
+        digests
+    } else {
+        Vec::new()
+    };
 
     // The per-state verdict, shared by the sequential and parallel paths.
     // Torn-write widening (when `cfg.faults.torn_writes`) draws from an
@@ -657,6 +704,7 @@ pub fn check_stack(stack: &Stack, factory: &StackFactory, cfg: &CheckConfig) -> 
         stats,
         diagnostics,
         explanations,
+        rep_digests,
     }
 }
 

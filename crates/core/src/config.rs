@@ -56,6 +56,13 @@ pub struct CheckConfig {
     /// batches by default; `per-probe` is the reference engine the
     /// explain bench compares against).
     pub explain_engine: ReplayEngine,
+    /// Collect the digests of the distinct *representative* crash
+    /// states into [`crate::check::CheckOutcome::rep_digests`]
+    /// (Pathfinder-style state identity for the campaign corpus). Off
+    /// by default — digesting materialized states costs a tree walk per
+    /// representative. Programmatic only: not part of the
+    /// configuration-file format.
+    pub collect_rep_digests: bool,
 }
 
 impl Default for CheckConfig {
@@ -84,6 +91,7 @@ impl CheckConfig {
             fail_fast: false,
             explain: false,
             explain_engine: ReplayEngine::PrefixShared,
+            collect_rep_digests: false,
         }
     }
 

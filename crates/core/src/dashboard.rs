@@ -94,6 +94,7 @@ pub fn render_dashboard(
     let mut first_ts = u64::MAX;
     let mut last_ts = 0u64;
     let mut span_totals: Vec<(String, u64, u64)> = Vec::new(); // name, total, calls
+    let mut campaign_counters: Vec<(String, u64)> = Vec::new(); // campaign.* sums
     for e in &events {
         let kind = e.get("kind").and_then(Json::as_str).unwrap_or("");
         let name = e.get("name").and_then(Json::as_str).unwrap_or("");
@@ -125,6 +126,14 @@ pub fn render_dashboard(
                 }
                 None => span_totals.push((name.to_string(), value, 1)),
             },
+            // Campaign robustness counters (resumed cells, retries,
+            // quarantines) are deltas: sum them per name.
+            "counter" if name.starts_with("campaign.") => {
+                match campaign_counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += value,
+                    None => campaign_counters.push((name.to_string(), value)),
+                }
+            }
             _ => {}
         }
     }
@@ -200,6 +209,7 @@ pub fn render_dashboard(
     }
     b.push_str("</section>\n");
 
+    render_campaign_robustness(&mut b, &campaign_counters);
     render_coverage_curve(&mut b, &cells);
     render_stage_breakdown(&mut b, &span_totals);
     render_heatmap(&mut b, &heat);
@@ -207,6 +217,42 @@ pub fn render_dashboard(
 
     b.push_str("</main>\n</body>\n</html>\n");
     Ok(b)
+}
+
+/// Campaign robustness tiles — rendered only when the stream carries
+/// `campaign.*` counters (a `paracrash campaign` run): cells recovered
+/// from the durable log, watchdog retries, and quarantined cells. A
+/// plain `fuzz` run has none, and the section is omitted entirely.
+fn render_campaign_robustness(b: &mut String, counters: &[(String, u64)]) {
+    if counters.is_empty() {
+        return;
+    }
+    let sum = |name: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    b.push_str("<section data-metric=\"campaign-robustness\">\n<h2>Campaign robustness</h2>\n");
+    b.push_str("<div class=\"tiles\">\n");
+    for (metric, label, value) in [
+        (
+            "resumed-cells",
+            "cells resumed from log",
+            sum("campaign.resumed_cells"),
+        ),
+        ("retries", "watchdog retries", sum("campaign.retries")),
+        (
+            "quarantined",
+            "quarantined cells",
+            sum("campaign.quarantined"),
+        ),
+    ] {
+        b.push_str(&format!(
+            "<div class=\"tile\" data-metric=\"{metric}\"><div class=\"tile-value\">{value}</div><div class=\"tile-label\">{label}</div></div>\n",
+        ));
+    }
+    b.push_str("</div>\n</section>\n");
 }
 
 /// Coverage curve: behavior classes (series 1) and findings (series 2)
@@ -588,6 +634,35 @@ mod tests {
         // Self-contained: no scripts, no external references.
         assert!(!html.contains("<script"));
         assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn campaign_counters_render_their_own_tiles() {
+        // Plain fuzz stream: no campaign section at all.
+        let html = render_dashboard(&stream(), None, &[]).unwrap();
+        assert!(!html.contains("campaign-robustness"));
+        // Campaign stream: counter deltas sum into the robustness tiles.
+        let mut s = stream();
+        for (seq, name, value) in [
+            (103, "campaign.resumed_cells", 4),
+            (104, "campaign.retries", 2),
+            (105, "campaign.retries", 1),
+            (106, "campaign.quarantined", 1),
+        ] {
+            s.push_str(&format!(
+                "{{\"seq\":{seq},\"ts_ns\":9300,\"kind\":\"counter\",\"name\":\"{name}\",\
+                 \"value\":{value},\"detail\":\"\",\"trace_id\":0}}\n",
+            ));
+        }
+        let html = render_dashboard(&s, None, &[]).unwrap();
+        assert!(html.contains("data-metric=\"campaign-robustness\""));
+        for metric in ["resumed-cells", "retries", "quarantined"] {
+            assert!(
+                html.contains(&format!("data-metric=\"{metric}\"")),
+                "{metric}"
+            );
+        }
+        assert!(html.contains(">4<") && html.contains(">3<") && html.contains(">1<"));
     }
 
     #[test]

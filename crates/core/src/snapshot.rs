@@ -91,7 +91,7 @@ pub struct SnapshotPlan {
 /// `ServerStates::apply_events` applies them. Non-storage events are
 /// no-ops for materialization and are dropped so they cannot break
 /// prefix sharing between states that differ only in upper-layer events.
-fn storage_seq(rec: &Recorder, state: &CrashState) -> Vec<EventId> {
+pub(crate) fn storage_seq(rec: &Recorder, state: &CrashState) -> Vec<EventId> {
     let mut ids: Vec<EventId> = state
         .persisted
         .iter()

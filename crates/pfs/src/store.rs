@@ -189,6 +189,21 @@ impl ServerStates {
         self.stores.iter().enumerate().map(|(i, s)| (i as u32, s))
     }
 
+    /// Canonical digest of the whole cluster state: FNV-1a over the
+    /// per-server [`Store::digest`] words in server order. Equal states
+    /// hash equal whatever engine materialized them — the key the
+    /// campaign's representative-state corpus dedups on.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for store in &self.stores {
+            for byte in store.digest().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Apply a *subset* of recorded lowermost-level events (a crash
     /// state) in trace order. Non-storage events in `ids` are ignored.
     pub fn apply_events(&mut self, rec: &Recorder, ids: impl IntoIterator<Item = EventId>) {

@@ -26,6 +26,10 @@
 //! * [`mod@bench`] — a wall-clock microbenchmark harness with warmup,
 //!   median/p95 reporting and machine-readable results (replaces
 //!   `criterion` for `pc-bench`'s benches).
+//! * [`durable`] — crash-safe on-disk primitives (an append-only
+//!   CRC-checked record log with torn-tail recovery, atomic-rename
+//!   checkpoints, and the `PC_DURABLE_CRASH` self-crash-testing hook)
+//!   backing the resumable campaign engine.
 //! * [`obs`] — structured telemetry (spans, counters, gauges,
 //!   histograms, a leveled logger) for the checker pipeline itself
 //!   (replaces `tracing`). Off by default; `PC_TRACE` / `PC_LOG`
@@ -54,6 +58,7 @@
 //! ```
 
 pub mod bench;
+pub mod durable;
 pub mod intern;
 pub mod obs;
 pub mod pool;

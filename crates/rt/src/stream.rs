@@ -341,8 +341,11 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Option<Sink>> {
 /// Attach a JSON-lines sink at `path` (truncating), write the
 /// schema-version header line, enable the stream *and* the telemetry
 /// registry, and install the panic-flush hook. Everything still live in
-/// the ring at attach time is flushed on the next [`flush`].
+/// the ring at attach time is flushed on the next [`flush`]. Missing
+/// parent directories are created, so `--events-out runs/a/ev.jsonl`
+/// works on a fresh checkout.
 pub fn set_sink(path: &str) -> std::io::Result<()> {
+    crate::durable::ensure_parent_dir(std::path::Path::new(path))?;
     let file = std::fs::File::create(path)?;
     let mut out = std::io::BufWriter::new(file);
     let cap = ring().read().unwrap_or_else(|e| e.into_inner()).slots.len();

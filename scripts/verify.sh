@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Twelve gates:
+# Thirteen gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -57,6 +57,14 @@
 #      dashboard that passes the HTML lint (`events-check --html`), and
 #      the *disabled* flight-recorder overhead must stay under 3%
 #      (`stream-overhead`).
+#  13. Crash-safe campaign — `durable-check` fuzzes the record log's
+#      torn-tail recovery; a `paracrash campaign` killed by injected
+#      crashes (`PC_DURABLE_CRASH`, exit mode, rc 137) mid-append, with
+#      a torn partial record, and mid-checkpoint (before the atomic
+#      rename), and by a real mid-sweep SIGKILL, must `--resume` to a
+#      report byte-identical to an uninterrupted run — sequential and
+#      parallel — and refuse to clobber existing state without
+#      `--resume`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -249,5 +257,63 @@ target/release/paracrash report --events "$tmp/events-par.jsonl" \
     --out "$tmp/report.html"
 target/release/events-check --html "$tmp/report.html"
 target/release/stream-overhead
+
+echo "== gate 13: crash-safe resumable campaign =="
+# Torn-tail recovery fuzz on the durable record log itself.
+target/release/durable-check
+# Reference: one uninterrupted small campaign.
+camp="campaign --sample 25 --fs BeeGFS --checkpoint-every 8"
+# shellcheck disable=SC2086
+target/release/paracrash $camp --state-dir "$tmp/camp-ref" \
+    > "$tmp/camp-ref.txt" 2> /dev/null
+# Existing state without --resume must refuse with exit 2, not clobber.
+# shellcheck disable=SC2086
+if target/release/paracrash $camp --state-dir "$tmp/camp-ref" \
+    > /dev/null 2>&1; then
+    echo "FAIL: campaign clobbered existing state without --resume"
+    exit 1
+fi
+# Injected kill mid-append with a torn partial record (exit mode looks
+# like SIGKILL: rc 137), then resume; the report must be byte-identical.
+# shellcheck disable=SC2086
+PC_DURABLE_CRASH=at=7,tear=5 target/release/paracrash $camp \
+    --state-dir "$tmp/camp-torn" > /dev/null 2>&1 && {
+    echo "FAIL: injected crash did not kill the campaign"; exit 1; }
+# shellcheck disable=SC2086
+target/release/paracrash $camp --state-dir "$tmp/camp-torn" --resume \
+    > "$tmp/camp-torn.txt" 2> /dev/null
+diff "$tmp/camp-ref.txt" "$tmp/camp-torn.txt"
+# Injected kill mid-checkpoint: point 12 is the first checkpoint's
+# pre-rename window (tmp fully written, rename never happened — the
+# old checkpoint must win).
+# shellcheck disable=SC2086
+PC_DURABLE_CRASH=at=12 target/release/paracrash $camp \
+    --state-dir "$tmp/camp-ckpt" > /dev/null 2>&1 && {
+    echo "FAIL: mid-checkpoint crash did not kill the campaign"; exit 1; }
+# Resume sequentially: recovery + the re-checked tail must also be
+# thread-count invariant.
+# shellcheck disable=SC2086
+PC_THREADS=1 target/release/paracrash $camp --state-dir "$tmp/camp-ckpt" \
+    --resume > "$tmp/camp-ckpt.txt" 2> /dev/null
+diff "$tmp/camp-ref.txt" "$tmp/camp-ckpt.txt"
+# A real SIGKILL mid-sweep (no injection). If the campaign wins the
+# race and finishes, resume degrades to a pure replay — still diffed.
+# shellcheck disable=SC2086
+target/release/paracrash $camp --state-dir "$tmp/camp-kill" \
+    > /dev/null 2>&1 & camp_pid=$!
+sleep 0.4
+kill -9 "$camp_pid" 2> /dev/null || true
+wait "$camp_pid" 2> /dev/null || true
+# shellcheck disable=SC2086
+target/release/paracrash $camp --state-dir "$tmp/camp-kill" --resume \
+    > "$tmp/camp-kill.txt" 2> /dev/null
+diff "$tmp/camp-ref.txt" "$tmp/camp-kill.txt"
+# Satellite: --events-out under a campaign creates missing parent dirs
+# and the stream re-parses (campaign.* counters ride the same stream).
+# shellcheck disable=SC2086
+target/release/paracrash $camp --state-dir "$tmp/camp-ev" \
+    --events-out "$tmp/nested/dirs/camp-events.jsonl" \
+    > /dev/null 2> /dev/null
+target/release/events-check "$tmp/nested/dirs/camp-events.jsonl"
 
 echo "verify: OK"

@@ -43,7 +43,7 @@ fn observable(outcome: &CheckOutcome) -> String {
     bugs.sort();
     format!(
         "pfs={} bugs={:?} raw={} h5_bad_pfs_ok={} total={} checked={} pruned={} \
-         rebuilds={} sim={} replays={}",
+         rebuilds={} sim={} replays={} reps={:?}",
         outcome.pfs_name,
         bugs,
         outcome.raw_inconsistent_states,
@@ -54,6 +54,7 @@ fn observable(outcome: &CheckOutcome) -> String {
         outcome.stats.server_rebuilds,
         outcome.stats.sim_seconds,
         outcome.stats.legal_replays,
+        outcome.rep_digests,
     )
 }
 
@@ -74,8 +75,13 @@ fn engines_report_identical_outcomes() {
     ];
     let params = Params::quick();
     for (program, fs, mode) in cells {
+        // Representative-state digests are engine-derived (prefix-tree
+        // terminals vs per-distinct-sequence naive materialization), so
+        // they are part of the equivalence contract: collect them here
+        // and let `observable` compare the exact digest sets.
         let cfg = CheckConfig {
             mode,
+            collect_rep_digests: true,
             ..CheckConfig::paper_default()
         };
         std::env::remove_var("PC_NAIVE_SNAPSHOTS");
