@@ -16,8 +16,10 @@
 //! `BENCH_scale.json`), `simfs`/`pfs`/`tracer`/`paracrash`/`h5sim`
 //! substrate micro-benches, `ablation-victims` / `ablation-journal`,
 //! `telemetry`, `faults`, `explain` (witness-shrinking cost with and
-//! without prefix-sharing), and `fuzz` (generated-workload enumeration
-//! and campaign throughput).
+//! without prefix-sharing), `fuzz` (generated-workload enumeration
+//! and campaign throughput), and `profiling` (sampler-on vs -off
+//! engine throughput and per-stage allocation accounting — the
+//! committed `BENCH_profiling.json`).
 //!
 //! Bare `--json` writes one `BENCH_<group>.json` per registration group
 //! (`substrate`, `explore`, `scalability`, `ablation`) at the repo root;
@@ -28,7 +30,7 @@ use pc_bench::{bench_samples_json, benches};
 use pc_rt::bench::Bench;
 
 /// Registration groups in registration order: group name → suite.
-const SUITES: [(&str, fn(&mut Bench)); 9] = [
+const SUITES: [(&str, fn(&mut Bench)); 10] = [
     ("substrate", benches::substrate::register),
     ("explore", benches::explore::register),
     ("scalability", benches::scalability::register),
@@ -38,6 +40,7 @@ const SUITES: [(&str, fn(&mut Bench)); 9] = [
     ("faults", benches::faults::register),
     ("explain", benches::explain::register),
     ("fuzz", benches::fuzz::register),
+    ("profiling", benches::profiling::register),
 ];
 
 fn main() {

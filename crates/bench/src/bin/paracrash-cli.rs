@@ -56,9 +56,25 @@
 //! paracrash report --events events.jsonl --telemetry trace.json \
 //!           --bench BENCH_fuzz.json --out report.html
 //! ```
+//!
+//! Self-profiling: `--profile-out FILE` (or `PC_PROFILE=FILE`) arms the
+//! cooperative sampling profiler — worker threads publish their span
+//! stacks through a seqlock shadow, a sampler thread folds them at
+//! `PC_PROF_HZ` — and writes an inferno-compatible `.folded` aggregate
+//! on exit; `report --profile FILE` renders it as a no-script SVG flame
+//! view. `--history-dir DIR` appends one perf record per run (states/s,
+//! per-stage ns, allocation bytes, peak RSS) to a durable CRC-checked
+//! log that the `history` subcommand reads back:
+//!
+//! ```sh
+//! paracrash fuzz --bound 2 --profile-out fuzz.folded --history-dir perf-history
+//! paracrash history diff --history-dir perf-history --band 1.5
+//! paracrash report --events events.jsonl --profile fuzz.folded
+//! ```
 
 use h5sim::json::Json;
 use paracrash::dashboard::render_dashboard;
+use paracrash::history;
 use paracrash::telemetry::{chrome_trace, telemetry_json};
 use paracrash::CheckConfig;
 use pc_bench::campaign::{run_campaign, CampaignOptions};
@@ -88,6 +104,82 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// What an output-path flag names on disk.
+enum OutTarget {
+    /// A directory the run writes files into (created in full).
+    Dir,
+    /// A single output file (its parent directories are created).
+    File,
+}
+
+/// Validate an output path at launch: create the directory — or the
+/// file's parent directories — so an unwritable target fails *here*
+/// with exit 2 instead of hours into a campaign when the first write
+/// lands. Shared by every `*-out` / `*-dir` flag; returns the path
+/// back for assignment-style call sites.
+fn prepare_out(target: OutTarget, flag: &str, path: String) -> String {
+    let result = match target {
+        OutTarget::Dir => std::fs::create_dir_all(&path),
+        OutTarget::File => pc_rt::durable::ensure_parent_dir(std::path::Path::new(&path)),
+    };
+    result.unwrap_or_else(|e| die(format_args!("cannot prepare {flag} {path}: {e}")));
+    path
+}
+
+/// Arm the self-profiling plane for a `--profile-out` run: telemetry
+/// on (spans must exist to be sampled), sampler thread running at
+/// `PC_PROF_HZ`, and the `.folded` output path armed for
+/// [`finish_profile_and_history`] to flush.
+fn arm_profile(path: String) {
+    pc_rt::obs::set_enabled(true);
+    pc_rt::obs::prof::enable_sampling(pc_rt::obs::prof::hz_from_env());
+    pc_rt::obs::prof::arm_output(path);
+}
+
+/// Output options that need carrying to the end of the run (the
+/// profiler arms process-global state instead).
+#[derive(Default)]
+struct ProfOpts {
+    /// `--history-dir`: append one perf record to this durable log.
+    history_dir: Option<String>,
+}
+
+/// Flush the self-profiling plane at the end of a run: write the armed
+/// `.folded` profile (if any) and append one perf record to the
+/// `--history-dir` log. Failures are I/O errors on explicitly
+/// requested output paths, so they exit 1 like the other end-of-run
+/// writers.
+fn finish_profile_and_history(
+    prof_opts: &ProfOpts,
+    kind: &str,
+    label: &str,
+    work: u64,
+    wall: Duration,
+) {
+    match pc_rt::obs::prof::finish() {
+        Ok(Some(path)) => pc_rt::pc_info!(
+            "profile written to {} ({} samples)",
+            path.display(),
+            pc_rt::obs::prof::samples_total()
+        ),
+        Ok(None) => {}
+        Err(e) => {
+            pc_rt::pc_error!("cannot write profile: {e}");
+            std::process::exit(1);
+        }
+    }
+    let Some(dir) = &prof_opts.history_dir else {
+        return;
+    };
+    let snap = pc_rt::obs::snapshot();
+    let rec = history::RunRecord::from_run(kind, label, work, wall.as_nanos() as u64, &snap);
+    if let Err(e) = history::append(std::path::Path::new(dir), &rec) {
+        pc_rt::pc_error!("cannot append history record to {dir}: {e}");
+        std::process::exit(1);
+    }
+    pc_rt::pc_info!("history record appended to {dir}/{}", history::HISTORY_LOG);
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: paracrash --fs <BeeGFS|OrangeFS|GlusterFS|GPFS|Lustre|ext4|all>\n\
@@ -96,14 +188,18 @@ fn usage() -> ! {
          \x20                [--faults <spec>|chaos] [--fail-fast]\n\
          \x20                [--telemetry-out <file>] [--telemetry-format <json|chrome>]\n\
          \x20                [--explain-out <dir>] [--events-out <file>]\n\
+         \x20                [--profile-out <file>] [--history-dir <dir>]\n\
          \x20      paracrash fuzz [--bound <n>] [--seed <n>] [--sample <n>]\n\
          \x20                [--fs <list|all>] [--modes <data,ordered,writeback,none|all>]\n\
          \x20                [--findings-out <dir>] [--events-out <file>] [--paper]\n\
+         \x20                [--profile-out <file>] [--history-dir <dir>]\n\
          \x20      paracrash campaign [fuzz flags] [--state-dir <dir>] [--resume]\n\
          \x20                [--cell-timeout <secs>] [--max-retries <n>]\n\
          \x20                [--checkpoint-every <n>]\n\
          \x20      paracrash report --events <file> [--telemetry <file>]\n\
-         \x20                [--bench <file>]... [--out <file>]\n\n\
+         \x20                [--bench <file>]... [--profile <file>] [--out <file>]\n\
+         \x20      paracrash history <show|diff|regressions>\n\
+         \x20                [--history-dir <dir>] [--band <ratio>]\n\n\
          `campaign` is the crash-safe resumable sweep: every cell commits\n\
          to an append-only CRC-checked log under `--state-dir`, checkpoints\n\
          land atomically, and `--resume` replays the log to continue a\n\
@@ -112,8 +208,16 @@ fn usage() -> ! {
          are quarantined, not fatal.\n\n\
          `--events-out` streams flight-recorder events (cells, findings,\n\
          spans, campaign snapshots) as JSON lines while the run is live;\n\
-         `report` renders them (plus optional telemetry JSON and BENCH_*.json\n\
-         suites) into one self-contained HTML dashboard.\n\n\
+         `report` renders them (plus optional telemetry JSON, BENCH_*.json\n\
+         suites, and a `--profile` .folded aggregate as an SVG flame view)\n\
+         into one self-contained HTML dashboard.\n\n\
+         `--profile-out` arms the cooperative sampling profiler (rate from\n\
+         PC_PROF_HZ, default 97 Hz) and writes a flamegraph-compatible\n\
+         .folded stack aggregate on exit; PC_PROFILE=FILE is the env-var\n\
+         spelling. `--history-dir` appends one perf record per run to a\n\
+         durable CRC-checked log; `history show|diff|regressions` renders,\n\
+         compares (last two runs), or scans it, flagging any metric that\n\
+         slowed by more than `--band` (default 1.5x) with exit 1.\n\n\
          `--faults` takes a comma-separated spec (seed=N,drop=R,dup=R,delay=R,\n\
          retries=N,partition=S[:H],torn=BOOL) or the word `chaos`; the\n\
          PC_CHAOS_SEED / PC_FAULT_RATE environment variables arm the same\n\
@@ -126,14 +230,15 @@ fn usage() -> ! {
 
 /// Parse one flag shared between the `fuzz` and `campaign` subcommands
 /// into `opts`; returns `false` when the flag is not a fuzz flag so the
-/// caller can try its own set. `--events-out` attaches the stream sink
-/// immediately (creating missing parent directories); `--findings-out`
-/// is validated up front so an unwritable triage directory fails at
-/// launch with exit 2 instead of hours in when the first novel finding
-/// lands.
+/// caller can try its own set. Every output path goes through
+/// [`prepare_out`] so an unwritable target fails at launch with exit 2
+/// instead of hours in: `--events-out` attaches the stream sink
+/// immediately, `--profile-out` arms the sampling profiler, and
+/// `--history-dir` is carried in `prof_opts` for the end-of-run append.
 fn parse_fuzz_flag(
     opts: &mut FuzzOptions,
     paper: &mut bool,
+    prof_opts: &mut ProfOpts,
     a: &str,
     value: &mut dyn FnMut(&str) -> String,
 ) -> bool {
@@ -179,15 +284,31 @@ fn parse_fuzz_flag(
                 parse_modes(&spec).unwrap_or_else(|| die(format_args!("bad --modes spec: {spec}")));
         }
         "--findings-out" => {
-            let dir = value("--findings-out");
-            std::fs::create_dir_all(&dir)
-                .unwrap_or_else(|e| die(format_args!("cannot create --findings-out {dir}: {e}")));
-            opts.findings_out = Some(dir);
+            opts.findings_out = Some(prepare_out(
+                OutTarget::Dir,
+                "--findings-out",
+                value("--findings-out"),
+            ));
         }
         "--events-out" => {
-            let path = value("--events-out");
+            let path = prepare_out(OutTarget::File, "--events-out", value("--events-out"));
             pc_rt::obs::stream::set_sink(&path)
                 .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
+        }
+        "--profile-out" => {
+            arm_profile(prepare_out(
+                OutTarget::File,
+                "--profile-out",
+                value("--profile-out"),
+            ));
+        }
+        "--history-dir" => {
+            pc_rt::obs::set_enabled(true);
+            prof_opts.history_dir = Some(prepare_out(
+                OutTarget::Dir,
+                "--history-dir",
+                value("--history-dir"),
+            ));
         }
         "--paper" => *paper = true,
         _ => return false,
@@ -201,6 +322,7 @@ fn parse_fuzz_flag(
 fn run_fuzz(args: &[String]) -> ! {
     let mut opts = FuzzOptions::pr_tier();
     let mut paper = false;
+    let mut prof_opts = ProfOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| {
@@ -208,7 +330,7 @@ fn run_fuzz(args: &[String]) -> ! {
                 .cloned()
                 .unwrap_or_else(|| die(format_args!("{what} needs a value")))
         };
-        if parse_fuzz_flag(&mut opts, &mut paper, a, &mut value) {
+        if parse_fuzz_flag(&mut opts, &mut paper, &mut prof_opts, a, &mut value) {
             continue;
         }
         match a.as_str() {
@@ -224,8 +346,16 @@ fn run_fuzz(args: &[String]) -> ! {
     }
     let start = std::time::Instant::now();
     let report = fuzz_campaign(&opts).unwrap_or_else(|e| die(format_args!("{e}")));
-    let secs = start.elapsed().as_secs_f64();
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64();
     pc_rt::obs::stream::close();
+    finish_profile_and_history(
+        &prof_opts,
+        "fuzz",
+        &format!("bound={} seed={}", opts.bound, opts.seed),
+        report.corpus.cells as u64,
+        wall,
+    );
     print!("{}", report.corpus.canonical_report());
     pc_rt::pc_info!(
         "fuzz: {} workloads, {} cells in {:.1}s ({:.1} workloads/s), {} findings, {} bundles",
@@ -246,6 +376,7 @@ fn run_fuzz(args: &[String]) -> ! {
 fn run_campaign_cli(args: &[String]) -> ! {
     let mut opts = CampaignOptions::new(FuzzOptions::pr_tier(), "campaign-state");
     let mut paper = false;
+    let mut prof_opts = ProfOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| {
@@ -253,7 +384,7 @@ fn run_campaign_cli(args: &[String]) -> ! {
                 .cloned()
                 .unwrap_or_else(|| die(format_args!("{what} needs a value")))
         };
-        if parse_fuzz_flag(&mut opts.fuzz, &mut paper, a, &mut value) {
+        if parse_fuzz_flag(&mut opts.fuzz, &mut paper, &mut prof_opts, a, &mut value) {
             continue;
         }
         match a.as_str() {
@@ -293,8 +424,16 @@ fn run_campaign_cli(args: &[String]) -> ! {
     }
     let start = std::time::Instant::now();
     let report = run_campaign(&opts).unwrap_or_else(|e| die(format_args!("{e}")));
-    let secs = start.elapsed().as_secs_f64();
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64();
     pc_rt::obs::stream::close();
+    finish_profile_and_history(
+        &prof_opts,
+        "campaign",
+        &format!("bound={} seed={}", opts.fuzz.bound, opts.fuzz.seed),
+        report.corpus.cells as u64,
+        wall,
+    );
     print!("{}", report.corpus.canonical_report());
     pc_rt::pc_info!(
         "campaign: {}/{} cells this run ({} resumed, {} retries, {} quarantined) \
@@ -318,6 +457,7 @@ fn run_report(args: &[String]) -> ! {
     let mut events_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut bench_paths: Vec<String> = Vec::new();
+    let mut profile_path: Option<String> = None;
     let mut out_path = "paracrash-report.html".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -330,6 +470,7 @@ fn run_report(args: &[String]) -> ! {
             "--events" => events_path = Some(value("--events")),
             "--telemetry" => telemetry_path = Some(value("--telemetry")),
             "--bench" => bench_paths.push(value("--bench")),
+            "--profile" => profile_path = Some(value("--profile")),
             "--out" => out_path = value("--out"),
             "--help" | "-h" => usage(),
             other => {
@@ -358,8 +499,14 @@ fn run_report(args: &[String]) -> ! {
             (p.clone(), j)
         })
         .collect();
-    let html = render_dashboard(&events_text, telemetry.as_ref(), &benches)
-        .unwrap_or_else(|e| die(format_args!("bad event stream {events_path}: {e}")));
+    let profile_text = profile_path.as_deref().map(read);
+    let html = render_dashboard(
+        &events_text,
+        telemetry.as_ref(),
+        &benches,
+        profile_text.as_deref(),
+    )
+    .unwrap_or_else(|e| die(format_args!("bad report input ({events_path}): {e}")));
     std::fs::write(&out_path, &html)
         .unwrap_or_else(|e| die(format_args!("cannot write {out_path}: {e}")));
     println!(
@@ -367,6 +514,74 @@ fn run_report(args: &[String]) -> ! {
         html.len()
     );
     std::process::exit(0);
+}
+
+/// The `history` subcommand: render, compare, or scan the durable
+/// perf-history log that `--history-dir` runs append to. `diff`
+/// compares the last two records and `regressions` walks every
+/// consecutive pair; both exit 1 when a headline metric slowed by
+/// `--band` or more, so CI can gate on run-to-run drift.
+fn run_history(args: &[String]) -> ! {
+    let mut dir = "perf-history".to_string();
+    let mut band = history::DEFAULT_BAND;
+    let mut action: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format_args!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--history-dir" => dir = value("--history-dir"),
+            "--band" => {
+                band = value("--band")
+                    .parse()
+                    .unwrap_or_else(|_| die(format_args!("--band must be a ratio")));
+                if !band.is_finite() || band <= 1.0 {
+                    die(format_args!("--band must be a finite ratio above 1.0"));
+                }
+            }
+            "show" | "diff" | "regressions" if action.is_none() => action = Some(a.clone()),
+            "--help" | "-h" => usage(),
+            other => {
+                pc_rt::pc_error!("unknown history argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(action) = action else {
+        pc_rt::pc_error!("history needs an action: show, diff, or regressions");
+        usage();
+    };
+    let records = history::load(std::path::Path::new(&dir))
+        .unwrap_or_else(|e| die(format_args!("cannot load history from {dir}: {e}")));
+    match action.as_str() {
+        "show" => {
+            print!("{}", history::render_show(&records));
+            std::process::exit(0);
+        }
+        "diff" => {
+            if records.len() < 2 {
+                die(format_args!(
+                    "history diff needs at least two recorded runs in {dir} (found {})",
+                    records.len()
+                ));
+            }
+            let (text, flagged) = history::diff(
+                &records[records.len() - 2],
+                &records[records.len() - 1],
+                band,
+            );
+            print!("{text}");
+            std::process::exit(i32::from(flagged));
+        }
+        _ => {
+            let (text, flagged) = history::regressions(&records, band);
+            print!("{text}");
+            std::process::exit(i32::from(flagged));
+        }
+    }
 }
 
 fn main() {
@@ -380,6 +595,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("report") {
         run_report(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("history") {
+        run_history(&args[1..]);
+    }
     let mut fs_arg = None;
     let mut program_arg = None;
     let mut config_path = None;
@@ -391,10 +609,37 @@ fn main() {
     let mut fail_fast = false;
     let mut explain_out: Option<String> = None;
     let mut events_out: Option<String> = None;
+    let mut prof_opts = ProfOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format_args!("{what} needs a value")))
+        };
         match a.as_str() {
-            "--events-out" => events_out = it.next().cloned(),
+            "--events-out" => {
+                events_out = Some(prepare_out(
+                    OutTarget::File,
+                    "--events-out",
+                    value("--events-out"),
+                ));
+            }
+            "--profile-out" => {
+                arm_profile(prepare_out(
+                    OutTarget::File,
+                    "--profile-out",
+                    value("--profile-out"),
+                ));
+            }
+            "--history-dir" => {
+                pc_rt::obs::set_enabled(true);
+                prof_opts.history_dir = Some(prepare_out(
+                    OutTarget::Dir,
+                    "--history-dir",
+                    value("--history-dir"),
+                ));
+            }
             "--fs" => fs_arg = it.next().cloned(),
             "--program" => program_arg = it.next().cloned(),
             "--config" => config_path = it.next().cloned(),
@@ -430,6 +675,7 @@ fn main() {
     }
     // Outermost span: everything from configuration to the last verdict
     // lands under it, so the emitted timeline covers the full run.
+    let start = std::time::Instant::now();
     let cli_span = pc_rt::obs::span_cat("cli.run", "cli");
 
     let mut cfg = CheckConfig::paper_default();
@@ -518,9 +764,11 @@ fn main() {
 
     let mut total_bugs = 0usize;
     let mut total_bundles = 0usize;
+    let mut total_states_checked = 0u64;
     for &program in &programs {
         for &fs in &systems {
             let cell = run_program_swept(program, fs, &params, &cfg);
+            total_states_checked += cell.outcome.stats.states_checked as u64;
             println!(
                 "== {} on {} ==  ({} crash states, {} checked, {} pruned, {:.1}s simulated)",
                 program.name(),
@@ -575,6 +823,13 @@ fn main() {
     }
     drop(cli_span);
     pc_rt::obs::stream::close();
+    finish_profile_and_history(
+        &prof_opts,
+        "check",
+        &format!("{program_arg} on {fs_arg}"),
+        total_states_checked,
+        start.elapsed(),
+    );
     if let Some(path) = &telemetry_out {
         let snap = pc_rt::obs::snapshot();
         let json = if telemetry_format == "chrome" {

@@ -1,0 +1,109 @@
+//! Verify gate 14 helper: validate self-profiling artifacts.
+//!
+//! ```sh
+//! prof-check run.folded                    # emitted profile re-parses
+//! prof-check --bench BENCH_profiling.json  # committed suite invariants
+//! ```
+//!
+//! The `.folded` mode re-parses an emitted profile with the same parser
+//! the dashboard flame view uses and asserts the canonical shape: at
+//! least one stack, every count positive, lines unique and sorted (the
+//! deterministic render order CI can diff).
+//!
+//! The `--bench` mode checks the committed `BENCH_profiling.json`
+//! pins: both sampler samples measured real throughput, and the
+//! allocation samples carry a positive `tracer` per-event allocation
+//! baseline (the ROADMAP extreme-scale round-2 pin).
+
+use h5sim::json::Json;
+use pc_rt::obs::prof;
+
+fn fail(msg: std::fmt::Arguments<'_>) -> ! {
+    pc_rt::pc_error!("{msg}");
+    std::process::exit(1);
+}
+
+/// Field `key` of the sample named `name`, which must exist and be > 0.
+fn positive(doc: &Json, name: &str, key: &str) -> u64 {
+    let Some(samples) = doc.as_arr() else {
+        fail(format_args!("bench JSON is not an array"));
+    };
+    let Some(sample) = samples
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+    else {
+        fail(format_args!("bench JSON has no sample named {name}"));
+    };
+    let Some(v) = sample.get(key).and_then(Json::as_int) else {
+        fail(format_args!("sample {name} has no numeric field {key}"));
+    };
+    if v == 0 {
+        fail(format_args!("sample {name}: {key} must be positive"));
+    }
+    v
+}
+
+fn check_bench(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(format_args!("bad bench JSON {path}: {e}")));
+    let off = positive(&doc, "profiling/sampler-off/16-servers", "states_per_sec");
+    let on = positive(&doc, "profiling/sampler-on/16-servers", "states_per_sec");
+    for servers in ["16", "64"] {
+        let name = format!("profiling/alloc/{servers}-servers");
+        positive(&doc, &name, "alloc_bytes");
+        positive(&doc, &name, "alloc_peak_bytes");
+        positive(&doc, &name, "trace_events");
+        positive(&doc, &name, "trace_bytes_per_event");
+    }
+    println!(
+        "prof-check: {path} OK (sampler off {off} / on {on} states/sec, \
+         alloc baselines pinned at 16 and 64 servers)"
+    );
+}
+
+fn check_folded(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let rows = prof::parse_folded(&text)
+        .unwrap_or_else(|e| fail(format_args!("bad .folded profile {path}: {e}")));
+    if rows.is_empty() {
+        fail(format_args!("{path}: profile has no stacks"));
+    }
+    let mut total = 0u64;
+    for (stack, count) in &rows {
+        if *count == 0 {
+            fail(format_args!(
+                "{path}: stack {} has count 0",
+                stack.join(";")
+            ));
+        }
+        total += count;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted != lines {
+        fail(format_args!(
+            "{path}: stacks are not unique and sorted (non-canonical render)"
+        ));
+    }
+    println!(
+        "prof-check: {path} OK ({} stacks, {total} samples, canonical order)",
+        rows.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--bench" => check_bench(path),
+        [path] if !path.starts_with('-') => check_folded(path),
+        _ => {
+            pc_rt::pc_error!("usage: prof-check <file.folded> | prof-check --bench <BENCH.json>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Asserts the self-profiling plane's *disabled* overhead budget
+//! (verify gate 14): with no `PC_PROFILE` and no `--profile-out`, every
+//! profiling site must reduce to one relaxed atomic load — the span
+//! open/close hooks check the planes mask once, and the counting
+//! `#[global_allocator]` checks it once per allocation before falling
+//! straight through to `System`.
+//!
+//! As with `telemetry-overhead`, there is no profiler-free build to
+//! diff against, so the bound is computed:
+//!
+//! 1. measure the per-call cost `c` of a disabled plane check over ~2M
+//!    iterations;
+//! 2. measure the median wall time `t_off` of the snapshot-engine
+//!    microbench (ARVR on BeeGFS) with every plane off;
+//! 3. count the sites the same workload would check with the planes
+//!    *on*: span opens (`TelemetrySnapshot::ops` + dropped spans) plus
+//!    allocations (`alloc_total.count` from the counting allocator);
+//! 4. assert `(spans + allocs) * c / t_off < 3%`.
+//!
+//! Exits 0 when the bound holds, 1 with a diagnostic when it does not.
+
+use paracrash::{crash_states, prepare_states, PersistAnalysis};
+use pc_rt::obs::prof;
+use std::hint::black_box;
+use std::time::Instant;
+use tracer::CausalityGraph;
+use workloads::{FsKind, Params, Program};
+
+/// Maximum tolerated disabled-profiling share of the workload runtime.
+const BUDGET: f64 = 0.03;
+
+fn main() {
+    pc_rt::obs::set_enabled(false);
+
+    // (1) per-call disabled cost: both plane checks are one relaxed
+    // load of the same atomic, exactly what the span hooks and the
+    // allocator fast path execute.
+    const CALLS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..CALLS {
+        black_box(prof::sampling_enabled());
+        black_box(prof::alloc_tracking_enabled());
+    }
+    let per_check_ns = t.elapsed().as_nanos() as f64 / (CALLS * 2) as f64;
+
+    // Shared workload: the snapshot-engine materialization microbench.
+    let params = Params::quick();
+    let stack = Program::Arvr.run(FsKind::BeeGfs, &params);
+    let graph = CausalityGraph::build(&stack.rec);
+    let pa = PersistAnalysis::build(&stack.rec, &graph, |s| stack.journal_of(s));
+    let states = crash_states(&stack.rec, &graph, &pa, 1, None);
+    assert!(!states.is_empty(), "no crash states to materialize");
+
+    // (2) median off-time over several runs (first run also warms up).
+    let mut runs: Vec<u64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(prepare_states(&stack.rec, stack.pfs.baseline(), &states).prepared);
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let t_off_ns = runs[runs.len() / 2] as f64;
+
+    // (3) site counts of the same workload with the planes on. Enabling
+    // telemetry also enables allocation accounting, so one instrumented
+    // run yields both counts.
+    pc_rt::obs::reset();
+    pc_rt::obs::set_enabled(true);
+    black_box(prepare_states(&stack.rec, stack.pfs.baseline(), &states).prepared);
+    let snap = pc_rt::obs::snapshot();
+    pc_rt::obs::set_enabled(false);
+    pc_rt::obs::reset();
+    let span_sites = snap.ops + snap.dropped_spans;
+    let alloc_sites = snap.alloc_total.count;
+
+    // (4) the bound.
+    let sites = span_sites + alloc_sites;
+    let overhead = sites as f64 * per_check_ns / t_off_ns;
+    println!(
+        "prof-overhead: ({span_sites} span + {alloc_sites} alloc sites) x \
+         {per_check_ns:.2} ns disabled check / {:.2} ms workload = {:.4}% (budget {:.0}%)",
+        t_off_ns / 1e6,
+        overhead * 100.0,
+        BUDGET * 100.0,
+    );
+    if overhead >= BUDGET {
+        pc_rt::pc_error!(
+            "disabled profiling overhead {:.3}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}

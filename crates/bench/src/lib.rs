@@ -34,6 +34,7 @@ pub mod benches {
     pub mod explore;
     pub mod faults;
     pub mod fuzz;
+    pub mod profiling;
     pub mod scalability;
     pub mod scale;
     pub mod substrate;

@@ -22,6 +22,13 @@
 //!   stream's `span_close` events;
 //! * **finding heatmap** — findings per file system × journal mode, a
 //!   table shaded on a single-hue sequential ramp;
+//! * **flame view** — a no-script SVG icicle of a `--profile-out`
+//!   `.folded` profile (self-time by span stack); runs with fewer than
+//!   two samples degrade to a sorted stack table instead of a
+//!   misleading one-bar graphic;
+//! * **allocation attribution** — per-span alloc count / bytes / peak
+//!   tiles and table from the counting allocator, when the telemetry
+//!   snapshot carries an `alloc` object;
 //! * **bench suites** — median-latency rows for any `BENCH_*.json`
 //!   passed in.
 //!
@@ -80,11 +87,14 @@ fn fmt_ns(ns: f64) -> String {
 /// JSON-lines stream (validated here; a bad stream is an error, not an
 /// empty chart). `telemetry` is a parsed `--telemetry-out` plain-JSON
 /// snapshot, if one exists. `benches` are `(file name, parsed JSON)`
-/// pairs for any `BENCH_*.json` suites to tabulate.
+/// pairs for any `BENCH_*.json` suites to tabulate. `profile` is the
+/// text of a `--profile-out` `.folded` file for the flame view (a
+/// malformed profile is an error, matching the stream).
 pub fn render_dashboard(
     events_text: &str,
     telemetry: Option<&Json>,
     benches: &[(String, Json)],
+    profile: Option<&str>,
 ) -> Result<String, String> {
     let events = parse_event_stream(events_text)?;
 
@@ -213,6 +223,10 @@ pub fn render_dashboard(
     render_coverage_curve(&mut b, &cells);
     render_stage_breakdown(&mut b, &span_totals);
     render_heatmap(&mut b, &heat);
+    if let Some(folded) = profile {
+        render_flame(&mut b, folded)?;
+    }
+    render_alloc(&mut b, telemetry);
     render_benches(&mut b, benches);
 
     b.push_str("</main>\n</body>\n</html>\n");
@@ -455,6 +469,203 @@ fn render_heatmap(b: &mut String, heat: &[(String, String, u64)]) {
     b.push_str("</table>\n</section>\n");
 }
 
+/// One node of the flame tree built from folded stacks: inclusive
+/// sample weight, children keyed (and sorted) by frame name.
+struct FlameNode {
+    name: String,
+    count: u64,
+    children: Vec<FlameNode>,
+}
+
+impl FlameNode {
+    fn child(&mut self, name: &str) -> &mut FlameNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        let at = self
+            .children
+            .iter()
+            .position(|c| c.name.as_str() > name)
+            .unwrap_or(self.children.len());
+        self.children.insert(
+            at,
+            FlameNode {
+                name: name.to_string(),
+                count: 0,
+                children: Vec::new(),
+            },
+        );
+        &mut self.children[at]
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(FlameNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Flame view of a `--profile-out` `.folded` profile: a no-script SVG
+/// icicle (root at the top, children sorted by name so the layout is
+/// deterministic). With fewer than two samples a one-bar icicle is
+/// noise, so the section degrades to the sorted stack table alone.
+fn render_flame(b: &mut String, folded: &str) -> Result<(), String> {
+    let rows = pc_rt::obs::prof::parse_folded(folded)?;
+    b.push_str("<section data-metric=\"flame\">\n<h2>Span-stack profile</h2>\n");
+    if rows.is_empty() {
+        b.push_str("<p class=\"sub\">no samples in the profile</p>\n</section>\n");
+        return Ok(());
+    }
+    let total: u64 = rows.iter().map(|(_, c)| c).sum();
+    let mut root = FlameNode {
+        name: String::new(),
+        count: total,
+        children: Vec::new(),
+    };
+    for (frames, count) in &rows {
+        let mut node = &mut root;
+        for f in frames {
+            node = node.child(f);
+            node.count += count;
+        }
+    }
+
+    if total >= 2 {
+        const W: f64 = 640.0;
+        const ROW: f64 = 22.0;
+        let h = ROW * (root.depth() - 1).max(1) as f64 + 4.0;
+        b.push_str(&format!(
+            "<svg viewBox=\"0 0 {W} {h:.0}\" role=\"img\" aria-label=\"sampled span stacks, width proportional to samples\">\n"
+        ));
+        // Iterative pre-order walk carrying (node index path) is more
+        // code than it saves; span stacks are ≤32 deep, so recurse.
+        fn emit(b: &mut String, node: &FlameNode, x: f64, w: f64, depth: usize, total: u64) {
+            let yy = 2.0 + 22.0 * depth as f64;
+            let pct = 100.0 * node.count as f64 / total.max(1) as f64;
+            b.push_str(&format!(
+                "<rect class=\"flame flame-d{}\" x=\"{x:.1}\" y=\"{yy:.1}\" width=\"{:.1}\" height=\"20\" rx=\"2\"><title>{}: {} samples ({pct:.1}%)</title></rect>\n",
+                depth % 4,
+                w.max(1.0),
+                html_escape(&node.name),
+                node.count,
+            ));
+            if w >= 60.0 {
+                b.push_str(&format!(
+                    "<text class=\"lbl flame-lbl\" x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+                    x + 4.0,
+                    yy + 14.0,
+                    html_escape(&node.name),
+                ));
+            }
+            let mut cx = x;
+            for c in &node.children {
+                let cw = w * c.count as f64 / node.count.max(1) as f64;
+                emit(b, c, cx, cw, depth + 1, total);
+                cx += cw;
+            }
+        }
+        let mut cx = 0.0;
+        for c in &root.children {
+            let cw = W * c.count as f64 / total.max(1) as f64;
+            emit(b, c, cx, cw, 0, total);
+            cx += cw;
+        }
+        b.push_str("</svg>\n");
+    } else {
+        b.push_str(&format!(
+            "<p class=\"sub\">{total} sample(s) — too few for a flame graph; stacks listed instead</p>\n"
+        ));
+    }
+
+    // The table view renders always: it is the degraded form for
+    // near-empty profiles and the copy-pasteable form for full ones.
+    let mut sorted: Vec<&(Vec<String>, u64)> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    b.push_str(
+        "<details><summary>stack table</summary><table data-metric=\"flame-table\">\
+         <tr><th>stack</th><th>samples</th><th>share</th></tr>\n",
+    );
+    for (frames, count) in sorted.iter().take(40) {
+        b.push_str(&format!(
+            "<tr><td>{}</td><td>{count}</td><td>{:.1}%</td></tr>\n",
+            html_escape(&frames.join(";")),
+            100.0 * *count as f64 / total.max(1) as f64,
+        ));
+    }
+    b.push_str("</table></details>\n</section>\n");
+    Ok(())
+}
+
+/// Allocation attribution from the telemetry snapshot's `alloc` object:
+/// total tiles plus a per-span table, bytes-descending. Omitted
+/// entirely (like campaign robustness) when the snapshot is absent or
+/// accounting never recorded anything.
+fn render_alloc(b: &mut String, telemetry: Option<&Json>) {
+    let Some(alloc) = telemetry.and_then(|t| t.get("alloc")) else {
+        return;
+    };
+    let stat = |j: &Json, k: &str| j.get(k).and_then(Json::as_int).unwrap_or(0);
+    let Some(total) = alloc.get("total") else {
+        return;
+    };
+    if stat(total, "count") == 0 {
+        return;
+    }
+    let fmt_b = |v: u64| pc_rt::obs::prof::fmt_bytes(v as f64);
+    b.push_str("<section data-metric=\"alloc\">\n<h2>Allocation attribution</h2>\n");
+    b.push_str("<div class=\"tiles\">\n");
+    for (metric, label, value) in [
+        (
+            "alloc-count",
+            "allocations",
+            stat(total, "count").to_string(),
+        ),
+        (
+            "alloc-bytes",
+            "bytes allocated",
+            fmt_b(stat(total, "bytes")),
+        ),
+        (
+            "alloc-peak",
+            "peak live bytes",
+            fmt_b(stat(total, "peak_bytes")),
+        ),
+    ] {
+        b.push_str(&format!(
+            "<div class=\"tile\" data-metric=\"{metric}\"><div class=\"tile-value\">{value}</div><div class=\"tile-label\">{label}</div></div>\n",
+        ));
+    }
+    b.push_str("</div>\n");
+    if let Some(Json::Obj(spans)) = alloc.get("spans") {
+        if !spans.is_empty() {
+            let mut rows: Vec<(&String, &Json)> = spans.iter().map(|(k, v)| (k, v)).collect();
+            rows.sort_by(|a, b| {
+                stat(b.1, "bytes")
+                    .cmp(&stat(a.1, "bytes"))
+                    .then(a.0.cmp(b.0))
+            });
+            b.push_str(
+                "<table data-metric=\"alloc-table\">\
+                 <tr><th>span</th><th>count</th><th>bytes</th><th>peak</th></tr>\n",
+            );
+            for (name, s) in rows.iter().take(16) {
+                b.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    html_escape(name),
+                    stat(s, "count"),
+                    fmt_b(stat(s, "bytes")),
+                    fmt_b(stat(s, "peak_bytes")),
+                ));
+            }
+            b.push_str("</table>\n");
+        }
+    }
+    b.push_str("</section>\n");
+}
+
 /// Bench suites: median latency per bench, one table per file.
 fn render_benches(b: &mut String, benches: &[(String, Json)]) {
     if benches.is_empty() {
@@ -507,6 +718,8 @@ const HEAD: &str = r##"<!DOCTYPE html>
   --heat-1: #cde2fb; --heat-2: #9ec5f4; --heat-3: #5598e7;
   --heat-4: #256abf; --heat-5: #0d366b;
   --heat-hi-ink: #ffffff;
+  --flame-1: #eb6834; --flame-2: #f2924e; --flame-3: #d95926;
+  --flame-4: #f8b878;
 }
 @media (prefers-color-scheme: dark) {
   .viz-root {
@@ -523,6 +736,8 @@ const HEAD: &str = r##"<!DOCTYPE html>
     --heat-1: #184f95; --heat-2: #256abf; --heat-3: #3987e5;
     --heat-4: #6da7ec; --heat-5: #b7d3f6;
     --heat-hi-ink: #0b0b0b;
+    --flame-1: #b24a1e; --flame-2: #c96a31; --flame-3: #9c3c15;
+    --flame-4: #d98b4f;
   }
 }
 body { margin: 0; background: var(--page); }
@@ -554,6 +769,12 @@ svg .s2 { fill: none; stroke: var(--series-2); stroke-width: 2; }
 svg .s1t { fill: var(--text-secondary); text-anchor: end; }
 svg .s2t { fill: var(--text-secondary); text-anchor: end; }
 svg .bar { fill: var(--series-1); }
+svg .flame { stroke: var(--surface-1); stroke-width: 0.5; }
+svg .flame-d0 { fill: var(--flame-1); }
+svg .flame-d1 { fill: var(--flame-2); }
+svg .flame-d2 { fill: var(--flame-3); }
+svg .flame-d3 { fill: var(--flame-4); }
+svg .flame-lbl { fill: var(--heat-hi-ink); font-size: 10px; }
 .legend { font-size: 12px; color: var(--text-secondary); margin: 6px 0 0; }
 .swatch { display: inline-block; width: 10px; height: 10px;
   border-radius: 2px; margin: 0 6px 0 14px; }
@@ -611,7 +832,7 @@ mod tests {
 
     #[test]
     fn dashboard_renders_all_sections() {
-        let html = render_dashboard(&stream(), None, &[]).unwrap();
+        let html = render_dashboard(&stream(), None, &[], None).unwrap();
         for metric in [
             "cells",
             "findings",
@@ -639,7 +860,7 @@ mod tests {
     #[test]
     fn campaign_counters_render_their_own_tiles() {
         // Plain fuzz stream: no campaign section at all.
-        let html = render_dashboard(&stream(), None, &[]).unwrap();
+        let html = render_dashboard(&stream(), None, &[], None).unwrap();
         assert!(!html.contains("campaign-robustness"));
         // Campaign stream: counter deltas sum into the robustness tiles.
         let mut s = stream();
@@ -654,7 +875,7 @@ mod tests {
                  \"value\":{value},\"detail\":\"\",\"trace_id\":0}}\n",
             ));
         }
-        let html = render_dashboard(&s, None, &[]).unwrap();
+        let html = render_dashboard(&s, None, &[], None).unwrap();
         assert!(html.contains("data-metric=\"campaign-robustness\""));
         for metric in ["resumed-cells", "retries", "quarantined"] {
             assert!(
@@ -667,9 +888,9 @@ mod tests {
 
     #[test]
     fn dashboard_rejects_bad_stream_and_escapes_names() {
-        assert!(render_dashboard("{\"schema_version\":9}\n", None, &[]).is_err());
+        assert!(render_dashboard("{\"schema_version\":9}\n", None, &[], None).is_err());
         let s = stream().replace("wl0@", "a<b>&\\\"c@");
-        let html = render_dashboard(&s, None, &[]).unwrap();
+        let html = render_dashboard(&s, None, &[], None).unwrap();
         assert!(html.contains("a&lt;b&gt;&amp;&quot;c@"));
         assert!(!html.contains("a<b>&\"c@"));
     }
@@ -688,6 +909,7 @@ mod tests {
             &stream(),
             Some(&telemetry),
             &[("BENCH_fuzz.json".into(), bench)],
+            None,
         )
         .unwrap();
         assert!(html.contains("data-metric=\"benches\""));
@@ -695,5 +917,66 @@ mod tests {
         // Snapshot spans replace the stream-derived stage times.
         assert!(html.contains("check_stack"));
         assert!(!html.contains("check.verdicts"));
+    }
+
+    #[test]
+    fn flame_view_renders_and_degrades_below_two_samples() {
+        // A real profile: nested stacks, icicle SVG plus the table.
+        let folded = "cli.run;snapshot.materialize 6\ncli.run;recover/BeeGFS 3\ncli.run 1\n";
+        let html = render_dashboard(&stream(), None, &[], Some(folded)).unwrap();
+        assert!(html.contains("data-metric=\"flame\""));
+        assert!(html.contains("class=\"flame flame-d0\""), "{html}");
+        assert!(html.contains("class=\"flame flame-d1\""));
+        assert!(html.contains("data-metric=\"flame-table\""));
+        assert!(html.contains("snapshot.materialize"));
+        assert!(
+            html.contains("10 samples (100.0%)"),
+            "root weight sums children"
+        );
+        // <2 samples: no flame rects, the stack table carries the section.
+        let html = render_dashboard(&stream(), None, &[], Some("cli.run 1\n")).unwrap();
+        assert!(html.contains("data-metric=\"flame\""));
+        assert!(!html.contains("class=\"flame flame-d0\""));
+        assert!(html.contains("data-metric=\"flame-table\""));
+        assert!(html.contains("too few for a flame graph"));
+        // Empty and absent profiles degrade gracefully; garbage errors.
+        let html = render_dashboard(&stream(), None, &[], Some("")).unwrap();
+        assert!(html.contains("no samples in the profile"));
+        let html = render_dashboard(&stream(), None, &[], None).unwrap();
+        assert!(!html.contains("data-metric=\"flame\""));
+        assert!(render_dashboard(&stream(), None, &[], Some("bad profile")).is_err());
+    }
+
+    #[test]
+    fn alloc_tiles_render_from_snapshot_and_respect_dark_mode() {
+        let telemetry = Json::parse(
+            "{\"schema_version\":1,\"spans\":[],\"alloc\":{\"total\":{\"count\":52,\"bytes\":13096,\"peak_bytes\":7048},\"spans\":{\"check.enumerate\":{\"count\":12,\"bytes\":4096,\"peak_bytes\":2048}}}}",
+        )
+        .unwrap();
+        let html = render_dashboard(&stream(), Some(&telemetry), &[], None).unwrap();
+        assert!(html.contains("data-metric=\"alloc\""));
+        for metric in ["alloc-count", "alloc-bytes", "alloc-peak", "alloc-table"] {
+            assert!(
+                html.contains(&format!("data-metric=\"{metric}\"")),
+                "{metric}"
+            );
+        }
+        assert!(html.contains("check.enumerate"));
+        // No alloc object (old snapshots), or an empty one: no section.
+        let bare = Json::parse("{\"schema_version\":1,\"spans\":[]}").unwrap();
+        let html = render_dashboard(&stream(), Some(&bare), &[], None).unwrap();
+        assert!(!html.contains("data-metric=\"alloc\""));
+        let zero = Json::parse(
+            "{\"schema_version\":1,\"spans\":[],\"alloc\":{\"total\":{\"count\":0,\"bytes\":0,\"peak_bytes\":0},\"spans\":{}}}",
+        )
+        .unwrap();
+        let html = render_dashboard(&stream(), Some(&zero), &[], None).unwrap();
+        assert!(!html.contains("data-metric=\"alloc\""));
+        // Dark-mode styling: the flame palette is defined in both the
+        // light block and the dark block, like the heat ramp.
+        let html = render_dashboard(&stream(), None, &[], None).unwrap();
+        assert_eq!(html.matches("--flame-1:").count(), 2, "light + dark");
+        assert_eq!(html.matches("--flame-4:").count(), 2);
+        assert_eq!(html.matches("prefers-color-scheme: dark").count(), 1);
     }
 }

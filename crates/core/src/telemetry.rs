@@ -51,6 +51,32 @@ pub fn telemetry_json(snap: &TelemetrySnapshot) -> Json {
         ("histograms".into(), hists(snap)),
         ("dropped_spans".into(), Json::Int(snap.dropped_spans)),
         ("ops".into(), Json::Int(snap.ops)),
+        ("alloc".into(), alloc_json(snap)),
+    ])
+}
+
+/// The `alloc` object both dialects carry: whole-process totals plus
+/// per-span attribution from the counting allocator (empty when
+/// accounting never ran).
+fn alloc_json(snap: &TelemetrySnapshot) -> Json {
+    let stat = |s: &pc_rt::obs::AllocStat| {
+        Json::Obj(vec![
+            ("count".into(), Json::Int(s.count)),
+            ("bytes".into(), Json::Int(s.bytes)),
+            ("peak_bytes".into(), Json::Int(s.peak_bytes)),
+        ])
+    };
+    Json::Obj(vec![
+        ("total".into(), stat(&snap.alloc_total)),
+        (
+            "spans".into(),
+            Json::Obj(
+                snap.allocs
+                    .iter()
+                    .map(|(k, s)| (k.clone(), stat(s)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -104,6 +130,7 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> Json {
                 ("gauges".into(), named_ints(&snap.gauges)),
                 ("histograms".into(), hists(snap)),
                 ("dropped_spans".into(), Json::Int(snap.dropped_spans)),
+                ("alloc".into(), alloc_json(snap)),
             ]),
         ),
     ])
@@ -277,6 +304,29 @@ mod tests {
             )],
             dropped_spans: 0,
             ops: 7,
+            allocs: vec![
+                (
+                    "(untracked)".into(),
+                    pc_rt::obs::AllocStat {
+                        count: 40,
+                        bytes: 9_000,
+                        peak_bytes: 5_000,
+                    },
+                ),
+                (
+                    "check.enumerate".into(),
+                    pc_rt::obs::AllocStat {
+                        count: 12,
+                        bytes: 4_096,
+                        peak_bytes: 2_048,
+                    },
+                ),
+            ],
+            alloc_total: pc_rt::obs::AllocStat {
+                count: 52,
+                bytes: 13_096,
+                peak_bytes: 7_048,
+            },
         }
     }
 
@@ -301,6 +351,22 @@ mod tests {
                 .and_then(|h| h.get("p99_ns"))
                 .and_then(Json::as_int),
             Some(300)
+        );
+        let alloc = parsed.get("alloc").unwrap();
+        assert_eq!(
+            alloc
+                .get("total")
+                .and_then(|t| t.get("bytes"))
+                .and_then(Json::as_int),
+            Some(13_096)
+        );
+        assert_eq!(
+            alloc
+                .get("spans")
+                .and_then(|s| s.get("check.enumerate"))
+                .and_then(|s| s.get("peak_bytes"))
+                .and_then(Json::as_int),
+            Some(2_048)
         );
     }
 

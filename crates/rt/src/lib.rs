@@ -34,6 +34,11 @@
 //!   histograms, a leveled logger) for the checker pipeline itself
 //!   (replaces `tracing`). Off by default; `PC_TRACE` / `PC_LOG`
 //!   or the `paracrash --telemetry-out` flag turn it on.
+//! * [`obs::prof`] — the self-profiling plane: a seqlock shadow-stack
+//!   sampling profiler (`.folded` flamegraph export via `PC_PROFILE` /
+//!   `--profile-out`) and a counting `#[global_allocator]` attributing
+//!   alloc count/bytes/peak to the innermost open span (replaces
+//!   `pprof` + `dhat`). Off by default behind one relaxed atomic load.
 //!
 //! Owning the runtime is not only an offline-build workaround: the
 //! exploration hot path (thousands of independent crash-state

@@ -78,6 +78,11 @@ use crate::bench::fmt_ns;
 #[path = "stream.rs"]
 pub mod stream;
 
+#[path = "prof.rs"]
+pub mod prof;
+
+pub use prof::AllocStat;
+
 // ---------------------------------------------------------------------------
 // Leveled logging
 // ---------------------------------------------------------------------------
@@ -228,6 +233,13 @@ fn init_from_env() {
         // `PC_EVENTS=path` alone turns on both planes: the stream's
         // bootstrap attaches its sink, which re-enables the registry.
         stream::init_from_env();
+        // `PC_PROFILE` bootstraps the self-profiling plane; and any
+        // env-enabled telemetry gets allocation accounting for free
+        // (so `PC_TRACE=summary` shows per-stage alloc bytes).
+        prof::init_from_env();
+        if TELEMETRY_ON.load(Ordering::Relaxed) {
+            prof::set_alloc_tracking(true);
+        }
     });
 }
 
@@ -241,9 +253,12 @@ pub fn enabled() -> bool {
 }
 
 /// Turn collection on or off programmatically (overrides `PC_TRACE`).
+/// Allocation accounting rides along: enabled telemetry implies
+/// span-attributed alloc counters (still lock-free in the allocator).
 pub fn set_enabled(on: bool) {
     init_from_env();
     TELEMETRY_ON.store(on, Ordering::Relaxed);
+    prof::set_alloc_tracking(on);
 }
 
 /// `true` when `PC_TRACE=summary` asked for per-check summary tables.
@@ -477,6 +492,7 @@ struct OpenSpan {
     start_ns: u64,
     depth: u32,
     trace_id: u64,
+    prof: prof::SpanToken,
 }
 
 /// Open a span in the default category.
@@ -506,6 +522,7 @@ pub fn span_cat(name: &'static str, cat: &'static str) -> Span {
             start_ns: now_ns(),
             depth,
             trace_id: current_trace_id(),
+            prof: prof::on_span_open(name),
         }),
     }
 }
@@ -517,6 +534,7 @@ impl Drop for Span {
         };
         let dur_ns = now_ns().saturating_sub(open.start_ns);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        prof::on_span_close(open.prof);
         let rec = SpanRec {
             name: open.name,
             cat: open.cat,
@@ -606,10 +624,16 @@ pub struct TelemetrySnapshot {
     /// gauge / histogram updates) — the instrumentation-site count the
     /// overhead bench scales by.
     pub ops: u64,
+    /// Per-span allocation attribution (spans that allocated while
+    /// accounting was on, plus `"(untracked)"`), sorted by name.
+    pub allocs: Vec<(String, AllocStat)>,
+    /// Process-wide allocation totals while accounting was on.
+    pub alloc_total: AllocStat,
 }
 
 /// Export the registry. Spans come back sorted by `start_ns`.
 pub fn snapshot() -> TelemetrySnapshot {
+    let (allocs, alloc_total) = prof::alloc_snapshot();
     let reg = REGISTRY.lock().unwrap();
     let mut spans = reg.spans.clone();
     spans.sort_by_key(|s| (s.start_ns, s.tid, s.depth));
@@ -647,18 +671,23 @@ pub fn snapshot() -> TelemetrySnapshot {
             .collect(),
         dropped_spans: reg.dropped_spans,
         ops: reg.ops,
+        allocs,
+        alloc_total,
     }
 }
 
 /// Clear the registry (tests and benches; production runs accumulate).
 pub fn reset() {
-    let mut reg = REGISTRY.lock().unwrap();
-    reg.spans.clear();
-    reg.dropped_spans = 0;
-    reg.counters.clear();
-    reg.gauges.clear();
-    reg.hists.clear();
-    reg.ops = 0;
+    {
+        let mut reg = REGISTRY.lock().unwrap();
+        reg.spans.clear();
+        reg.dropped_spans = 0;
+        reg.counters.clear();
+        reg.gauges.clear();
+        reg.hists.clear();
+        reg.ops = 0;
+    }
+    prof::reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -771,6 +800,35 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
         }
     }
 
+    // Allocation attribution (whole run, not windowed: the table is a
+    // set of process-global atomics, cleared only by `reset`).
+    let (allocs, alloc_total) = prof::alloc_snapshot();
+    if alloc_total.count > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>10} {:>12} {:>12}",
+            "alloc by span (run total)", "count", "bytes", "peak"
+        );
+        for (name, a) in &allocs {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>10} {:>12} {:>12}",
+                name,
+                a.count,
+                prof::fmt_bytes(a.bytes as f64),
+                prof::fmt_bytes(a.peak_bytes as f64),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>10} {:>12} {:>12}",
+            "alloc total",
+            alloc_total.count,
+            prof::fmt_bytes(alloc_total.bytes as f64),
+            prof::fmt_bytes(alloc_total.peak_bytes as f64),
+        );
+    }
+
     // Derived: hit rates for every `X.hits` / `X.misses` counter pair.
     let get = |name: &str| delta.iter().find(|(k, _)| *k == name).map(|&(_, v)| v);
     let prefixes: Vec<String> = delta
@@ -840,12 +898,14 @@ pub fn render_summary(mark: &Mark, title: &str) -> String {
     out
 }
 
+/// Serialize telemetry/profiling tests across modules: the registry,
+/// the profiling planes, and the allocator table are all process-global.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Serialize obs tests: the registry is process-global.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn with_telemetry<R>(f: impl FnOnce() -> R) -> R {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());

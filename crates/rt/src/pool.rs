@@ -158,6 +158,7 @@ impl Pool {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    crate::obs::prof::register_thread();
                     // Batch completed results locally; take the shared
                     // lock once per batch, not once per item.
                     let mut done: Vec<(usize, U)> = Vec::new();
@@ -268,7 +269,10 @@ impl Pool {
         std::thread::scope(|ts| {
             for w in 0..workers {
                 let sched = &sched;
-                ts.spawn(move || sched.worker_loop(w));
+                ts.spawn(move || {
+                    crate::obs::prof::register_thread();
+                    sched.worker_loop(w)
+                });
             }
             let scope = TaskScope { sched: &sched };
             let out = body(&scope);

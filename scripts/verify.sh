@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the hermetic, zero-registry-dependency build.
 #
-# Thirteen gates:
+# Fourteen gates:
 #   1. Dependency policy — every dependency in every Cargo.toml must be
 #      an in-tree `path` crate (or a `*.workspace = true` reference to
 #      one). Any registry dependency (a `version = "..."` requirement)
@@ -65,6 +65,16 @@
 #      report byte-identical to an uninterrupted run — sequential and
 #      parallel — and refuse to clobber existing state without
 #      `--resume`.
+#  14. Self-profiling plane — the *disabled* profiling overhead (span
+#      hooks + the counting global allocator's fast path) must stay
+#      under 3% (`prof-overhead`); a `--profile-out` fuzz run must
+#      still print the pinned report and emit a canonical `.folded`
+#      profile (`prof-check`) whose frames cover the engine's hot
+#      stages; two `--history-dir` runs must round-trip through
+#      `history show|diff|regressions`; the committed
+#      BENCH_profiling.json invariants must hold; and `report
+#      --profile` must render flame + alloc sections that pass the
+#      HTML lint.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -198,6 +208,13 @@ for flag in $(grep -oE -- '--[a-z-]+' "$tmp/help.txt" | sort -u); do
         exit 1
     fi
 done
+# The profiling env knobs ride the same contract as the flags.
+for env_var in PC_PROFILE PC_PROF_HZ; do
+    if ! grep -q -- "$env_var" README.md; then
+        echo "FAIL: env var $env_var is missing from README.md"
+        exit 1
+    fi
+done
 
 echo "== gate 11: extreme-scale smoke + committed scale benchmarks =="
 # 64-server BeeGFS cell (4x the paper's largest configuration): the
@@ -315,5 +332,54 @@ target/release/paracrash $camp --state-dir "$tmp/camp-ev" \
     --events-out "$tmp/nested/dirs/camp-events.jsonl" \
     > /dev/null 2> /dev/null
 target/release/events-check "$tmp/nested/dirs/camp-events.jsonl"
+
+echo "== gate 14: self-profiling plane =="
+# Disabled-path budget: every profiling site must reduce to one
+# relaxed atomic load (span hooks and the counting allocator alike).
+target/release/prof-overhead
+# A profiled PR-tier fuzz run must still print the pinned report (the
+# profiler is strictly presentation-plane) and emit a canonical
+# .folded profile whose frames cover the engine's hot stages. The
+# nested output path also exercises --profile-out's parent creation.
+PC_PROF_HZ=997 target/release/paracrash fuzz \
+    --profile-out "$tmp/prof/fuzz.folded" \
+    > "$tmp/fuzz-prof.txt" 2> /dev/null
+diff "$tmp/fuzz-prof.txt" crates/bench/tests/expected_fuzz_pr_tier.txt
+target/release/prof-check "$tmp/prof/fuzz.folded"
+for frame in "snapshot.materialize" "recover/"; do
+    if ! grep -q -- "$frame" "$tmp/prof/fuzz.folded"; then
+        echo "FAIL: profile has no $frame frames"
+        exit 1
+    fi
+done
+# Durable run history: two recorded runs round-trip through
+# show / diff / regressions (the generous band only flags a genuine
+# catastrophe, not machine noise).
+target/release/paracrash fuzz --history-dir "$tmp/hist" > /dev/null 2>&1
+target/release/paracrash fuzz --history-dir "$tmp/hist" > /dev/null 2>&1
+runs=$(target/release/paracrash history show --history-dir "$tmp/hist" \
+    | grep -c "fuzz")
+if [ "$runs" -ne 2 ]; then
+    echo "FAIL: history show lists $runs run(s), expected 2"
+    exit 1
+fi
+target/release/paracrash history diff --history-dir "$tmp/hist" --band 4
+target/release/paracrash history regressions --history-dir "$tmp/hist" --band 4
+# Committed profiling benchmarks re-validate.
+target/release/prof-check --bench BENCH_profiling.json
+# The dashboard folds the profile in: flame + alloc sections render
+# and the HTML lint still passes (gate 12's stream + telemetry
+# snapshot are re-used).
+target/release/paracrash report --events "$tmp/events-par.jsonl" \
+    --telemetry "$tmp/report-telemetry.json" \
+    --profile "$tmp/prof/fuzz.folded" \
+    --out "$tmp/report-prof.html"
+target/release/events-check --html "$tmp/report-prof.html"
+for metric in "flame" "flame-table" "alloc-table"; do
+    if ! grep -q "data-metric=\"$metric\"" "$tmp/report-prof.html"; then
+        echo "FAIL: dashboard missing $metric section"
+        exit 1
+    fi
+done
 
 echo "verify: OK"
